@@ -1,0 +1,82 @@
+// Command drbench regenerates the paper's evaluation tables and figures
+// on the Go substrate (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	drbench -experiment all
+//	drbench -experiment table2
+//	drbench -experiment fig11 -scale 10     # 10x longer regions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"one of: table1, table2, table3, fig11, fig12, fig13, fig14, slicing, ablation, all")
+		scale   = flag.Int64("scale", 1, "multiply all region lengths by this factor")
+		threads = flag.Int64("threads", 4, "worker thread count")
+		slices  = flag.Int("slices", 10, "slicing criteria per region")
+		seed    = flag.Int64("seed", 1, "scheduling seed")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig(os.Stdout)
+	cfg.Threads = *threads
+	cfg.Slices = *slices
+	cfg.Seed = *seed
+	for i := range cfg.SweepLengths {
+		cfg.SweepLengths[i] *= *scale
+	}
+	cfg.RegionLen *= *scale
+	cfg.RegionLenLarge *= *scale
+
+	if err := run(*experiment, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "drbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, cfg bench.Config) error {
+	type exp struct {
+		name string
+		fn   func(bench.Config) error
+	}
+	wrap := func(f func(bench.Config) (any, error)) func(bench.Config) error {
+		return func(c bench.Config) error { _, err := f(c); return err }
+	}
+	experiments := []exp{
+		{"table1", wrap(func(c bench.Config) (any, error) { return bench.Table1(c) })},
+		{"table2", wrap(func(c bench.Config) (any, error) { return bench.Table2(c) })},
+		{"table3", wrap(func(c bench.Config) (any, error) { return bench.Table3(c) })},
+		{"fig11", wrap(func(c bench.Config) (any, error) { return bench.Figure11(c) })},
+		{"fig12", wrap(func(c bench.Config) (any, error) { return bench.Figure12(c) })},
+		{"fig13", wrap(func(c bench.Config) (any, error) { return bench.Figure13(c) })},
+		{"fig14", wrap(func(c bench.Config) (any, error) { return bench.Figure14(c) })},
+		{"slicing", wrap(func(c bench.Config) (any, error) { return bench.SlicingOverhead(c) })},
+		{"ablation", wrap(func(c bench.Config) (any, error) { return bench.Ablation(c) })},
+	}
+	ran := false
+	for _, e := range experiments {
+		if experiment != "all" && experiment != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		if err := e.fn(cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.name, time.Since(start).Seconds())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

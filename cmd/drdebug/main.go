@@ -1,0 +1,83 @@
+// Command drdebug is the interactive replay debugger: gdb-style commands
+// plus DrDebug's region recording, dynamic slicing and execution-slice
+// stepping, on mini-C/assembly programs or the built-in workloads.
+//
+// Usage:
+//
+//	drdebug -file bug.c [-seed 7] [-input 4,100]
+//	drdebug -workload pbzip2 -input 3,40 -pinball bug.pinball
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	drdebug "repro"
+	"repro/cmd/internal/cli"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "mini-C (.c) or assembly (.s) source file")
+		workload = flag.String("workload", "", "built-in workload: "+cli.WorkloadNames())
+		seed     = flag.Int64("seed", 1, "scheduling seed for native runs")
+		quantum  = flag.Int64("quantum", 1000, "mean preemption quantum (instructions)")
+		input    = flag.String("input", "", "program input words, comma separated")
+		pinballP = flag.String("pinball", "", "open an existing pinball and start in replay mode")
+		script   = flag.String("x", "", "execute debugger commands from this file, then exit")
+	)
+	flag.Parse()
+
+	if err := run(*file, *workload, *seed, *quantum, *input, *pinballP, *script); err != nil {
+		fmt.Fprintln(os.Stderr, "drdebug:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, workload string, seed, quantum int64, input, pinballPath, script string) error {
+	prog, _, err := cli.LoadProgram(file, workload)
+	if err != nil {
+		return err
+	}
+	in, err := cli.ParseInput(input)
+	if err != nil {
+		return err
+	}
+	d := drdebug.NewDebugger(prog, drdebug.LogConfig{
+		Seed: seed, MeanQuantum: quantum, Input: in, RandSeed: seed,
+	})
+	if pinballPath != "" {
+		sess, err := drdebug.LoadSession(prog, pinballPath)
+		if err != nil {
+			return err
+		}
+		d.UseSession(sess)
+		fmt.Printf("loaded pinball %s (%d instructions); starting in replay mode\n",
+			pinballPath, sess.Pinball.RegionInstrs)
+	}
+	if script != "" {
+		// Batch mode: run the command file, like gdb -x.
+		data, err := os.ReadFile(script)
+		if err != nil {
+			return err
+		}
+		for _, cmd := range strings.Split(string(data), "\n") {
+			cmd = strings.TrimSpace(cmd)
+			if cmd == "" || strings.HasPrefix(cmd, "#") {
+				continue
+			}
+			if cmd == "quit" || cmd == "q" {
+				return nil
+			}
+			fmt.Printf("(drdebug) %s\n", cmd)
+			if err := d.Execute(cmd, os.Stdout); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		}
+		return nil
+	}
+	fmt.Printf("DrDebug on %s — type help for commands\n", prog.Name)
+	return d.Run(os.Stdin, os.Stdout)
+}

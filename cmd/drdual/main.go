@@ -1,0 +1,60 @@
+// Command drdual performs dual slicing: slice the same variable in a
+// failing and a passing pinball of the same program and report the
+// statements only the failing run's slice contains — where the failing
+// computation diverged.
+//
+// Usage:
+//
+//	drdual -file race.c -fail fail.pinball -pass pass.pinball -var result
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	drdebug "repro"
+	"repro/cmd/internal/cli"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "mini-C (.c) or assembly (.s) source file")
+		workload = flag.String("workload", "", "built-in workload: "+cli.WorkloadNames())
+		failPB   = flag.String("fail", "", "failing-run pinball (required)")
+		passPB   = flag.String("pass", "", "passing-run pinball (required)")
+		varName  = flag.String("var", "", "global variable whose computation to compare (required)")
+	)
+	flag.Parse()
+
+	if err := run(*file, *workload, *failPB, *passPB, *varName); err != nil {
+		fmt.Fprintln(os.Stderr, "drdual:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, workload, failPB, passPB, varName string) error {
+	prog, _, err := cli.LoadProgram(file, workload)
+	if err != nil {
+		return err
+	}
+	if failPB == "" || passPB == "" || varName == "" {
+		return fmt.Errorf("need -fail, -pass and -var")
+	}
+	failing, err := drdebug.LoadSession(prog, failPB)
+	if err != nil {
+		return err
+	}
+	passing, err := drdebug.LoadSession(prog, passPB)
+	if err != nil {
+		return err
+	}
+	d, err := core.DualSlice(failing, passing, varName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dual slice of %q: failing %s vs passing %s\n", varName, failPB, passPB)
+	d.WriteText(os.Stdout)
+	return nil
+}

@@ -1,0 +1,72 @@
+// Command drmaple runs the Maple workflow: profile inter-thread
+// dependencies across seeded runs, predict untested interleavings, then
+// actively schedule the program to force each prediction until the bug
+// fires — logging every attempt so the failing run is immediately
+// available as a pinball for DrDebug.
+//
+// Usage:
+//
+//	drmaple -workload pbzip2 -input 3,40 -o pbzip2.pinball
+//	drmaple -file race.c -runs 6 -o race.pinball
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	drdebug "repro"
+	"repro/cmd/internal/cli"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "mini-C (.c) or assembly (.s) source file")
+		workload = flag.String("workload", "", "built-in workload: "+cli.WorkloadNames())
+		seed     = flag.Int64("seed", 1, "base scheduling seed")
+		quantum  = flag.Int64("quantum", 100, "mean preemption quantum for profiling runs")
+		input    = flag.String("input", "", "program input words, comma separated")
+		runs     = flag.Int("runs", 4, "profiling runs")
+		out      = flag.String("o", "maple.pinball", "output pinball path")
+	)
+	flag.Parse()
+
+	if err := run(*file, *workload, *seed, *quantum, *input, *runs, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "drmaple:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, workload string, seed, quantum int64, input string, runs int, out string) error {
+	prog, _, err := cli.LoadProgram(file, workload)
+	if err != nil {
+		return err
+	}
+	in, err := cli.ParseInput(input)
+	if err != nil {
+		return err
+	}
+	res, err := drdebug.FindBug(prog, drdebug.LogConfig{
+		Seed: seed, MeanQuantum: quantum, Input: in, RandSeed: seed,
+	}, drdebug.MapleOptions{ProfileRuns: runs})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicted %d candidate interleavings\n", res.RootsPredicted)
+	if !res.Exposed {
+		fmt.Printf("no bug exposed after %d active-scheduling attempts\n", res.Attempts)
+		return nil
+	}
+	switch {
+	case res.DuringProfiling:
+		fmt.Println("bug exposed during profiling")
+	default:
+		fmt.Printf("bug exposed by forcing %v after %d attempts\n", res.Root, res.Attempts)
+	}
+	fmt.Printf("failure: %v\n", res.Pinball.Failure)
+	if err := res.Pinball.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("failing execution captured in %s — debug it with:\n  drdebug -pinball %s ...\n", out, out)
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command drrecord is the PinPlay-style logger: it runs a program
+// natively, fast-forwards to an execution region (skip/length in
+// main-thread instructions) and captures the region into a pinball.
+//
+// Usage:
+//
+//	drrecord -file bug.c -seed 7 -o bug.pinball              # whole run
+//	drrecord -workload blackscholes -input 4,100000 \
+//	         -skip 1000 -length 100000 -o region.pinball     # region
+//	drrecord -file bug.c -until-failure -maxseed 200 -o bug.pinball
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	drdebug "repro"
+	"repro/cmd/internal/cli"
+	"repro/internal/pinplay"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "mini-C (.c) or assembly (.s) source file")
+		workload = flag.String("workload", "", "built-in workload: "+cli.WorkloadNames())
+		seed     = flag.Int64("seed", 1, "scheduling seed")
+		quantum  = flag.Int64("quantum", 1000, "mean preemption quantum")
+		input    = flag.String("input", "", "program input words, comma separated")
+		skip     = flag.Int64("skip", 0, "main-thread instructions to skip before logging")
+		length   = flag.Int64("length", 0, "main-thread instructions to log (0 = to program end)")
+		fromLoc  = flag.String("from", "", "region start point (file:line, function, or pc)")
+		toLoc    = flag.String("to", "", "region end point (file:line, function, or pc; empty = program end)")
+		fromNth  = flag.Int64("from-nth", 1, "dynamic instance of the start point")
+		toNth    = flag.Int64("to-nth", 1, "dynamic instance of the end point")
+		untilF   = flag.Bool("until-failure", false, "search seeds until the program fails, then capture")
+		maxSeed  = flag.Int64("maxseed", 100, "seed search bound for -until-failure")
+		out      = flag.String("o", "out.pinball", "output pinball path")
+	)
+	flag.Parse()
+
+	if err := run(*file, *workload, *seed, *quantum, *input, *skip, *length,
+		*fromLoc, *toLoc, *fromNth, *toNth, *untilF, *maxSeed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "drrecord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, workload string, seed, quantum int64, input string, skip, length int64,
+	fromLoc, toLoc string, fromNth, toNth int64, untilFailure bool, maxSeed int64, out string) error {
+	prog, _, err := cli.LoadProgram(file, workload)
+	if err != nil {
+		return err
+	}
+	in, err := cli.ParseInput(input)
+	if err != nil {
+		return err
+	}
+	cfg := drdebug.LogConfig{Seed: seed, MeanQuantum: quantum, Input: in, RandSeed: seed}
+
+	var sess *drdebug.Session
+	if fromLoc != "" {
+		// Point-based region selection: record between two code
+		// locations (paper §2, "specifying its start and end points").
+		startPC, err := prog.ResolveLocation(fromLoc)
+		if err != nil {
+			return err
+		}
+		endPC := int64(-1)
+		if toLoc != "" {
+			endPC, err = prog.ResolveLocation(toLoc)
+			if err != nil {
+				return err
+			}
+		}
+		pb, err := pinplay.LogBetween(prog, cfg, pinplay.PointSpec{
+			StartPC: startPC, StartInstance: fromNth, EndPC: endPC, EndInstance: toNth,
+		})
+		if err != nil {
+			return err
+		}
+		sess = drdebug.Open(prog, pb)
+	} else if untilFailure {
+		for s := seed; s < seed+maxSeed; s++ {
+			cfg.Seed, cfg.RandSeed = s, s
+			sess, err = drdebug.RecordFailure(prog, cfg, skip)
+			if err == nil {
+				fmt.Printf("failure exposed with seed %d: %v\n", s, sess.Pinball.Failure)
+				break
+			}
+		}
+		if sess == nil {
+			return fmt.Errorf("no failure within %d seeds (try drmaple)", maxSeed)
+		}
+	} else {
+		sess, err = drdebug.RecordRegion(prog, cfg, drdebug.RegionSpec{SkipMain: skip, LengthMain: length})
+		if err != nil {
+			return err
+		}
+	}
+	pb := sess.Pinball
+	if err := pb.Save(out); err != nil {
+		return err
+	}
+	sz, _ := pb.EncodedSize()
+	fmt.Printf("pinball %s: %d instructions (%d main thread), end=%s, %d bytes compressed\n",
+		out, pb.RegionInstrs, pb.MainInstrs, pb.EndReason, sz)
+	return nil
+}

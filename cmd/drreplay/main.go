@@ -1,0 +1,108 @@
+// Command drreplay is the PinPlay-style replayer: it deterministically
+// re-executes a pinball and reports the end state, verifying the
+// repeatability guarantee on request.
+//
+// Usage:
+//
+//	drreplay -file bug.c -pinball bug.pinball [-check]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	drdebug "repro"
+	"repro/cmd/internal/cli"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "mini-C (.c) or assembly (.s) source file")
+		workload = flag.String("workload", "", "built-in workload: "+cli.WorkloadNames())
+		pinballP = flag.String("pinball", "", "pinball to replay (required)")
+		check    = flag.Bool("check", false, "replay twice and verify identical end states")
+		stats    = flag.Bool("stats", false, "print pinball composition before replaying")
+	)
+	flag.Parse()
+
+	if err := run(*file, *workload, *pinballP, *check, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "drreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, workload, pinballPath string, check, stats bool) error {
+	prog, _, err := cli.LoadProgram(file, workload)
+	if err != nil {
+		return err
+	}
+	if pinballPath == "" {
+		return fmt.Errorf("need -pinball")
+	}
+	pb, err := drdebug.LoadPinball(pinballPath)
+	if err != nil {
+		return err
+	}
+	if stats {
+		printStats(pb)
+	}
+	start := time.Now()
+	m, err := drdebug.Replay(prog, pb)
+	if err != nil {
+		return err
+	}
+	stop := m.Stopped().String()
+	if stop == "running" {
+		stop = "end of region"
+	}
+	fmt.Printf("replayed %d instructions in %.3fs (stop: %s)\n",
+		pb.RegionInstrs, time.Since(start).Seconds(), stop)
+	if f := m.Failure(); f != nil {
+		fmt.Printf("reproduced failure: %v\n", f)
+	}
+	if out := m.Output(); len(out) > 0 {
+		fmt.Printf("program output: %v\n", out)
+	}
+	if check { // must come after the replay above so both share the load cost
+		m2, err := drdebug.Replay(prog, pb)
+		if err != nil {
+			return err
+		}
+		if !m.Snapshot().Mem.Equal(m2.Snapshot().Mem) {
+			return fmt.Errorf("replays reached different states — determinism violated")
+		}
+		fmt.Println("determinism check passed: two replays reached identical memory")
+	}
+	return nil
+}
+
+// printStats summarises what the pinball contains.
+func printStats(pb *drdebug.Pinball) {
+	sz, _ := pb.EncodedSize()
+	fmt.Printf("pinball stats:\n")
+	fmt.Printf("  program:        %s (%s)\n", pb.ProgramName, pb.Kind)
+	fmt.Printf("  region:         %d instructions (%d main thread, skip %d), end=%s\n",
+		pb.RegionInstrs, pb.MainInstrs, pb.SkipMain, pb.EndReason)
+	fmt.Printf("  threads:        %d at region entry\n", len(pb.State.Threads))
+	fmt.Printf("  memory pages:   %d captured\n", len(pb.State.Mem))
+	fmt.Printf("  schedule:       %d quanta (avg %.1f instructions)\n",
+		len(pb.Quanta), avgQuantum(pb))
+	fmt.Printf("  syscalls:       %d logged\n", len(pb.Syscalls))
+	fmt.Printf("  order edges:    %d shared-memory constraints\n", len(pb.OrderEdges))
+	if pb.Kind == "slice" {
+		fmt.Printf("  exclusions:     %d regions, %d injections\n", len(pb.Exclusions), len(pb.Injections))
+	}
+	if pb.Failure != nil {
+		fmt.Printf("  failure:        %v\n", pb.Failure)
+	}
+	fmt.Printf("  compressed:     %d bytes\n", sz)
+}
+
+func avgQuantum(pb *drdebug.Pinball) float64 {
+	if len(pb.Quanta) == 0 {
+		return 0
+	}
+	return float64(pb.TotalQuantumInstrs()) / float64(len(pb.Quanta))
+}

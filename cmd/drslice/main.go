@@ -1,0 +1,165 @@
+// Command drslice is the batch slicer: it replays a pinball with the
+// tracing pintool, computes a backward dynamic slice (of the failure
+// point, a variable's last read, or a file:line instance), prints it, and
+// can emit the slice file and the relogged slice pinball.
+//
+// Usage:
+//
+//	drslice -file bug.c -pinball bug.pinball                   # failure slice
+//	drslice -file bug.c -pinball bug.pinball -var counter
+//	drslice -file bug.c -pinball bug.pinball -tid 1 -line 12
+//	drslice ... -o bug.slice -exec -opinball bug-slice.pinball
+//	drslice ... -no-prune -no-refine                           # precision ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	drdebug "repro"
+	"repro/cmd/internal/cli"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "mini-C (.c) or assembly (.s) source file")
+		workload = flag.String("workload", "", "built-in workload: "+cli.WorkloadNames())
+		pinballP = flag.String("pinball", "", "region pinball to slice (required)")
+		varName  = flag.String("var", "", "slice the last read of this global variable")
+		tid      = flag.Int("tid", -1, "with -line: thread id of the criterion")
+		line     = flag.Int("line", 0, "with -tid: source line of the criterion")
+		nth      = flag.Int("nth", 1, "with -line: dynamic instance of the line")
+		noPrune  = flag.Bool("no-prune", false, "disable §5.2 save/restore pruning")
+		noRefine = flag.Bool("no-refine", false, "disable §5.1 dynamic CFG refinement")
+		maxSave  = flag.Int("maxsave", 10, "save/restore detector scan depth")
+		out      = flag.String("o", "", "write the slice file here")
+		htmlOut  = flag.String("html", "", "write an HTML slice report here")
+		execSl   = flag.Bool("exec", false, "relog into a slice pinball")
+		outPB    = flag.String("opinball", "slice.pinball", "slice pinball path (with -exec)")
+	)
+	flag.Parse()
+
+	if err := run(*file, *workload, *pinballP, *varName, *tid, *line, *nth,
+		*noPrune, *noRefine, *maxSave, *out, *htmlOut, *execSl, *outPB); err != nil {
+		fmt.Fprintln(os.Stderr, "drslice:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, workload, pinballPath, varName string, tid, line, nth int,
+	noPrune, noRefine bool, maxSave int, out, htmlOut string, execSl bool, outPB string) error {
+	prog, _, err := cli.LoadProgram(file, workload)
+	if err != nil {
+		return err
+	}
+	if pinballPath == "" {
+		return fmt.Errorf("need -pinball")
+	}
+	sess, err := drdebug.LoadSession(prog, pinballPath)
+	if err != nil {
+		return err
+	}
+	opts := drdebug.DefaultSliceOptions()
+	opts.MaxSave = maxSave
+	opts.PruneSaveRestore = !noPrune
+	opts.DisableRefinement = noRefine
+	sess.SetSliceOptions(opts)
+
+	start := time.Now()
+	var sl *drdebug.Slice
+	switch {
+	case varName != "":
+		sl, err = sess.SliceForVariable(varName)
+	case line > 0 && tid >= 0:
+		sl, err = sess.SliceAtLine(tid, int32(line), nth)
+	default:
+		sl, err = sess.SliceAtFailure()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slice computed in %.3fs: %d of %d dynamic instructions\n",
+		time.Since(start).Seconds(), sl.Stats.Members, sl.Stats.TraceLen)
+	fmt.Printf("precision: %d CFG refinements, %d save/restore pairs, %d bypasses, LP %d/%d blocks skipped\n",
+		sl.Stats.CFGRefinements, sl.Stats.VerifiedPairs, sl.Stats.PrunedBypasses,
+		sl.Stats.LPBlocksSkip, sl.Stats.LPBlocksSkip+sl.Stats.LPBlocksVisit)
+
+	if err := writeSliceText(sess, sl); err != nil {
+		return err
+	}
+	if out != "" {
+		if err := sess.SaveSlice(sl, out); err != nil {
+			return err
+		}
+		fmt.Printf("slice file written to %s\n", out)
+	}
+	if htmlOut != "" {
+		if err := writeSliceHTML(sess, sl, file, htmlOut); err != nil {
+			return err
+		}
+		fmt.Printf("HTML slice report written to %s\n", htmlOut)
+	}
+	if execSl {
+		spb, ex, err := sess.ExecutionSlice(sl)
+		if err != nil {
+			return err
+		}
+		if err := spb.Save(outPB); err != nil {
+			return err
+		}
+		fmt.Printf("slice pinball %s: %d instructions (%.1f%% of region), %d exclusion regions\n",
+			outPB, spb.RegionInstrs, 100*float64(spb.RegionInstrs)/float64(sess.Pinball.RegionInstrs), len(ex))
+	}
+	return nil
+}
+
+// writeSliceHTML renders the KDbg-style HTML report; when the program
+// came from a source file, the listing is highlighted in place.
+func writeSliceHTML(sess *drdebug.Session, sl *drdebug.Slice, srcPath, htmlOut string) error {
+	f, err := sliceFileOf(sess, sl)
+	if err != nil {
+		return err
+	}
+	sources := map[string]string{}
+	if srcPath != "" {
+		if data, err := os.ReadFile(srcPath); err == nil {
+			sources[srcPath] = string(data)
+		}
+	}
+	w, err := os.Create(htmlOut)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := f.WriteHTML(w, sources); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// sliceFileOf converts a computed slice into its persistable form via a
+// temporary file.
+func sliceFileOf(sess *drdebug.Session, sl *drdebug.Slice) (*drdebug.SliceFile, error) {
+	tmp, err := os.CreateTemp("", "drslice-*.slice")
+	if err != nil {
+		return nil, err
+	}
+	tmpPath := tmp.Name()
+	tmp.Close()
+	defer os.Remove(tmpPath)
+	if err := sess.SaveSlice(sl, tmpPath); err != nil {
+		return nil, err
+	}
+	return drdebug.LoadSliceFile(tmpPath)
+}
+
+// writeSliceText renders the slice in the human-readable slice-file form.
+func writeSliceText(sess *drdebug.Session, sl *drdebug.Slice) error {
+	f, err := sliceFileOf(sess, sl)
+	if err != nil {
+		return err
+	}
+	return f.WriteText(os.Stdout)
+}

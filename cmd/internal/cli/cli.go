@@ -1,0 +1,58 @@
+// Package cli holds the flag plumbing shared by the DrDebug command-line
+// tools: program loading (mini-C file, assembly file, or built-in
+// workload) and execution configuration.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	drdebug "repro"
+)
+
+// LoadProgram resolves -file / -workload into a program. Exactly one must
+// be set.
+func LoadProgram(file, workload string) (*drdebug.Program, *drdebug.Workload, error) {
+	switch {
+	case file != "" && workload != "":
+		return nil, nil, fmt.Errorf("use either -file or -workload, not both")
+	case file != "":
+		p, err := drdebug.CompileFile(file)
+		return p, nil, err
+	case workload != "":
+		w, err := drdebug.WorkloadByName(workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := w.Program()
+		return p, w, err
+	}
+	return nil, nil, fmt.Errorf("need -file <src.c|src.s> or -workload <name>")
+}
+
+// ParseInput parses "1,2,3" into input words.
+func ParseInput(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input word %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// WorkloadNames returns the registered workload names for usage text.
+func WorkloadNames() string {
+	var names []string
+	for _, w := range drdebug.Workloads() {
+		names = append(names, w.Name)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseInput(t *testing.T) {
+	got, err := ParseInput("1, -2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != -2 || got[2] != 3 {
+		t.Fatalf("ParseInput = %v, %v", got, err)
+	}
+	if got, err := ParseInput(""); err != nil || got != nil {
+		t.Errorf("empty input = %v, %v", got, err)
+	}
+	if _, err := ParseInput("1,x"); err == nil {
+		t.Error("bad word accepted")
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.c")
+	if err := os.WriteFile(path, []byte("int main() { return 0; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if p, w, err := LoadProgram(path, ""); err != nil || p == nil || w != nil {
+		t.Errorf("file load: %v %v %v", p, w, err)
+	}
+	if p, w, err := LoadProgram("", "dedup"); err != nil || p == nil || w == nil {
+		t.Errorf("workload load: %v %v %v", p, w, err)
+	}
+	if _, _, err := LoadProgram(path, "dedup"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, _, err := LoadProgram("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, _, err := LoadProgram("", "nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, _, err := LoadProgram(filepath.Join(dir, "missing.c"), ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	names := WorkloadNames()
+	for _, want := range []string{"pbzip2", "blackscholes", "wupwise"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("names missing %q: %s", want, names)
+		}
+	}
+}

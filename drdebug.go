@@ -1,0 +1,154 @@
+// Package drdebug is the public API of the DrDebug reproduction: cyclic,
+// interactive debugging of multi-threaded programs built on deterministic
+// record/replay (PinPlay-style pinballs) and highly precise dynamic
+// slicing, after "DrDebug: Deterministic Replay based Cyclic Debugging
+// with Dynamic Slicing" (CGO 2014).
+//
+// The workflow mirrors the paper's Figure 2:
+//
+//	prog, _  := drdebug.Compile("bug.c", source)        // mini-C -> machine code
+//	sess, _  := drdebug.RecordFailure(prog, cfg, 0)     // capture buggy region
+//	m, _     := sess.Replay(nil)                        // deterministic replay
+//	sl, _    := sess.SliceAtFailure()                   // dynamic slice
+//	spb, _, _ := sess.ExecutionSlice(sl)                // slice pinball (§4)
+//	st, _    := sess.NewStepper(sl)                     // step the execution slice
+//
+// Programs are written in mini-C (package cc) or assembly (package asm)
+// and execute on the deterministic multi-threaded VM substrate; bugs can
+// be exposed with the integrated Maple reimplementation (FindBug) and the
+// interactive gdb-style debugger (NewDebugger) drives the whole loop.
+package drdebug
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/debugger"
+	"repro/internal/isa"
+	"repro/internal/maple"
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+	"repro/internal/slice"
+	"repro/internal/tracer"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Core workflow types, re-exported.
+type (
+	// Program is an executable for the VM substrate.
+	Program = isa.Program
+	// Session is one cyclic-debugging session over a recorded pinball.
+	Session = core.Session
+	// Stepper walks an execution slice forward, statement by statement.
+	Stepper = core.Stepper
+	// StepPoint is one stop of a Stepper.
+	StepPoint = core.StepPoint
+	// Pinball is a captured execution region.
+	Pinball = pinball.Pinball
+	// Slice is a computed backward dynamic slice.
+	Slice = slice.Slice
+	// SliceOptions controls slicer precision features.
+	SliceOptions = slice.Options
+	// SliceFile is the persisted, session-independent form of a slice.
+	SliceFile = slice.File
+	// Trace is the dynamic def/use information collected from a replay.
+	Trace = tracer.Trace
+	// LogConfig configures native executions (seed, input, quanta).
+	LogConfig = pinplay.LogConfig
+	// RegionSpec selects an execution region in skip/length form.
+	RegionSpec = pinplay.RegionSpec
+	// Machine is the VM executing a program.
+	Machine = vm.Machine
+	// Debugger is the interactive gdb-style front-end.
+	Debugger = debugger.Debugger
+	// MapleResult reports a bug exposed by the Maple workflow.
+	MapleResult = maple.Result
+	// MapleOptions configures the Maple workflow.
+	MapleOptions = maple.Options
+	// Workload is a registered benchmark program.
+	Workload = workloads.Workload
+)
+
+// Compile builds a mini-C source string into a program.
+func Compile(name, src string) (*Program, error) {
+	return cc.CompileSource(name, src)
+}
+
+// CompileFile builds a mini-C (.c) or assembly (.s) source file.
+func CompileFile(path string) (*Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("drdebug: %w", err)
+	}
+	if len(path) > 2 && path[len(path)-2:] == ".s" {
+		return asm.Assemble(path, string(src))
+	}
+	return cc.CompileSource(path, string(src))
+}
+
+// Assemble builds an assembly source string into a program.
+func Assemble(name, src string) (*Program, error) {
+	return asm.Assemble(name, src)
+}
+
+// RecordRegion captures an execution region (fast-forward SkipMain, then
+// record LengthMain main-thread instructions) and opens a session on the
+// resulting pinball.
+func RecordRegion(prog *Program, cfg LogConfig, spec RegionSpec) (*Session, error) {
+	return core.RecordRegion(prog, cfg, spec)
+}
+
+// RecordFailure captures from skipMain to the program's failure point; it
+// fails if the execution does not fail under the configured schedule.
+func RecordFailure(prog *Program, cfg LogConfig, skipMain int64) (*Session, error) {
+	return core.RecordFailure(prog, cfg, skipMain)
+}
+
+// Open starts a session over an existing pinball (e.g. one produced by
+// FindBug).
+func Open(prog *Program, pb *Pinball) *Session { return core.Open(prog, pb) }
+
+// LoadSession opens a session from a pinball file.
+func LoadSession(prog *Program, pinballPath string) (*Session, error) {
+	return core.LoadSession(prog, pinballPath)
+}
+
+// LoadPinball reads a pinball file.
+func LoadPinball(path string) (*Pinball, error) { return pinball.Load(path) }
+
+// LoadSliceFile reads a slice file saved with Session.SaveSlice.
+func LoadSliceFile(path string) (*SliceFile, error) { return slice.LoadFile(path) }
+
+// Replay deterministically re-executes a pinball and returns the machine
+// at the end of the region (or at the reproduced failure).
+func Replay(prog *Program, pb *Pinball) (*Machine, error) {
+	return pinplay.Replay(prog, pb, nil)
+}
+
+// NewDebugger creates the interactive debugger for a program.
+func NewDebugger(prog *Program, cfg LogConfig) *Debugger {
+	return debugger.New(prog, cfg)
+}
+
+// FindBug runs the Maple workflow (profiling + active scheduling with
+// logging) until the program fails, returning the failing pinball ready
+// for replay-based debugging.
+func FindBug(prog *Program, cfg LogConfig, opts MapleOptions) (*MapleResult, error) {
+	return maple.FindBug(prog, cfg, opts)
+}
+
+// WorkloadByName returns one of the registered benchmark programs (the
+// PARSEC-like and SPEC OMP-like kernels and the Table 1 bugs).
+func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(name) }
+
+// Workloads lists every registered benchmark program.
+func Workloads() []*Workload { return workloads.All() }
+
+// DefaultSliceOptions is the paper's default slicer configuration:
+// control dependences on, CFG refinement on, save/restore pruning on with
+// MaxSave=10.
+func DefaultSliceOptions() SliceOptions { return slice.DefaultOptions() }

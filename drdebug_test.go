@@ -1,0 +1,156 @@
+package drdebug_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	drdebug "repro"
+)
+
+const apiDemoSrc = `
+int total;
+int mtx;
+int adder(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		lock(&mtx);
+		total = total + 1;
+		unlock(&mtx);
+	}
+	return 0;
+}
+int main() {
+	int t = spawn(adder, 25);
+	adder(25);
+	join(t);
+	assert(total == 51);
+	return 0;
+}`
+
+func TestPublicAPIWorkflow(t *testing.T) {
+	prog, err := drdebug.Compile("api.c", apiDemoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := drdebug.RecordFailure(prog, drdebug.LogConfig{Seed: 1, MeanQuantum: 15}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay.
+	m, err := drdebug.Replay(prog, sess.Pinball)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Failure() == nil {
+		t.Fatal("replay did not reproduce the failure")
+	}
+
+	// Pinball persistence.
+	dir := t.TempDir()
+	pbPath := filepath.Join(dir, "api.pinball")
+	if err := sess.Pinball.Save(pbPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drdebug.LoadPinball(pbPath); err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := drdebug.LoadSession(prog, pbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Slice + slice file.
+	sl, err := sess2.SliceAtFailure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slPath := filepath.Join(dir, "api.slice")
+	if err := sess2.SaveSlice(sl, slPath); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := drdebug.LoadSliceFile(slPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := sf.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "api.c") {
+		t.Error("slice text missing source references")
+	}
+
+	// Execution slice + stepping.
+	st, err := sess2.NewStepper(sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops := 0
+	for {
+		p, err := st.NextStatement()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == nil {
+			break
+		}
+		stops++
+	}
+	if stops == 0 {
+		t.Error("stepper made no stops")
+	}
+}
+
+func TestCompileFileAndAssemble(t *testing.T) {
+	dir := t.TempDir()
+	cPath := filepath.Join(dir, "p.c")
+	if err := writeFile(cPath, "int main() { write(7); return 0; }"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drdebug.CompileFile(cPath); err != nil {
+		t.Fatalf("CompileFile .c: %v", err)
+	}
+	sPath := filepath.Join(dir, "p.s")
+	if err := writeFile(sPath, ".func main\n halt\n.endfunc\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drdebug.CompileFile(sPath); err != nil {
+		t.Fatalf("CompileFile .s: %v", err)
+	}
+	if _, err := drdebug.CompileFile(filepath.Join(dir, "missing.c")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := drdebug.Assemble("a.s", ".func main\n nop\n halt\n.endfunc\n"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadRegistryAPI(t *testing.T) {
+	if len(drdebug.Workloads()) != 16 {
+		t.Errorf("Workloads() = %d, want 16", len(drdebug.Workloads()))
+	}
+	w, err := drdebug.WorkloadByName("mgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Program(); err != nil {
+		t.Fatal(err)
+	}
+	if in := w.Input(0, 100); len(in) != 2 || in[0] != 4 {
+		t.Errorf("default input = %v", in)
+	}
+}
+
+func TestDefaultSliceOptions(t *testing.T) {
+	o := drdebug.DefaultSliceOptions()
+	if !o.PruneSaveRestore || !o.ControlDeps || o.MaxSave != 10 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,121 @@
+package drdebug_test
+
+import (
+	"fmt"
+	"log"
+
+	drdebug "repro"
+)
+
+// The cyclic-debugging loop: compile, capture a failing run into a
+// pinball, replay it deterministically, and slice the failure.
+func Example() {
+	prog, err := drdebug.Compile("ex.c", `
+int a;
+int b;
+int main() {
+	a = 2;
+	b = a * 3;
+	assert(b == 7);
+	return 0;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := drdebug.RecordFailure(prog, drdebug.LogConfig{Seed: 1}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two replays observe the identical failure.
+	for i := 0; i < 2; i++ {
+		m, _ := drdebug.Replay(prog, sess.Pinball)
+		fmt.Println("replay stopped:", m.Stopped())
+	}
+	sl, err := sess.SliceAtFailure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slice: %d of %d instructions\n", sl.Stats.Members, sl.Stats.TraceLen)
+	// Output:
+	// replay stopped: failure
+	// replay stopped: failure
+	// slice: 14 of 16 instructions
+}
+
+// Execution slices (paper §4): relog the region keeping only the slice,
+// then step statement-to-statement with live state.
+func ExampleSession_NewStepper() {
+	prog, err := drdebug.Compile("ex.c", `
+int x;
+int y;
+int noise;
+int main() {
+	int i;
+	x = 7;
+	for (i = 0; i < 50; i++) { noise = noise + i; }
+	y = x + 1;
+	assert(y == 0);
+	return 0;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := drdebug.RecordFailure(prog, drdebug.LogConfig{Seed: 1}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sl, err := sess.SliceAtFailure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := sess.NewStepper(sl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		p, err := st.NextStatement()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p == nil {
+			break
+		}
+		// Stops land on the first instruction of each statement, before
+		// its store executes.
+		x, _ := st.ReadVar("x")
+		y, _ := st.ReadVar("y")
+		fmt.Printf("%s  x=%d y=%d\n", p.Src, x, y)
+	}
+	// Output:
+	// ex.c:7  x=0 y=0
+	// ex.c:9  x=7 y=0
+	// ex.c:10  x=7 y=8
+}
+
+// Happens-before race detection over a recorded region.
+func ExampleSession_DetectRaces() {
+	prog, err := drdebug.Compile("ex.c", `
+int n;
+int w2(int u) { n = n + 1; return 0; }
+int main() {
+	int t = spawn(w2, 0);
+	n = n + 1;
+	join(t);
+	write(n);
+	return 0;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := drdebug.RecordRegion(prog, drdebug.LogConfig{Seed: 2, MeanQuantum: 3}, drdebug.RegionSpec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sess.DetectRaces()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("races detected:", len(rep.Races) > 0)
+	// Output:
+	// races detected: true
+}

@@ -1,0 +1,84 @@
+// Maple: expose a hard-to-reproduce order violation with the Maple
+// workflow (profiling + active scheduling), then hand the recorded
+// pinball to the interactive debugger — the paper's Maple/DrDebug
+// integration, scripted.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	drdebug "repro"
+)
+
+// The initialisation race: the worker's warm-up loop makes the racy read
+// essentially unreachable under plain schedules, so only an active
+// scheduler (or extreme luck) exposes it.
+const src = `
+int config;
+int result;
+int worker(int u) {
+	int i;
+	int w = 0;
+	for (i = 0; i < 4000; i++) { w = w + i; }
+	result = config * 2;
+	assert(result == 84);
+	return 0;
+}
+int main() {
+	int t = spawn(worker, 0);
+	config = 42;
+	join(t);
+	write(result);
+	return 0;
+}`
+
+func main() {
+	prog, err := drdebug.Compile("init.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plain runs pass: demonstrate with a handful of seeds.
+	passes := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		if _, err := drdebug.RecordFailure(prog, drdebug.LogConfig{Seed: seed}, 0); err != nil {
+			passes++
+		}
+	}
+	fmt.Printf("%d/5 plain schedules pass — the bug hides\n", passes)
+
+	// Maple: profile, predict the flipped ordering, force it.
+	res, err := drdebug.FindBug(prog, drdebug.LogConfig{Seed: 1, MeanQuantum: 500}, drdebug.MapleOptions{ProfileRuns: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Exposed {
+		log.Fatal("maple did not expose the bug")
+	}
+	fmt.Printf("maple exposed the bug (predicted %d interleavings, %d attempts): %v\n",
+		res.RootsPredicted, res.Attempts, res.Pinball.Failure)
+
+	// Drive the recorded pinball through the interactive debugger, the
+	// way a user would.
+	d := drdebug.NewDebugger(prog, drdebug.LogConfig{Seed: 1})
+	d.UseSession(drdebug.Open(prog, res.Pinball))
+	script := []string{
+		"break worker",
+		"continue",
+		"print config",
+		"continue",
+		"slice",
+		"where",
+	}
+	var out strings.Builder
+	for _, cmd := range script {
+		out.Reset()
+		if err := d.Execute(cmd, &out); err != nil {
+			fmt.Printf("(drdebug) %s\nerror: %v\n", cmd, err)
+			continue
+		}
+		fmt.Printf("(drdebug) %s\n%s", cmd, out.String())
+	}
+}

@@ -1,0 +1,92 @@
+// Quickstart: the full DrDebug loop on a small multi-threaded program —
+// compile, capture a failing run into a pinball, replay it
+// deterministically, and compute the dynamic slice of the failure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	drdebug "repro"
+)
+
+// A bank-account race: two threads do read-modify-write deposits without
+// holding the lock for the whole update.
+const src = `
+int balance;
+int mtx;
+int deposit(int amount) {
+	lock(&mtx);
+	int cur = balance;
+	unlock(&mtx);
+	yield();
+	lock(&mtx);
+	balance = cur + amount;   // lost update: stale cur
+	unlock(&mtx);
+	return balance;
+}
+int teller(int amount) {
+	int i;
+	for (i = 0; i < 10; i++) { deposit(amount); }
+	return 0;
+}
+int main() {
+	int t1 = spawn(teller, 5);
+	int t2 = spawn(teller, 7);
+	join(t1);
+	join(t2);
+	assert(balance == 120);
+	return 0;
+}`
+
+func main() {
+	prog, err := drdebug.Compile("bank.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Expose and record: search schedules until the assert fires, and
+	// capture that execution into a pinball.
+	var sess *drdebug.Session
+	for seed := int64(1); seed < 100; seed++ {
+		sess, err = drdebug.RecordFailure(prog, drdebug.LogConfig{Seed: seed, MeanQuantum: 10}, 0)
+		if err == nil {
+			fmt.Printf("seed %d exposed the bug: %v\n", seed, sess.Pinball.Failure)
+			break
+		}
+	}
+	if sess == nil {
+		log.Fatal("no schedule exposed the bug")
+	}
+	fmt.Printf("pinball: %d instructions across %d schedule quanta\n",
+		sess.Pinball.RegionInstrs, len(sess.Pinball.Quanta))
+
+	// 2. Cyclic debugging: every replay reproduces the identical run.
+	for i := 1; i <= 3; i++ {
+		m, err := sess.Replay(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replay %d: stop=%v balance-cell failure at pc %d\n", i, m.Stopped(), m.Failure().PC)
+	}
+
+	// 3. Dynamic slice of the failing assert: the statements that
+	// actually produced the bad balance.
+	sl, err := sess.SliceAtFailure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure slice: %d of %d dynamic instructions\n", sl.Stats.Members, sl.Stats.TraceLen)
+	tr, err := sess.Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, m := range sl.Members {
+		src := prog.SourceOf(tr.Entry(m).PC)
+		if !seen[src] {
+			seen[src] = true
+			fmt.Println("  in slice:", src)
+		}
+	}
+}

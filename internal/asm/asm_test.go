@@ -1,0 +1,259 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func TestAssembleAndRun(t *testing.T) {
+	src := `
+; compute 6*7 and print it
+.global answer 1
+.func main
+	movi r1, 6
+	movi r2, 7
+	mul r3, r1, r2
+	store [rz+$answer], r3
+	load r4, [rz+$answer]
+	syscall r0, 2, r4        ; write
+	halt
+.endfunc
+`
+	prog, err := Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := vm.New(prog, vm.Config{MaxSteps: 1000})
+	m.Run()
+	if out := m.Output(); len(out) != 1 || out[0] != 42 {
+		t.Fatalf("output = %v, want [42]", out)
+	}
+}
+
+func TestAssembleBranchesAndLabels(t *testing.T) {
+	src := `
+.func main
+	movi r1, 5
+	movi r2, 0
+loop:
+	add r2, r2, r1
+	addi r1, r1, -1
+	br r1, loop
+	syscall r0, 2, r2
+	halt
+.endfunc
+`
+	prog, err := Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := vm.New(prog, vm.Config{MaxSteps: 1000})
+	m.Run()
+	if out := m.Output(); len(out) != 1 || out[0] != 15 {
+		t.Fatalf("output = %v, want [15]", out)
+	}
+}
+
+func TestAssembleJumpTable(t *testing.T) {
+	src := `
+.table tab case0 case1
+.func main
+	movi r1, 1
+	movi r2, $tab
+	add r2, r2, r1
+	load r2, [r2+0]
+	jmpi r2
+case0:
+	movi r3, 100
+	jmp done
+case1:
+	movi r3, 200
+done:
+	syscall r0, 2, r3
+	halt
+.endfunc
+`
+	prog, err := Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if len(prog.JumpTables) != 1 || len(prog.JumpTables[0].Targets) != 2 {
+		t.Fatalf("jump tables = %+v", prog.JumpTables)
+	}
+	m := vm.New(prog, vm.Config{MaxSteps: 1000})
+	m.Run()
+	if out := m.Output(); len(out) != 1 || out[0] != 200 {
+		t.Fatalf("output = %v, want [200]", out)
+	}
+}
+
+func TestAssembleCallsAndFuncAddr(t *testing.T) {
+	src := `
+.func double
+	add r0, r1, r1
+	ret
+.endfunc
+.func main
+	movi r1, 21
+	call double
+	syscall r0, 2, r0
+	movi r6, @double
+	movi r1, 10
+	calli r6
+	syscall r0, 2, r0
+	halt
+.endfunc
+`
+	prog, err := Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := vm.New(prog, vm.Config{MaxSteps: 1000})
+	m.Run()
+	out := m.Output()
+	if len(out) != 2 || out[0] != 42 || out[1] != 20 {
+		t.Fatalf("output = %v, want [42 20]", out)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no main", ".func f\n nop\n.endfunc\n", "no main"},
+		{"unbound label", ".func main\n jmp nowhere\n halt\n.endfunc\n", "unbound label"},
+		{"bad reg", ".func main\n mov r99, r1\n.endfunc\n", "bad register"},
+		{"unknown op", ".func main\n frob r1\n.endfunc\n", "unknown instruction"},
+		{"unknown sym", ".func main\n movi r1, $nope\n halt\n.endfunc\n", "unknown symbol"},
+		{"undefined call", ".func main\n call nope\n halt\n.endfunc\n", "undefined function"},
+		{"dup global", ".global a 1\n.global a 1\n.func main\n halt\n.endfunc\n", "duplicate global"},
+		{"operand count", ".func main\n add r1, r2\n.endfunc\n", "wants 3 operands"},
+		{"open func", ".func main\n halt\n", "left open"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("e.s", tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestGlobalInitialisers(t *testing.T) {
+	prog, err := Assemble("t.s", `
+.global vec 3 10 20 30
+.func main
+	load r1, [rz+$vec]
+	syscall r0, 2, r1
+	halt
+.endfunc
+`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if prog.GlobalWords != 3 {
+		t.Errorf("GlobalWords = %d, want 3", prog.GlobalWords)
+	}
+	m := vm.New(prog, vm.Config{MaxSteps: 100})
+	m.Run()
+	if out := m.Output(); len(out) != 1 || out[0] != 10 {
+		t.Fatalf("output = %v, want [10]", out)
+	}
+}
+
+func TestBuilderLineInfo(t *testing.T) {
+	b := NewBuilder("p")
+	f := b.File("x.c")
+	b.BeginFunc("main")
+	b.SetPos(f, 42)
+	b.MovImm(isa.R1, 1)
+	b.Emit(isa.Instr{Op: isa.HALT})
+	b.EndFunc()
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.SourceOf(0); got != "x.c:42" {
+		t.Errorf("SourceOf = %q, want x.c:42", got)
+	}
+}
+
+func TestBuilderDetectsEmptyFunc(t *testing.T) {
+	b := NewBuilder("p")
+	b.BeginFunc("main")
+	b.EndFunc()
+	if _, err := b.Finish(); err == nil {
+		t.Error("empty function accepted")
+	}
+}
+
+func TestAssemblerLineNumbersMatchSource(t *testing.T) {
+	src := ".func main\n\tnop\n\thalt\n.endfunc\n"
+	prog, err := Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Code[0].Line != 2 || prog.Code[1].Line != 3 {
+		t.Errorf("lines = %d,%d, want 2,3", prog.Code[0].Line, prog.Code[1].Line)
+	}
+}
+
+func TestAssembleCondVars(t *testing.T) {
+	// Producer signals; consumer waits. In assembly the wait/lock pair is
+	// explicit (the compiler emits both from one wait() builtin).
+	src := `
+.global mtx 1
+.global cv 1
+.global ready 1
+.global out 1
+.func waiter
+	movi r2, $mtx
+	movi r3, $cv
+	lock r2
+loop:
+	load r4, [rz+$ready]
+	br r4, done
+	wait r3, r2
+	lock r2
+	jmp loop
+done:
+	movi r5, 77
+	store [rz+$out], r5
+	unlock r2
+	ret
+.endfunc
+.func main
+	movi r1, 0
+	spawn r6, waiter, r1
+	movi r2, $mtx
+	movi r3, $cv
+	lock r2
+	movi r4, 1
+	store [rz+$ready], r4
+	signal r3
+	unlock r2
+	join r6
+	load r4, [rz+$out]
+	syscall r0, 2, r4
+	halt
+.endfunc
+`
+	prog, err := Assemble("cv.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		m := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(seed, 5), MaxSteps: 100000})
+		if got := m.Run(); got != vm.StopHalt {
+			t.Fatalf("seed %d: stop = %v (%v)", seed, got, m.Failure())
+		}
+		if out := m.Output(); len(out) != 1 || out[0] != 77 {
+			t.Fatalf("seed %d: output = %v", seed, out)
+		}
+	}
+}

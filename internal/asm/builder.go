@@ -1,0 +1,277 @@
+// Package asm turns symbolic assembly — either a programmatic Builder used
+// by the mini-C compiler or a textual two-pass assembler used in tests and
+// examples — into executable isa.Programs.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// LabelID identifies a code label created by Builder.NewLabel.
+type LabelID int
+
+// Builder assembles a program incrementally: emit instructions, bind
+// labels, declare globals and jump tables, then call Finish to resolve
+// references and produce an immutable isa.Program.
+type Builder struct {
+	name    string
+	code    []isa.Instr
+	funcs   []isa.Func
+	curFunc int // index into funcs, -1 when outside a function
+
+	labels  []int64 // label -> pc, -1 while unbound
+	patches []patch
+
+	files   []string
+	curFile int32
+	curLine int32
+
+	globals  int64
+	data     []isa.DataInit
+	symbols  []isa.Symbol
+	tables   []pendingTable
+	entrySet bool
+	entryPC  int64
+
+	calls []callPatch
+	errs  []error
+}
+
+type patch struct {
+	pc    int64
+	label LabelID
+}
+
+type callPatch struct {
+	pc   int64
+	name string
+}
+
+type pendingTable struct {
+	base   int64
+	labels []LabelID
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, curFunc: -1}
+}
+
+// File interns a source file name and returns its index for SetPos.
+func (b *Builder) File(name string) int32 {
+	for i, f := range b.files {
+		if f == name {
+			return int32(i)
+		}
+	}
+	b.files = append(b.files, name)
+	return int32(len(b.files) - 1)
+}
+
+// SetPos sets the source position attached to subsequently emitted
+// instructions.
+func (b *Builder) SetPos(file int32, line int32) {
+	b.curFile = file
+	b.curLine = line
+}
+
+// PC returns the address the next instruction will be emitted at.
+func (b *Builder) PC() int64 { return int64(len(b.code)) }
+
+// BeginFunc starts a new function at the current pc. Functions must not
+// nest.
+func (b *Builder) BeginFunc(name string) {
+	if b.curFunc >= 0 {
+		b.errs = append(b.errs, fmt.Errorf("asm: BeginFunc %q inside open function %q", name, b.funcs[b.curFunc].Name))
+		return
+	}
+	b.funcs = append(b.funcs, isa.Func{Name: name, Entry: b.PC()})
+	b.curFunc = len(b.funcs) - 1
+	if name == "main" && !b.entrySet {
+		b.entryPC = b.PC()
+		b.entrySet = true
+	}
+}
+
+// EndFunc closes the currently open function.
+func (b *Builder) EndFunc() {
+	if b.curFunc < 0 {
+		b.errs = append(b.errs, fmt.Errorf("asm: EndFunc with no open function"))
+		return
+	}
+	b.funcs[b.curFunc].End = b.PC()
+	if b.funcs[b.curFunc].End == b.funcs[b.curFunc].Entry {
+		b.errs = append(b.errs, fmt.Errorf("asm: function %q is empty", b.funcs[b.curFunc].Name))
+	}
+	b.curFunc = -1
+}
+
+// NewLabel creates a fresh, unbound label.
+func (b *Builder) NewLabel() LabelID {
+	b.labels = append(b.labels, -1)
+	return LabelID(len(b.labels) - 1)
+}
+
+// Bind binds the label to the current pc. A label may be bound once.
+func (b *Builder) Bind(l LabelID) {
+	if b.labels[l] != -1 {
+		b.errs = append(b.errs, fmt.Errorf("asm: label %d bound twice", l))
+		return
+	}
+	b.labels[l] = b.PC()
+}
+
+// Emit appends a raw instruction and returns its pc.
+func (b *Builder) Emit(in isa.Instr) int64 {
+	in.File = b.curFile
+	in.Line = b.curLine
+	b.code = append(b.code, in)
+	return int64(len(b.code) - 1)
+}
+
+// Op emits a three-register ALU or comparison instruction.
+func (b *Builder) Op(op isa.Op, rd, rs1, rs2 isa.Reg) int64 {
+	return b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// MovImm emits rd <- imm.
+func (b *Builder) MovImm(rd isa.Reg, imm int64) int64 {
+	return b.Emit(isa.Instr{Op: isa.MOVI, Rd: rd, Imm: imm})
+}
+
+// Mov emits rd <- rs.
+func (b *Builder) Mov(rd, rs isa.Reg) int64 {
+	return b.Emit(isa.Instr{Op: isa.MOV, Rd: rd, Rs1: rs})
+}
+
+// Load emits rd <- mem[base+off].
+func (b *Builder) Load(rd, base isa.Reg, off int64) int64 {
+	return b.Emit(isa.Instr{Op: isa.LOAD, Rd: rd, Rs1: base, Imm: off})
+}
+
+// Store emits mem[base+off] <- rs.
+func (b *Builder) Store(base isa.Reg, off int64, rs isa.Reg) int64 {
+	return b.Emit(isa.Instr{Op: isa.STORE, Rs1: base, Imm: off, Rs2: rs})
+}
+
+// Branch emits a conditional branch (BR or BRZ) on rs to label l.
+func (b *Builder) Branch(op isa.Op, rs isa.Reg, l LabelID) int64 {
+	pc := b.Emit(isa.Instr{Op: op, Rs1: rs})
+	b.patches = append(b.patches, patch{pc, l})
+	return pc
+}
+
+// Jump emits an unconditional jump to label l.
+func (b *Builder) Jump(l LabelID) int64 {
+	pc := b.Emit(isa.Instr{Op: isa.JMP})
+	b.patches = append(b.patches, patch{pc, l})
+	return pc
+}
+
+// Call emits a direct call to the named function, resolved at Finish.
+func (b *Builder) Call(name string) int64 {
+	pc := b.Emit(isa.Instr{Op: isa.CALL})
+	b.calls = append(b.calls, callPatch{pc, name})
+	return pc
+}
+
+// Spawn emits rd <- spawn(name, arg), resolved at Finish.
+func (b *Builder) Spawn(rd isa.Reg, name string, arg isa.Reg) int64 {
+	pc := b.Emit(isa.Instr{Op: isa.SPAWN, Rd: rd, Rs1: arg})
+	b.calls = append(b.calls, callPatch{pc, name})
+	return pc
+}
+
+// FuncAddr emits rd <- entry pc of the named function (for indirect
+// calls), resolved at Finish.
+func (b *Builder) FuncAddr(rd isa.Reg, name string) int64 {
+	pc := b.Emit(isa.Instr{Op: isa.MOVI, Rd: rd})
+	b.calls = append(b.calls, callPatch{pc, name})
+	return pc
+}
+
+// Global allocates size words of global storage under the given symbol
+// name and returns the base address.
+func (b *Builder) Global(name string, size int64) int64 {
+	addr := b.globals
+	b.globals += size
+	b.symbols = append(b.symbols, isa.Symbol{Name: name, Addr: addr, Size: size})
+	return addr
+}
+
+// InitWord records an initial value for a global word.
+func (b *Builder) InitWord(addr, val int64) {
+	b.data = append(b.data, isa.DataInit{Addr: addr, Val: val})
+}
+
+// JumpTable allocates a global jump table whose entries are the pcs of the
+// given labels (resolved at Finish) and returns its base address.
+func (b *Builder) JumpTable(labels []LabelID) int64 {
+	base := b.globals
+	b.globals += int64(len(labels))
+	b.tables = append(b.tables, pendingTable{base, append([]LabelID(nil), labels...)})
+	return base
+}
+
+// Finish resolves labels, calls and jump tables, validates the program and
+// returns it.
+func (b *Builder) Finish() (*isa.Program, error) {
+	if b.curFunc >= 0 {
+		b.errs = append(b.errs, fmt.Errorf("asm: function %q left open", b.funcs[b.curFunc].Name))
+	}
+	if !b.entrySet {
+		b.errs = append(b.errs, fmt.Errorf("asm: no main function"))
+	}
+	for _, p := range b.patches {
+		pc := b.labels[p.label]
+		if pc < 0 {
+			b.errs = append(b.errs, fmt.Errorf("asm: unbound label %d referenced at pc %d", p.label, p.pc))
+			continue
+		}
+		b.code[p.pc].Imm = pc
+	}
+	funcEntry := map[string]int64{}
+	for _, f := range b.funcs {
+		funcEntry[f.Name] = f.Entry
+	}
+	for _, c := range b.calls {
+		entry, ok := funcEntry[c.name]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("asm: call to undefined function %q at pc %d", c.name, c.pc))
+			continue
+		}
+		b.code[c.pc].Imm = entry
+	}
+	prog := &isa.Program{
+		Name:        b.name,
+		Code:        b.code,
+		Funcs:       b.funcs,
+		EntryPC:     b.entryPC,
+		GlobalWords: b.globals,
+		Data:        b.data,
+		Symbols:     b.symbols,
+		Files:       b.files,
+	}
+	for _, t := range b.tables {
+		jt := isa.JumpTable{Base: t.base}
+		for i, l := range t.labels {
+			pc := b.labels[l]
+			if pc < 0 {
+				b.errs = append(b.errs, fmt.Errorf("asm: jump table entry %d uses unbound label", i))
+				pc = 0
+			}
+			jt.Targets = append(jt.Targets, pc)
+			prog.Data = append(prog.Data, isa.DataInit{Addr: t.base + int64(i), Val: pc})
+		}
+		prog.JumpTables = append(prog.JumpTables, jt)
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}

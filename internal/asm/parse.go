@@ -1,0 +1,392 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble parses textual assembly into a program. name is used both as
+// the program name and as the source file recorded in line tables; the
+// physical line numbers of the assembly text become the debug line
+// numbers.
+//
+// Syntax summary (one statement per line, ';' starts a comment):
+//
+//	.global name size [init ...]   declare a global of size words
+//	.table name label ...          declare a jump table of code labels
+//	.func name                     begin function
+//	.endfunc                       end function
+//	label:                         bind a code label
+//	op operands                    instruction, e.g. "add r1, r2, r3"
+//
+// Operands: registers (r0..r15, sp, fp, rz), integer immediates, $sym for
+// the address of a global, @func for a function entry pc, and bare label
+// or function names for branch/call targets. Memory operands are written
+// [reg+off] or [reg-off].
+func Assemble(name, src string) (*isa.Program, error) {
+	b := NewBuilder(name)
+	file := b.File(name)
+	lines := strings.Split(src, "\n")
+
+	syms := map[string]int64{} // $name -> address
+	labels := map[string]LabelID{}
+	label := func(n string) LabelID {
+		l, ok := labels[n]
+		if !ok {
+			l = b.NewLabel()
+			labels[n] = l
+		}
+		return l
+	}
+
+	// Pass A: allocate globals and jump tables so that $sym operands can
+	// be resolved while emitting code.
+	for ln, raw := range lines {
+		f := fields(raw)
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case ".global":
+			if len(f) < 3 {
+				return nil, fmt.Errorf("%s:%d: .global needs name and size", name, ln+1)
+			}
+			size, err := strconv.ParseInt(f[2], 10, 64)
+			if err != nil || size <= 0 {
+				return nil, fmt.Errorf("%s:%d: bad global size %q", name, ln+1, f[2])
+			}
+			if _, dup := syms[f[1]]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate global %q", name, ln+1, f[1])
+			}
+			addr := b.Global(f[1], size)
+			syms[f[1]] = addr
+			for i, iv := range f[3:] {
+				v, err := strconv.ParseInt(iv, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad init %q", name, ln+1, iv)
+				}
+				if int64(i) >= size {
+					return nil, fmt.Errorf("%s:%d: more inits than size", name, ln+1)
+				}
+				b.InitWord(addr+int64(i), v)
+			}
+		case ".table":
+			if len(f) < 3 {
+				return nil, fmt.Errorf("%s:%d: .table needs name and labels", name, ln+1)
+			}
+			var ls []LabelID
+			for _, t := range f[2:] {
+				ls = append(ls, label(t))
+			}
+			if _, dup := syms[f[1]]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate table %q", name, ln+1, f[1])
+			}
+			syms[f[1]] = b.JumpTable(ls)
+		}
+	}
+
+	// Pass B: emit code.
+	for ln, raw := range lines {
+		f := fields(raw)
+		if len(f) == 0 {
+			continue
+		}
+		b.SetPos(file, int32(ln+1))
+		switch {
+		case f[0] == ".global" || f[0] == ".table":
+			// handled in pass A
+		case f[0] == ".func":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("%s:%d: .func needs a name", name, ln+1)
+			}
+			b.BeginFunc(f[1])
+		case f[0] == ".endfunc":
+			b.EndFunc()
+		case strings.HasSuffix(f[0], ":"):
+			b.Bind(label(strings.TrimSuffix(f[0], ":")))
+			if len(f) > 1 {
+				if err := emit(b, f[1:], syms, label); err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", name, ln+1, err)
+				}
+			}
+		default:
+			if err := emit(b, f, syms, label); err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, ln+1, err)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// fields tokenizes an assembly line: strips comments, splits on spaces and
+// commas, keeps [reg+off] memory operands as single tokens.
+func fields(line string) []string {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.ReplaceAll(line, ",", " ")
+	return strings.Fields(line)
+}
+
+var opByName = map[string]isa.Op{
+	"nop": isa.NOP, "movi": isa.MOVI, "mov": isa.MOV,
+	"load": isa.LOAD, "store": isa.STORE, "push": isa.PUSH, "pop": isa.POP,
+	"add": isa.ADD, "sub": isa.SUB, "mul": isa.MUL, "div": isa.DIV,
+	"mod": isa.MOD, "and": isa.AND, "or": isa.OR, "xor": isa.XOR,
+	"shl": isa.SHL, "shr": isa.SHR, "addi": isa.ADDI, "muli": isa.MULI,
+	"cmpeq": isa.CMPEQ, "cmpne": isa.CMPNE, "cmplt": isa.CMPLT, "cmple": isa.CMPLE,
+	"br": isa.BR, "brz": isa.BRZ, "jmp": isa.JMP, "jmpi": isa.JMPI,
+	"call": isa.CALL, "calli": isa.CALLI, "ret": isa.RET,
+	"spawn": isa.SPAWN, "join": isa.JOIN, "lock": isa.LOCK, "unlock": isa.UNLOCK,
+	"wait": isa.WAIT, "signal": isa.SIGNAL,
+	"syscall": isa.SYSCALL, "assert": isa.ASSERT, "halt": isa.HALT,
+}
+
+var regByName = map[string]isa.Reg{
+	"sp": isa.SP, "fp": isa.FP, "rz": isa.RZ,
+}
+
+func init() {
+	for r := isa.R0; r <= isa.R15; r++ {
+		regByName[fmt.Sprintf("r%d", int(r))] = r
+	}
+}
+
+func parseReg(tok string) (isa.Reg, error) {
+	if r, ok := regByName[tok]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("bad register %q", tok)
+}
+
+// parseImm resolves an immediate operand: integer literal or $sym.
+func parseImm(tok string, syms map[string]int64) (int64, error) {
+	if strings.HasPrefix(tok, "$") {
+		a, ok := syms[tok[1:]]
+		if !ok {
+			return 0, fmt.Errorf("unknown symbol %q", tok)
+		}
+		return a, nil
+	}
+	return strconv.ParseInt(tok, 10, 64)
+}
+
+// parseMem parses a [reg+off] or [reg-off] operand.
+func parseMem(tok string, syms map[string]int64) (isa.Reg, int64, error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := parseImm(strings.TrimPrefix(inner[sep:], "+"), syms)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, off, nil
+}
+
+func emit(b *Builder, f []string, syms map[string]int64, label func(string) LabelID) error {
+	op, ok := opByName[f[0]]
+	if !ok {
+		return fmt.Errorf("unknown instruction %q", f[0])
+	}
+	argc := len(f) - 1
+	need := func(n int) error {
+		if argc != n {
+			return fmt.Errorf("%s wants %d operands, got %d", f[0], n, argc)
+		}
+		return nil
+	}
+	switch op {
+	case isa.NOP, isa.RET, isa.HALT:
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Emit(isa.Instr{Op: op})
+	case isa.MOVI:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(f[2], "@") {
+			b.FuncAddr(rd, f[2][1:])
+			return nil
+		}
+		imm, err := parseImm(f[2], syms)
+		if err != nil {
+			return err
+		}
+		b.MovImm(rd, imm)
+	case isa.MOV:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(f[2])
+		if err != nil {
+			return err
+		}
+		b.Mov(rd, rs)
+	case isa.LOAD:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		base, off, err := parseMem(f[2], syms)
+		if err != nil {
+			return err
+		}
+		b.Load(rd, base, off)
+	case isa.STORE:
+		if err := need(2); err != nil {
+			return err
+		}
+		base, off, err := parseMem(f[1], syms)
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(f[2])
+		if err != nil {
+			return err
+		}
+		b.Store(base, off, rs)
+	case isa.PUSH, isa.JOIN, isa.LOCK, isa.UNLOCK, isa.ASSERT, isa.JMPI, isa.CALLI, isa.SIGNAL:
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Instr{Op: op, Rs1: rs})
+	case isa.POP:
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Instr{Op: op, Rd: rd})
+	case isa.WAIT:
+		if err := need(2); err != nil {
+			return err
+		}
+		cv, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		mx, err := parseReg(f[2])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Instr{Op: isa.WAIT, Rs1: cv, Rs2: mx})
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(f[2])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(f[3])
+		if err != nil {
+			return err
+		}
+		b.Op(op, rd, rs1, rs2)
+	case isa.ADDI, isa.MULI:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(f[2])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(f[3], syms)
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+	case isa.BR, isa.BRZ:
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		b.Branch(op, rs, label(f[2]))
+	case isa.JMP:
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Jump(label(f[1]))
+	case isa.CALL:
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Call(f[1])
+	case isa.SPAWN:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		arg, err := parseReg(f[3])
+		if err != nil {
+			return err
+		}
+		b.Spawn(rd, f[2], arg)
+	case isa.SYSCALL:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return err
+		}
+		num, err := parseImm(f[2], syms)
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(f[3])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs, Imm: num})
+	default:
+		return fmt.Errorf("unhandled op %v", op)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package bench_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// tinyConfig keeps the experiment harness fast enough for unit tests.
+func tinyConfig(out *bytes.Buffer) bench.Config {
+	cfg := bench.DefaultConfig(out)
+	cfg.SweepLengths = []int64{2_000, 5_000}
+	cfg.RegionLen = 5_000
+	cfg.RegionLenLarge = 20_000
+	cfg.Slices = 3
+	return cfg
+}
+
+func TestTable1(t *testing.T) {
+	var out bytes.Buffer
+	rows, err := bench.Table1(tinyConfig(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Exposed {
+			t.Errorf("%s not exposed", r.Program)
+		}
+	}
+	for _, want := range []string{"pbzip2", "aget", "mozilla", "exposed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestTables2And3(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyConfig(&out)
+	t2, err := bench.Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := bench.Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2) != 3 || len(t3) != 3 {
+		t.Fatalf("row counts: %d, %d", len(t2), len(t3))
+	}
+	for i := range t2 {
+		if t2[i].ExecutedInstrs <= 0 || t3[i].ExecutedInstrs <= 0 {
+			t.Errorf("%s: empty regions", t2[i].Program)
+		}
+		// The buggy region must not be larger than the whole execution.
+		if t2[i].ExecutedInstrs > t3[i].ExecutedInstrs {
+			t.Errorf("%s: buggy region (%d) larger than whole run (%d)",
+				t2[i].Program, t2[i].ExecutedInstrs, t3[i].ExecutedInstrs)
+		}
+		// Slice pinballs are strictly smaller than their regions — the
+		// paper's central claim for both tables.
+		if t2[i].SliceInstrs >= t2[i].ExecutedInstrs {
+			t.Errorf("%s: slice pinball not smaller (table 2)", t2[i].Program)
+		}
+		if t3[i].SliceInstrs >= t3[i].ExecutedInstrs {
+			t.Errorf("%s: slice pinball not smaller (table 3)", t3[i].Program)
+		}
+		if t2[i].SpaceBytes <= 0 {
+			t.Errorf("%s: no pinball size", t2[i].Program)
+		}
+	}
+}
+
+func TestFigures11And12(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyConfig(&out)
+	s11, err := bench.Figure11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s11) != 8 {
+		t.Fatalf("fig11: %d series, want 8", len(s11))
+	}
+	for _, s := range s11 {
+		if len(s.Points) != len(cfg.SweepLengths) {
+			t.Fatalf("%s: %d points", s.Workload, len(s.Points))
+		}
+		for i, p := range s.Points {
+			if p.Length < cfg.SweepLengths[i] {
+				t.Errorf("%s point %d: main length %d < requested %d", s.Workload, i, p.Length, cfg.SweepLengths[i])
+			}
+			// The paper: total instructions are a small multiple of the
+			// main-thread length (3-4x for 4 threads).
+			if p.AllThreads < p.Length || p.AllThreads > 8*p.Length {
+				t.Errorf("%s point %d: all-threads %d vs main %d out of shape", s.Workload, i, p.AllThreads, p.Length)
+			}
+			if p.SpaceBytes <= 0 {
+				t.Errorf("%s point %d: no pinball size", s.Workload, i)
+			}
+		}
+	}
+	s12, err := bench.Figure12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s12) != 8 {
+		t.Fatalf("fig12: %d series", len(s12))
+	}
+}
+
+func TestFigure13ReductionPositive(t *testing.T) {
+	var out bytes.Buffer
+	rows, err := bench.Figure13(tinyConfig(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	var avg float64
+	for _, r := range rows {
+		if r.ReductionSmall < 0 || r.ReductionLarge < 0 {
+			t.Errorf("%s: negative reduction (pruning grew a slice)", r.Workload)
+		}
+		if r.PairsVerified == 0 {
+			t.Errorf("%s: no save/restore pairs verified", r.Workload)
+		}
+		avg += r.ReductionSmall
+	}
+	if avg/float64(len(rows)) <= 0 {
+		t.Error("average reduction not positive; save/restore pruning had no effect")
+	}
+}
+
+func TestFigure14ShapeMatchesPaper(t *testing.T) {
+	var out bytes.Buffer
+	rows, err := bench.Figure14(tinyConfig(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	var pct float64
+	for _, r := range rows {
+		if r.AvgSliceInstrs <= 0 || r.AvgSliceInstrs > r.RegionInstrs {
+			t.Errorf("%s: slice instrs %d out of range (region %d)", r.Workload, r.AvgSliceInstrs, r.RegionInstrs)
+		}
+		pct += r.PctInstrsKept
+	}
+	// The paper reports ~41%% of instructions kept on average; accept a
+	// broad band but require real reduction.
+	avg := pct / float64(len(rows))
+	if avg <= 0 || avg >= 100 {
+		t.Errorf("average %%instructions kept = %.1f, want in (0, 100)", avg)
+	}
+}
+
+func TestSlicingOverhead(t *testing.T) {
+	var out bytes.Buffer
+	rows, err := bench.SlicingOverhead(tinyConfig(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SlicesComputed == 0 || r.AvgSliceSize == 0 {
+			t.Errorf("%s: no slices computed", r.Workload)
+		}
+	}
+}
+
+func TestAblation(t *testing.T) {
+	var out bytes.Buffer
+	rows, err := bench.Ablation(tinyConfig(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		// Pruning shrinks (or keeps) slices at equal refinement settings.
+		if r.Full > r.NoPrune {
+			t.Errorf("%s: pruning grew refined slices: %.0f > %.0f", r.Workload, r.Full, r.NoPrune)
+		}
+		if r.NoRefine > r.Neither {
+			t.Errorf("%s: pruning grew approximate slices: %.0f > %.0f", r.Workload, r.NoRefine, r.Neither)
+		}
+		if r.Full <= 0 {
+			t.Errorf("%s: empty slices", r.Workload)
+		}
+	}
+}

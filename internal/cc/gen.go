@@ -1,0 +1,698 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Compile checks and compiles a parsed file into a program.
+func Compile(f *File) (*isa.Program, error) {
+	if err := Check(f); err != nil {
+		return nil, err
+	}
+	g := &gen{b: asm.NewBuilder(f.Name)}
+	g.fileIdx = g.b.File(f.Name)
+	for _, d := range f.Globals {
+		d.sym.addr = g.b.Global(d.Name, d.Size)
+		for i, v := range d.Init {
+			g.b.InitWord(d.sym.addr+int64(i), v)
+		}
+	}
+	for _, fn := range f.Funcs {
+		if err := g.genFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	return g.b.Finish()
+}
+
+// CompileSource parses, checks and compiles mini-C source text.
+func CompileSource(name, src string) (*isa.Program, error) {
+	f, err := Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(f)
+}
+
+// MustCompile is CompileSource that panics on error; for registering
+// static workloads.
+func MustCompile(name, src string) *isa.Program {
+	p, err := CompileSource(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// switch statements whose case-value span is at most this compile to a
+// jump table (an indirect jump); sparser switches become compare chains.
+const denseSwitchSpan = 256
+
+// Scratch registers used by expression evaluation. Temporaries that must
+// survive a sub-evaluation are pushed on the stack, which also gives the
+// save/restore detector realistic "push/pop not used for save/restore"
+// traffic to disambiguate.
+const (
+	acc = isa.R4 // primary accumulator
+	sec = isa.R5 // secondary operand
+	aux = isa.R6 // indirect-call target
+)
+
+type loopCtx struct {
+	breakL    asm.LabelID
+	continueL asm.LabelID
+	hasCont   bool
+}
+
+type gen struct {
+	b       *asm.Builder
+	fileIdx int32
+	fn      *FuncDecl
+	epi     asm.LabelID
+	loops   []loopCtx
+	err     error
+}
+
+func (g *gen) errf(line int32, format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+}
+
+func (g *gen) pos(line int32) { g.b.SetPos(g.fileIdx, line) }
+
+// genFunc emits one function: prologue (push fp, allocate frame, push
+// used callee-saved registers, home the arguments), body, single epilogue
+// (pop callee-saved, tear down frame, ret).
+func (g *gen) genFunc(fn *FuncDecl) error {
+	g.fn = fn
+	g.epi = g.b.NewLabel()
+	g.pos(fn.Line)
+	g.b.BeginFunc(fn.Name)
+
+	// Prologue.
+	g.b.Emit(isa.Instr{Op: isa.PUSH, Rs1: isa.FP})
+	g.b.Mov(isa.FP, isa.SP)
+	if n := frameWords(fn); n > 0 {
+		g.b.Emit(isa.Instr{Op: isa.ADDI, Rd: isa.SP, Rs1: isa.SP, Imm: -n})
+	}
+	saved := usedCalleeRegs(fn)
+	for _, r := range saved {
+		g.b.Emit(isa.Instr{Op: isa.PUSH, Rs1: r})
+	}
+	// Home the parameters.
+	for i, p := range fn.Params {
+		argReg := isa.Arg0 + isa.Reg(i)
+		switch p.sym.class {
+		case scReg:
+			g.b.Mov(p.sym.reg, argReg)
+		case scStack:
+			g.b.Store(isa.FP, -p.sym.off, argReg)
+		}
+	}
+
+	g.genBlock(fn.Body)
+
+	// Fall-off-the-end returns 0.
+	g.pos(fn.Line)
+	g.b.MovImm(isa.RetReg, 0)
+
+	// Epilogue.
+	g.b.Bind(g.epi)
+	for i := len(saved) - 1; i >= 0; i-- {
+		g.b.Emit(isa.Instr{Op: isa.POP, Rd: saved[i]})
+	}
+	g.b.Mov(isa.SP, isa.FP)
+	g.b.Emit(isa.Instr{Op: isa.POP, Rd: isa.FP})
+	g.b.Emit(isa.Instr{Op: isa.RET})
+	g.b.EndFunc()
+	g.fn = nil
+	return g.err
+}
+
+func (g *gen) genBlock(b *BlockStmt) {
+	for _, s := range b.Stmts {
+		g.genStmt(s)
+	}
+}
+
+func (g *gen) genStmt(s Stmt) {
+	if g.err != nil {
+		return
+	}
+	g.pos(s.stmtLine())
+	switch st := s.(type) {
+	case *BlockStmt:
+		g.genBlock(st)
+
+	case *DeclStmt:
+		for _, d := range st.Decls {
+			if d.InitX != nil {
+				g.genExpr(d.InitX)
+				g.pos(d.Line)
+				g.storeScalar(d.sym)
+			}
+		}
+
+	case *ExprStmt:
+		g.genExpr(st.X)
+
+	case *IfStmt:
+		elseL := g.b.NewLabel()
+		endL := g.b.NewLabel()
+		g.genExpr(st.Cond)
+		g.pos(st.Line)
+		g.b.Branch(isa.BRZ, acc, elseL)
+		g.genBlock(st.Then)
+		if st.Else != nil {
+			g.b.Jump(endL)
+			g.b.Bind(elseL)
+			g.genStmt(st.Else)
+			g.b.Bind(endL)
+		} else {
+			g.b.Bind(elseL)
+			g.b.Bind(endL)
+		}
+
+	case *WhileStmt:
+		condL := g.b.NewLabel()
+		endL := g.b.NewLabel()
+		g.b.Bind(condL)
+		g.genExpr(st.Cond)
+		g.pos(st.Line)
+		g.b.Branch(isa.BRZ, acc, endL)
+		g.loops = append(g.loops, loopCtx{breakL: endL, continueL: condL, hasCont: true})
+		g.genBlock(st.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		g.b.Jump(condL)
+		g.b.Bind(endL)
+
+	case *ForStmt:
+		condL := g.b.NewLabel()
+		postL := g.b.NewLabel()
+		endL := g.b.NewLabel()
+		if st.Init != nil {
+			g.genStmt(st.Init)
+		}
+		g.b.Bind(condL)
+		if st.Cond != nil {
+			g.genExpr(st.Cond)
+			g.pos(st.Line)
+			g.b.Branch(isa.BRZ, acc, endL)
+		}
+		g.loops = append(g.loops, loopCtx{breakL: endL, continueL: postL, hasCont: true})
+		g.genBlock(st.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		g.b.Bind(postL)
+		if st.Post != nil {
+			g.genStmt(st.Post)
+		}
+		g.b.Jump(condL)
+		g.b.Bind(endL)
+
+	case *DoWhileStmt:
+		bodyL := g.b.NewLabel()
+		condL := g.b.NewLabel()
+		endL := g.b.NewLabel()
+		g.b.Bind(bodyL)
+		g.loops = append(g.loops, loopCtx{breakL: endL, continueL: condL, hasCont: true})
+		g.genBlock(st.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		g.b.Bind(condL)
+		g.genExpr(st.Cond)
+		g.pos(st.Line)
+		g.b.Branch(isa.BR, acc, bodyL)
+		g.b.Bind(endL)
+
+	case *SwitchStmt:
+		g.genSwitch(st)
+
+	case *BreakStmt:
+		if len(g.loops) == 0 {
+			g.errf(st.Line, "break outside loop/switch")
+			return
+		}
+		g.b.Jump(g.loops[len(g.loops)-1].breakL)
+
+	case *ContinueStmt:
+		for i := len(g.loops) - 1; i >= 0; i-- {
+			if g.loops[i].hasCont {
+				g.b.Jump(g.loops[i].continueL)
+				return
+			}
+		}
+		g.errf(st.Line, "continue outside loop")
+
+	case *ReturnStmt:
+		if st.X != nil {
+			g.genExpr(st.X)
+			g.b.Mov(isa.RetReg, acc)
+		} else {
+			g.b.MovImm(isa.RetReg, 0)
+		}
+		g.b.Jump(g.epi)
+
+	default:
+		g.errf(s.stmtLine(), "unhandled statement %T", s)
+	}
+}
+
+// genSwitch compiles a switch: dense case sets go through a jump table
+// and an indirect jump (the §5.1 pattern); sparse ones become a compare
+// chain.
+func (g *gen) genSwitch(st *SwitchStmt) {
+	endL := g.b.NewLabel()
+	defL := endL
+	var caseLabels []asm.LabelID
+	var caseVals []int64
+	for _, cl := range st.Cases {
+		l := g.b.NewLabel()
+		caseLabels = append(caseLabels, l)
+		if cl.IsDefault {
+			defL = l
+		} else {
+			caseVals = append(caseVals, cl.Val)
+		}
+	}
+
+	g.genExpr(st.Cond)
+	g.pos(st.Line)
+
+	dense := false
+	var minV, maxV int64
+	if len(caseVals) >= 2 {
+		minV, maxV = caseVals[0], caseVals[0]
+		for _, v := range caseVals {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if maxV-minV < denseSwitchSpan {
+			dense = true
+		}
+	}
+
+	if dense {
+		span := maxV - minV + 1
+		entries := make([]asm.LabelID, span)
+		for i := range entries {
+			entries[i] = defL
+		}
+		for i, cl := range st.Cases {
+			if !cl.IsDefault {
+				entries[cl.Val-minV] = caseLabels[i]
+			}
+		}
+		if minV != 0 {
+			g.b.Emit(isa.Instr{Op: isa.ADDI, Rd: acc, Rs1: acc, Imm: -minV})
+		}
+		// Bounds checks route out-of-range values to default.
+		g.b.Op(isa.CMPLT, sec, acc, isa.RZ)
+		g.b.Branch(isa.BR, sec, defL)
+		g.b.MovImm(sec, span)
+		g.b.Op(isa.CMPLT, sec, acc, sec)
+		g.b.Branch(isa.BRZ, sec, defL)
+		base := g.b.JumpTable(entries)
+		g.b.MovImm(sec, base)
+		g.b.Op(isa.ADD, sec, sec, acc)
+		g.b.Load(sec, sec, 0)
+		g.b.Emit(isa.Instr{Op: isa.JMPI, Rs1: sec})
+	} else {
+		for i, cl := range st.Cases {
+			if cl.IsDefault {
+				continue
+			}
+			g.pos(cl.Line)
+			g.b.MovImm(sec, cl.Val)
+			g.b.Op(isa.CMPEQ, sec, acc, sec)
+			g.b.Branch(isa.BR, sec, caseLabels[i])
+		}
+		g.b.Jump(defL)
+	}
+
+	g.loops = append(g.loops, loopCtx{breakL: endL})
+	for i, cl := range st.Cases {
+		g.b.Bind(caseLabels[i])
+		for _, bs := range cl.Body {
+			g.genStmt(bs)
+		}
+		// C fallthrough: no jump between consecutive cases.
+	}
+	g.loops = g.loops[:len(g.loops)-1]
+	g.b.Bind(endL)
+}
+
+// storeScalar stores acc into a scalar symbol.
+func (g *gen) storeScalar(s *symbol) {
+	switch s.class {
+	case scReg:
+		g.b.Mov(s.reg, acc)
+	case scStack:
+		g.b.Store(isa.FP, -s.off, acc)
+	case scGlobal:
+		g.b.Store(isa.RZ, s.addr, acc)
+	}
+}
+
+// genExpr evaluates e into acc.
+func (g *gen) genExpr(e Expr) {
+	if g.err != nil {
+		return
+	}
+	g.pos(e.exprLine())
+	switch x := e.(type) {
+	case *NumExpr:
+		g.b.MovImm(acc, x.Val)
+
+	case *IdentExpr:
+		if x.fn != "" {
+			g.b.FuncAddr(acc, x.fn)
+			return
+		}
+		s := x.sym
+		if s == nil {
+			g.errf(x.Line, "unresolved identifier %q", x.Name)
+			return
+		}
+		if s.isArray {
+			g.genSymAddr(s)
+			return
+		}
+		switch s.class {
+		case scReg:
+			g.b.Mov(acc, s.reg)
+		case scStack:
+			g.b.Load(acc, isa.FP, -s.off)
+		case scGlobal:
+			g.b.Load(acc, isa.RZ, s.addr)
+		}
+
+	case *IndexExpr:
+		g.genAddr(x)
+		g.b.Load(acc, acc, 0)
+
+	case *UnaryExpr:
+		switch x.Op {
+		case "-":
+			g.genExpr(x.X)
+			g.pos(x.Line)
+			g.b.Op(isa.SUB, acc, isa.RZ, acc)
+		case "!":
+			g.genExpr(x.X)
+			g.pos(x.Line)
+			g.b.Op(isa.CMPEQ, acc, acc, isa.RZ)
+		case "*":
+			g.genExpr(x.X)
+			g.pos(x.Line)
+			g.b.Load(acc, acc, 0)
+		case "&":
+			g.genAddr(x.X)
+		default:
+			g.errf(x.Line, "unhandled unary %q", x.Op)
+		}
+
+	case *BinExpr:
+		g.genBin(x)
+
+	case *AssignExpr:
+		g.genAssign(x)
+
+	case *CondExpr:
+		elseL := g.b.NewLabel()
+		endL := g.b.NewLabel()
+		g.genExpr(x.Cond)
+		g.pos(x.Line)
+		g.b.Branch(isa.BRZ, acc, elseL)
+		g.genExpr(x.Then)
+		g.b.Jump(endL)
+		g.b.Bind(elseL)
+		g.genExpr(x.Else)
+		g.b.Bind(endL)
+
+	case *CallExpr:
+		g.genCall(x)
+
+	default:
+		g.errf(e.exprLine(), "unhandled expression %T", e)
+	}
+}
+
+// genBin evaluates a binary expression into acc. The left operand is
+// pushed across the right operand's evaluation.
+func (g *gen) genBin(x *BinExpr) {
+	switch x.Op {
+	case "&&":
+		endL := g.b.NewLabel()
+		g.genExpr(x.X)
+		g.pos(x.Line)
+		g.b.Op(isa.CMPNE, acc, acc, isa.RZ)
+		g.b.Branch(isa.BRZ, acc, endL)
+		g.genExpr(x.Y)
+		g.pos(x.Line)
+		g.b.Op(isa.CMPNE, acc, acc, isa.RZ)
+		g.b.Bind(endL)
+		return
+	case "||":
+		endL := g.b.NewLabel()
+		g.genExpr(x.X)
+		g.pos(x.Line)
+		g.b.Op(isa.CMPNE, acc, acc, isa.RZ)
+		g.b.Branch(isa.BR, acc, endL)
+		g.genExpr(x.Y)
+		g.pos(x.Line)
+		g.b.Op(isa.CMPNE, acc, acc, isa.RZ)
+		g.b.Bind(endL)
+		return
+	}
+
+	g.genExpr(x.X)
+	g.pos(x.Line)
+	g.b.Emit(isa.Instr{Op: isa.PUSH, Rs1: acc})
+	g.genExpr(x.Y)
+	g.pos(x.Line)
+	g.b.Emit(isa.Instr{Op: isa.POP, Rd: sec})
+	// Now: sec = X, acc = Y.
+	switch x.Op {
+	case "+":
+		g.b.Op(isa.ADD, acc, sec, acc)
+	case "-":
+		g.b.Op(isa.SUB, acc, sec, acc)
+	case "*":
+		g.b.Op(isa.MUL, acc, sec, acc)
+	case "/":
+		g.b.Op(isa.DIV, acc, sec, acc)
+	case "%":
+		g.b.Op(isa.MOD, acc, sec, acc)
+	case "&":
+		g.b.Op(isa.AND, acc, sec, acc)
+	case "|":
+		g.b.Op(isa.OR, acc, sec, acc)
+	case "^":
+		g.b.Op(isa.XOR, acc, sec, acc)
+	case "<<":
+		g.b.Op(isa.SHL, acc, sec, acc)
+	case ">>":
+		g.b.Op(isa.SHR, acc, sec, acc)
+	case "==":
+		g.b.Op(isa.CMPEQ, acc, sec, acc)
+	case "!=":
+		g.b.Op(isa.CMPNE, acc, sec, acc)
+	case "<":
+		g.b.Op(isa.CMPLT, acc, sec, acc)
+	case "<=":
+		g.b.Op(isa.CMPLE, acc, sec, acc)
+	case ">":
+		g.b.Op(isa.CMPLT, acc, acc, sec)
+	case ">=":
+		g.b.Op(isa.CMPLE, acc, acc, sec)
+	default:
+		g.errf(x.Line, "unhandled operator %q", x.Op)
+	}
+}
+
+// genAssign evaluates lhs = rhs, leaving the value in acc.
+func (g *gen) genAssign(x *AssignExpr) {
+	switch lhs := x.LHS.(type) {
+	case *IdentExpr:
+		g.genExpr(x.RHS)
+		g.pos(x.Line)
+		if lhs.sym == nil {
+			g.errf(x.Line, "bad assignment target")
+			return
+		}
+		g.storeScalar(lhs.sym)
+	case *IndexExpr:
+		g.genAddr(lhs)
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.PUSH, Rs1: acc})
+		g.genExpr(x.RHS)
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.POP, Rd: sec})
+		g.b.Store(sec, 0, acc)
+	case *UnaryExpr:
+		if lhs.Op != "*" {
+			g.errf(x.Line, "bad assignment target")
+			return
+		}
+		g.genExpr(lhs.X)
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.PUSH, Rs1: acc})
+		g.genExpr(x.RHS)
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.POP, Rd: sec})
+		g.b.Store(sec, 0, acc)
+	default:
+		g.errf(x.Line, "bad assignment target")
+	}
+}
+
+// genSymAddr puts the address of a memory-resident symbol into acc.
+func (g *gen) genSymAddr(s *symbol) {
+	switch s.class {
+	case scStack:
+		g.b.Emit(isa.Instr{Op: isa.ADDI, Rd: acc, Rs1: isa.FP, Imm: -s.off})
+	case scGlobal:
+		g.b.MovImm(acc, s.addr)
+	case scReg:
+		g.errf(0, "internal: address of register-allocated %q", s.name)
+	}
+}
+
+// genAddr evaluates the address of an lvalue into acc.
+func (g *gen) genAddr(e Expr) {
+	g.pos(e.exprLine())
+	switch x := e.(type) {
+	case *IdentExpr:
+		if x.sym == nil {
+			g.errf(x.Line, "cannot take address of %q", x.Name)
+			return
+		}
+		g.genSymAddr(x.sym)
+	case *IndexExpr:
+		g.genExpr(x.X) // array decays to base address; pointer value as-is
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.PUSH, Rs1: acc})
+		g.genExpr(x.Index)
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.POP, Rd: sec})
+		g.b.Op(isa.ADD, acc, sec, acc)
+	case *UnaryExpr:
+		if x.Op != "*" {
+			g.errf(x.Line, "cannot take address of this expression")
+			return
+		}
+		g.genExpr(x.X)
+	default:
+		g.errf(e.exprLine(), "cannot take address of this expression")
+	}
+}
+
+// genCall compiles builtins to instructions and real calls to the
+// stack-based argument protocol.
+func (g *gen) genCall(x *CallExpr) {
+	switch x.Callee {
+	case "read":
+		g.b.Emit(isa.Instr{Op: isa.SYSCALL, Rd: acc, Rs1: isa.RZ, Imm: isa.SysRead})
+		return
+	case "write":
+		g.genExpr(x.Args[0])
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.SYSCALL, Rd: acc, Rs1: acc, Imm: isa.SysWrite})
+		return
+	case "time":
+		g.b.Emit(isa.Instr{Op: isa.SYSCALL, Rd: acc, Rs1: isa.RZ, Imm: isa.SysTime})
+		return
+	case "rand":
+		g.b.Emit(isa.Instr{Op: isa.SYSCALL, Rd: acc, Rs1: isa.RZ, Imm: isa.SysRand})
+		return
+	case "alloc":
+		g.genExpr(x.Args[0])
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.SYSCALL, Rd: acc, Rs1: acc, Imm: isa.SysAlloc})
+		return
+	case "tid":
+		g.b.Emit(isa.Instr{Op: isa.SYSCALL, Rd: acc, Rs1: isa.RZ, Imm: isa.SysThreadID})
+		return
+	case "yield":
+		g.b.Emit(isa.Instr{Op: isa.SYSCALL, Rd: acc, Rs1: isa.RZ, Imm: isa.SysYield})
+		return
+	case "assert":
+		g.genExpr(x.Args[0])
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.ASSERT, Rs1: acc})
+		return
+	case "halt":
+		g.b.Emit(isa.Instr{Op: isa.HALT})
+		return
+	case "spawn":
+		fnName := x.Args[0].(*IdentExpr).fn
+		g.genExpr(x.Args[1])
+		g.pos(x.Line)
+		g.b.Spawn(acc, fnName, acc)
+		return
+	case "join":
+		g.genExpr(x.Args[0])
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.JOIN, Rs1: acc})
+		return
+	case "lock":
+		g.genExpr(x.Args[0])
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.LOCK, Rs1: acc})
+		return
+	case "unlock":
+		g.genExpr(x.Args[0])
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.UNLOCK, Rs1: acc})
+		return
+	case "wait":
+		// wait(cv, m): WAIT releases m and blocks on cv; the LOCK that
+		// follows reacquires m on wakeup (pthread_cond_wait semantics).
+		g.genExpr(x.Args[0])
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.PUSH, Rs1: acc})
+		g.genExpr(x.Args[1])
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.POP, Rd: sec})
+		g.b.Emit(isa.Instr{Op: isa.WAIT, Rs1: sec, Rs2: acc})
+		g.b.Emit(isa.Instr{Op: isa.LOCK, Rs1: acc})
+		return
+	case "signal":
+		g.genExpr(x.Args[0])
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.SIGNAL, Rs1: acc})
+		return
+	}
+
+	// Real call: evaluate arguments left to right, pushing each; pop them
+	// into the argument registers in reverse; call; move R0 to acc.
+	for _, a := range x.Args {
+		g.genExpr(a)
+		g.pos(x.Line)
+		g.b.Emit(isa.Instr{Op: isa.PUSH, Rs1: acc})
+	}
+	for i := len(x.Args) - 1; i >= 0; i-- {
+		g.b.Emit(isa.Instr{Op: isa.POP, Rd: isa.Arg0 + isa.Reg(i)})
+	}
+	if x.sym != nil {
+		// Indirect call through a variable.
+		switch x.sym.class {
+		case scReg:
+			g.b.Mov(aux, x.sym.reg)
+		case scStack:
+			g.b.Load(aux, isa.FP, -x.sym.off)
+		case scGlobal:
+			g.b.Load(aux, isa.RZ, x.sym.addr)
+		}
+		g.b.Emit(isa.Instr{Op: isa.CALLI, Rs1: aux})
+	} else {
+		g.b.Call(x.Callee)
+	}
+	g.b.Mov(acc, isa.RetReg)
+}

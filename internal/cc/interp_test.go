@@ -1,0 +1,199 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestExpressionSemanticsMatchReference cross-checks compiled expression
+// evaluation against a direct Go-side evaluator: random expression trees
+// over variables with known values must produce identical results when
+// compiled to machine code and when interpreted structurally.
+
+// refExpr is a tiny expression AST with a Go evaluator and a mini-C
+// printer.
+type refExpr interface {
+	eval(env map[string]int64) int64
+	src() string
+}
+
+type refNum int64
+
+func (n refNum) eval(map[string]int64) int64 { return int64(n) }
+func (n refNum) src() string                 { return fmt.Sprintf("(%d)", int64(n)) }
+
+type refVar string
+
+func (v refVar) eval(env map[string]int64) int64 { return env[string(v)] }
+func (v refVar) src() string                     { return string(v) }
+
+type refBin struct {
+	op   string
+	l, r refExpr
+}
+
+func (b refBin) eval(env map[string]int64) int64 {
+	l, r := b.l.eval(env), b.r.eval(env)
+	switch b.op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "/":
+		return l / r // divisor construction guarantees non-zero
+	case "%":
+		return l % r
+	case "&":
+		return l & r
+	case "|":
+		return l | r
+	case "^":
+		return l ^ r
+	case "<<":
+		return l << uint64(r&63)
+	case ">>":
+		return int64(uint64(l) >> uint64(r&63))
+	case "==":
+		return b2(l == r)
+	case "!=":
+		return b2(l != r)
+	case "<":
+		return b2(l < r)
+	case "<=":
+		return b2(l <= r)
+	case ">":
+		return b2(l > r)
+	case ">=":
+		return b2(l >= r)
+	case "&&":
+		return b2(l != 0 && r != 0)
+	case "||":
+		return b2(l != 0 || r != 0)
+	}
+	panic("bad op " + b.op)
+}
+
+func (b refBin) src() string {
+	return fmt.Sprintf("(%s %s %s)", b.l.src(), b.op, b.r.src())
+}
+
+type refCond struct{ c, a, b refExpr }
+
+func (t refCond) eval(env map[string]int64) int64 {
+	if t.c.eval(env) != 0 {
+		return t.a.eval(env)
+	}
+	return t.b.eval(env)
+}
+
+func (t refCond) src() string {
+	return fmt.Sprintf("(%s ? %s : %s)", t.c.src(), t.a.src(), t.b.src())
+}
+
+type refNeg struct{ x refExpr }
+
+func (n refNeg) eval(env map[string]int64) int64 { return -n.x.eval(env) }
+func (n refNeg) src() string                     { return fmt.Sprintf("(-%s)", n.x.src()) }
+
+type refNot struct{ x refExpr }
+
+func (n refNot) eval(env map[string]int64) int64 { return b2(n.x.eval(env) == 0) }
+func (n refNot) src() string                     { return fmt.Sprintf("(!%s)", n.x.src()) }
+
+func b2(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type exprRng struct{ s uint64 }
+
+func (r *exprRng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *exprRng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var refVars = []string{"va", "vb", "vc", "vd"}
+
+// genRefExpr builds a random expression of bounded depth. Shift amounts
+// are small constants; divisors are non-zero constants.
+func genRefExpr(r *exprRng, depth int) refExpr {
+	if depth <= 0 || r.intn(4) == 0 {
+		if r.intn(2) == 0 {
+			return refNum(int64(r.intn(41)) - 20)
+		}
+		return refVar(refVars[r.intn(len(refVars))])
+	}
+	switch r.intn(12) {
+	case 0:
+		return refNeg{genRefExpr(r, depth-1)}
+	case 1:
+		return refNot{genRefExpr(r, depth-1)}
+	case 2:
+		return refCond{genRefExpr(r, depth-1), genRefExpr(r, depth-1), genRefExpr(r, depth-1)}
+	case 3:
+		return refBin{"/", genRefExpr(r, depth-1), refNum(int64(1 + r.intn(9)))}
+	case 4:
+		return refBin{"%", genRefExpr(r, depth-1), refNum(int64(1 + r.intn(13)))}
+	case 5:
+		op := []string{"<<", ">>"}[r.intn(2)]
+		return refBin{op, genRefExpr(r, depth-1), refNum(int64(r.intn(8)))}
+	default:
+		ops := []string{"+", "-", "*", "&", "|", "^", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+		return refBin{ops[r.intn(len(ops))], genRefExpr(r, depth-1), genRefExpr(r, depth-1)}
+	}
+}
+
+func TestExpressionSemanticsMatchReference(t *testing.T) {
+	const perProgram = 20
+	for seed := uint64(1); seed <= 30; seed++ {
+		r := &exprRng{s: seed*0x9e3779b97f4a7c15 + 1}
+		env := map[string]int64{}
+		for _, v := range refVars {
+			env[v] = int64(r.intn(2001)) - 1000
+		}
+
+		var exprs []refExpr
+		var want []int64
+		var body strings.Builder
+		for _, v := range refVars {
+			fmt.Fprintf(&body, "\tint %s = %d;\n", v, env[v])
+		}
+		for i := 0; i < perProgram; i++ {
+			e := genRefExpr(r, 4)
+			exprs = append(exprs, e)
+			want = append(want, e.eval(env))
+			fmt.Fprintf(&body, "\twrite(%s);\n", e.src())
+		}
+		src := fmt.Sprintf("int main() {\n%s\treturn 0;\n}\n", body.String())
+
+		prog, err := CompileSource("x.c", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		m := vm.New(prog, vm.Config{MaxSteps: 1_000_000})
+		if m.Run() != vm.StopExit {
+			t.Fatalf("seed %d: stop = %v (%v)", seed, m.Stopped(), m.Failure())
+		}
+		got := m.Output()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d outputs, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d expr %d: compiled %d, reference %d\nexpr: %s",
+					seed, i, got[i], want[i], exprs[i].src())
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package cc compiles "mini-C" — the workload language of this
+// reproduction — to isa machine code. The language has ints, int arrays,
+// int pointers, functions, the usual C control flow, and builtins for
+// threads (spawn/join/lock/unlock), I/O (read/write) and assertions.
+//
+// Two code-generation choices deliberately mirror what gcc does to x86
+// binaries, because the paper's precision work (Section 5) targets them:
+//
+//   - dense switch statements compile to an indirect jump through a jump
+//     table (the source of static-CFG imprecision addressed in §5.1), and
+//   - scalar locals are register-allocated to callee-saved registers,
+//     which the prologue saves with PUSH and the epilogue restores with
+//     POP — the save/restore pairs whose spurious dependences §5.2 prunes.
+package cc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tPunct
+	tKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int32
+}
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "if": true, "else": true, "while": true, "do": true,
+	"for": true, "switch": true, "case": true, "default": true,
+	"break": true, "continue": true, "return": true,
+}
+
+// lexer tokenises mini-C source.
+type lexer struct {
+	src  string
+	pos  int
+	line int32
+	file string
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{src: src, line: 1, file: file}
+}
+
+func (l *lexer) errf(line int32, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", l.file, line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf(l.line, "unterminated comment")
+			}
+			l.pos += 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, line: l.line}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if keywords[text] {
+			return token{kind: tKeyword, text: text, line: l.line}, nil
+		}
+		return token{kind: tIdent, text: text, line: l.line}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && (isIdentPart(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		n, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, l.errf(l.line, "bad number %q", text)
+		}
+		return token{kind: tNumber, text: text, num: n, line: l.line}, nil
+	case c == '\'':
+		// Character literal.
+		if l.pos+2 < len(l.src) && l.src[l.pos+1] == '\\' && l.src[l.pos+3] == '\'' {
+			var v int64
+			switch l.src[l.pos+2] {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case '0':
+				v = 0
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			default:
+				return token{}, l.errf(l.line, "bad escape")
+			}
+			l.pos += 4
+			return token{kind: tNumber, num: v, line: l.line}, nil
+		}
+		if l.pos+2 < len(l.src) && l.src[l.pos+2] == '\'' {
+			v := int64(l.src[l.pos+1])
+			l.pos += 3
+			return token{kind: tNumber, num: v, line: l.line}, nil
+		}
+		return token{}, l.errf(l.line, "bad character literal")
+	default:
+		// Multi-character punctuation first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "++", "--":
+			l.pos += 2
+			return token{kind: tPunct, text: two, line: l.line}, nil
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '&', '|', '^', '!', '<', '>', '=',
+			'(', ')', '{', '}', '[', ']', ';', ',', ':', '?':
+			l.pos++
+			return token{kind: tPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, l.errf(l.line, "unexpected character %q", string(c))
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// lexAll tokenises the whole source.
+func lexAll(file, src string) ([]token, error) {
+	l := newLexer(file, src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tEOF {
+			return toks, nil
+		}
+	}
+}

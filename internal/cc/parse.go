@@ -1,0 +1,678 @@
+package cc
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	file string
+	toks []token
+	pos  int
+}
+
+// Parse parses mini-C source into an AST.
+func Parse(file, src string) (*File, error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	f := &File{Name: file}
+	for !p.at(tEOF, "") {
+		if err := p.parseTopLevel(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) tok() token  { return p.toks[p.pos] }
+func (p *parser) line() int32 { return p.tok().line }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.tok()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.tok()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, fmt.Errorf("%s:%d: expected %q, got %q", p.file, t.line, want, t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.file, p.line(), fmt.Sprintf(format, args...))
+}
+
+// parseTopLevel parses one global declaration or function definition.
+func (p *parser) parseTopLevel(f *File) error {
+	if !p.accept(tKeyword, "int") && !p.accept(tKeyword, "void") {
+		return p.errf("expected declaration, got %q", p.tok().text)
+	}
+	p.accept(tPunct, "*") // pointer return/var: same word type
+	name, err := p.expect(tIdent, "")
+	if err != nil {
+		return err
+	}
+	if p.at(tPunct, "(") {
+		fn, err := p.parseFunc(name.text, name.line)
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, fn)
+		return nil
+	}
+	// Global variable(s).
+	for {
+		d, err := p.parseVarRest(name.text, name.line)
+		if err != nil {
+			return err
+		}
+		f.Globals = append(f.Globals, d)
+		if p.accept(tPunct, ",") {
+			p.accept(tPunct, "*")
+			name, err = p.expect(tIdent, "")
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	_, err = p.expect(tPunct, ";")
+	return err
+}
+
+// parseVarRest parses the rest of one variable declarator after the name:
+// optional [size] and optional = init.
+func (p *parser) parseVarRest(name string, line int32) (*VarDecl, error) {
+	d := &VarDecl{Name: name, Size: 1, Line: line}
+	if p.accept(tPunct, "[") {
+		n, err := p.expect(tNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "]"); err != nil {
+			return nil, err
+		}
+		if n.num <= 0 {
+			return nil, fmt.Errorf("%s:%d: bad array size %d", p.file, line, n.num)
+		}
+		d.IsArray = true
+		d.Size = n.num
+	}
+	if p.accept(tPunct, "=") {
+		if d.IsArray {
+			if _, err := p.expect(tPunct, "{"); err != nil {
+				return nil, err
+			}
+			for !p.accept(tPunct, "}") {
+				neg := p.accept(tPunct, "-")
+				n, err := p.expect(tNumber, "")
+				if err != nil {
+					return nil, err
+				}
+				v := n.num
+				if neg {
+					v = -v
+				}
+				d.Init = append(d.Init, v)
+				if !p.accept(tPunct, ",") && !p.at(tPunct, "}") {
+					return nil, p.errf("expected ',' or '}' in initialiser")
+				}
+			}
+			if int64(len(d.Init)) > d.Size {
+				return nil, fmt.Errorf("%s:%d: too many initialisers", p.file, line)
+			}
+		} else {
+			neg := p.accept(tPunct, "-")
+			n, err := p.expect(tNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			v := n.num
+			if neg {
+				v = -v
+			}
+			d.Init = []int64{v}
+		}
+	}
+	return d, nil
+}
+
+// parseFunc parses a function definition after its name.
+func (p *parser) parseFunc(name string, line int32) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name, Line: line}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	if !p.accept(tPunct, ")") {
+		if p.accept(tKeyword, "void") {
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+		} else {
+			for {
+				if !p.accept(tKeyword, "int") {
+					return nil, p.errf("expected parameter type")
+				}
+				p.accept(tPunct, "*")
+				pn, err := p.expect(tIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				fn.Params = append(fn.Params, &VarDecl{Name: pn.text, Size: 1, Line: pn.line})
+				if p.accept(tPunct, ",") {
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// parseBlock parses { stmt* }.
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	l := p.line()
+	if _, err := p.expect(tPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: l}
+	for !p.accept(tPunct, "}") {
+		if p.at(tEOF, "") {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// parseStmt parses one statement.
+func (p *parser) parseStmt() (Stmt, error) {
+	l := p.line()
+	switch {
+	case p.at(tPunct, "{"):
+		return p.parseBlock()
+
+	case p.accept(tKeyword, "int"):
+		ds := &DeclStmt{Line: l}
+		for {
+			p.accept(tPunct, "*")
+			name, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			d := &VarDecl{Name: name.text, Size: 1, Line: name.line}
+			if p.accept(tPunct, "[") {
+				n, err := p.expect(tNumber, "")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tPunct, "]"); err != nil {
+					return nil, err
+				}
+				if n.num <= 0 {
+					return nil, p.errf("bad array size %d", n.num)
+				}
+				d.IsArray = true
+				d.Size = n.num
+			} else if p.accept(tPunct, "=") {
+				x, err := p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+				d.InitX = x
+			}
+			ds.Decls = append(ds.Decls, d)
+			if p.accept(tPunct, ",") {
+				continue
+			}
+			break
+		}
+		_, err := p.expect(tPunct, ";")
+		return ds, err
+
+	case p.accept(tKeyword, "if"):
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: l}
+		if p.accept(tKeyword, "else") {
+			if p.at(tKeyword, "if") {
+				p.pos++
+				// else if: re-parse as nested if by rewinding the "if".
+				p.pos--
+				els, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = els
+			} else {
+				els, err := p.parseStmtAsBlock()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = els
+			}
+		}
+		return st, nil
+
+	case p.accept(tKeyword, "do"):
+		body, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKeyword, "while"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond, Line: l}, nil
+
+	case p.accept(tKeyword, "while"):
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: l}, nil
+
+	case p.accept(tKeyword, "for"):
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Line: l}
+		if p.at(tKeyword, "int") {
+			// C99-style loop-variable declaration: for (int i = 0; ...).
+			p.pos++
+			name, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			d := &VarDecl{Name: name.text, Size: 1, Line: name.line}
+			if p.accept(tPunct, "=") {
+				x, err := p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+				d.InitX = x
+			}
+			st.Init = &DeclStmt{Decls: []*VarDecl{d}, Line: l}
+		} else if !p.at(tPunct, ";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{X: x, Line: l}
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tPunct, ";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tPunct, ")") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = &ExprStmt{X: x, Line: x.exprLine()}
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+
+	case p.accept(tKeyword, "switch"):
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "{"); err != nil {
+			return nil, err
+		}
+		st := &SwitchStmt{Cond: cond, Line: l}
+		for !p.accept(tPunct, "}") {
+			cl := &CaseClause{Line: p.line()}
+			if p.accept(tKeyword, "case") {
+				neg := p.accept(tPunct, "-")
+				n, err := p.expect(tNumber, "")
+				if err != nil {
+					return nil, err
+				}
+				cl.Val = n.num
+				if neg {
+					cl.Val = -cl.Val
+				}
+			} else if p.accept(tKeyword, "default") {
+				cl.IsDefault = true
+			} else {
+				return nil, p.errf("expected case or default")
+			}
+			if _, err := p.expect(tPunct, ":"); err != nil {
+				return nil, err
+			}
+			for !p.at(tKeyword, "case") && !p.at(tKeyword, "default") && !p.at(tPunct, "}") {
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				cl.Body = append(cl.Body, s)
+			}
+			st.Cases = append(st.Cases, cl)
+		}
+		return st, nil
+
+	case p.accept(tKeyword, "break"):
+		_, err := p.expect(tPunct, ";")
+		return &BreakStmt{Line: l}, err
+
+	case p.accept(tKeyword, "continue"):
+		_, err := p.expect(tPunct, ";")
+		return &ContinueStmt{Line: l}, err
+
+	case p.accept(tKeyword, "return"):
+		st := &ReturnStmt{Line: l}
+		if !p.at(tPunct, ";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = x
+		}
+		_, err := p.expect(tPunct, ";")
+		return st, err
+
+	case p.accept(tPunct, ";"):
+		return &BlockStmt{Line: l}, nil
+
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Line: l}, nil
+	}
+}
+
+// parseStmtAsBlock parses a statement, wrapping non-blocks in a block.
+func (p *parser) parseStmtAsBlock() (*BlockStmt, error) {
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if b, ok := s.(*BlockStmt); ok {
+		return b, nil
+	}
+	return &BlockStmt{Stmts: []Stmt{s}, Line: s.stmtLine()}, nil
+}
+
+// Expression parsing: assignment (right-assoc) over a precedence climber.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func (p *parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	l := p.line()
+	switch {
+	case p.accept(tPunct, "="):
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{LHS: lhs, RHS: rhs, Line: l}, nil
+	case p.at(tPunct, "+=") || p.at(tPunct, "-=") || p.at(tPunct, "*=") ||
+		p.at(tPunct, "/=") || p.at(tPunct, "%="):
+		op := p.tok().text[:1]
+		p.pos++
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		// Desugar: lhs op= rhs  =>  lhs = lhs op rhs. The LHS is
+		// duplicated; safe because mini-C lvalues have no side effects.
+		return &AssignExpr{LHS: lhs, RHS: &BinExpr{Op: op, X: lhs, Y: rhs, Line: l}, Line: l}, nil
+	}
+	return lhs, nil
+}
+
+// parseTernary parses c ? a : b (right-associative) above the binary
+// operators.
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	l := p.line()
+	if !p.accept(tPunct, "?") {
+		return cond, nil
+	}
+	thenX, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ":"); err != nil {
+		return nil, err
+	}
+	elseX, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: thenX, Else: elseX, Line: l}, nil
+}
+
+// binary operator precedence, loosest first.
+var precTable = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		prec, ok := precTable[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: t.text, X: lhs, Y: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.tok()
+	if t.kind == tPunct {
+		switch t.text {
+		case "-", "!", "*", "&":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: t.text, X: x, Line: t.line}, nil
+		case "++", "--":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			op := "+"
+			if t.text == "--" {
+				op = "-"
+			}
+			one := &NumExpr{Val: 1, Line: t.line}
+			return &AssignExpr{LHS: x, RHS: &BinExpr{Op: op, X: x, Y: one, Line: t.line}, Line: t.line}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		l := p.line()
+		switch {
+		case p.accept(tPunct, "["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Index: idx, Line: l}
+		case p.at(tPunct, "++") || p.at(tPunct, "--"):
+			// Postfix inc/dec as statement-level sugar: value semantics
+			// are pre-increment, which the workloads only use for effect.
+			op := "+"
+			if p.tok().text == "--" {
+				op = "-"
+			}
+			p.pos++
+			one := &NumExpr{Val: 1, Line: l}
+			x = &AssignExpr{LHS: x, RHS: &BinExpr{Op: op, X: x, Y: one, Line: l}, Line: l}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.tok()
+	switch {
+	case t.kind == tNumber:
+		p.pos++
+		return &NumExpr{Val: t.num, Line: t.line}, nil
+	case t.kind == tIdent:
+		p.pos++
+		if p.accept(tPunct, "(") {
+			call := &CallExpr{Callee: t.text, Line: t.line}
+			for !p.accept(tPunct, ")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(tPunct, ",") && !p.at(tPunct, ")") {
+					return nil, p.errf("expected ',' or ')' in call")
+				}
+			}
+			return call, nil
+		}
+		return &IdentExpr{Name: t.text, Line: t.line}, nil
+	case p.accept(tPunct, "("):
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

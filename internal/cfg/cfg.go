@@ -1,0 +1,324 @@
+// Package cfg builds control-flow graphs from machine code, computes
+// immediate post-dominators, and supports the paper's Section 5.1 dynamic
+// refinement: indirect-jump targets observed at run time are added as CFG
+// edges and the post-dominator information is recomputed, making dynamic
+// control-dependence detection precise for binaries with jump tables.
+//
+// It is the analogue of the static analyzer DrDebug builds on Pin's static
+// code discovery library.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Block is one basic block: the half-open pc range [Start, End).
+type Block struct {
+	ID    int
+	Start int64
+	End   int64
+	Succs []int
+	Preds []int
+	// ToExit is set when the block's terminator leaves the function
+	// (RET, HALT) or when an indirect jump has no known targets yet, in
+	// which case the conservative approximation routes it to the virtual
+	// exit node.
+	ToExit bool
+}
+
+// FuncGraph is the CFG of one function plus its immediate post-dominator
+// tree. The virtual exit node has id ExitID == len(Blocks).
+type FuncGraph struct {
+	Fn     isa.Func
+	Blocks []*Block
+	ExitID int
+
+	// ipdom maps block id -> immediate post-dominator block id, with
+	// ExitID acting as the root of the post-dominator tree.
+	ipdom []int
+
+	starts []int64 // Blocks[i].Start, for binary search
+}
+
+// Build constructs the CFG of fn from the program code. indirectTargets
+// maps a JMPI pc to the set of targets to assume for it; static
+// construction passes nil (the paper's "approximate CFG"), refinement
+// passes the dynamically observed target sets.
+func Build(prog *isa.Program, fn isa.Func, indirectTargets map[int64][]int64) (*FuncGraph, error) {
+	if fn.Entry < 0 || fn.End > int64(len(prog.Code)) || fn.Entry >= fn.End {
+		return nil, fmt.Errorf("cfg: bad function range [%d,%d)", fn.Entry, fn.End)
+	}
+	code := prog.Code
+
+	// Collect leaders: the entry, branch/jump targets inside the
+	// function, observed indirect targets, and fall-throughs of block
+	// terminators.
+	leaders := map[int64]bool{fn.Entry: true}
+	mark := func(pc int64) {
+		if pc >= fn.Entry && pc < fn.End {
+			leaders[pc] = true
+		}
+	}
+	for pc := fn.Entry; pc < fn.End; pc++ {
+		in := code[pc]
+		switch in.Op {
+		case isa.BR, isa.BRZ:
+			mark(in.Imm)
+			mark(pc + 1)
+		case isa.JMP:
+			mark(in.Imm)
+			mark(pc + 1)
+		case isa.JMPI:
+			for _, t := range indirectTargets[pc] {
+				mark(t)
+			}
+			mark(pc + 1)
+		case isa.RET, isa.HALT:
+			mark(pc + 1)
+		}
+	}
+
+	starts := make([]int64, 0, len(leaders))
+	for pc := range leaders {
+		starts = append(starts, pc)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	g := &FuncGraph{Fn: fn, starts: starts}
+	idOf := make(map[int64]int, len(starts))
+	for i, s := range starts {
+		end := fn.End
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		g.Blocks = append(g.Blocks, &Block{ID: i, Start: s, End: end})
+		idOf[s] = i
+	}
+	g.ExitID = len(g.Blocks)
+
+	addEdge := func(b *Block, targetPC int64) {
+		if t, ok := idOf[targetPC]; ok {
+			b.Succs = append(b.Succs, t)
+			g.Blocks[t].Preds = append(g.Blocks[t].Preds, b.ID)
+		} else {
+			// Target outside the function (tail jump); treat as exit.
+			b.ToExit = true
+		}
+	}
+
+	for _, b := range g.Blocks {
+		last := code[b.End-1]
+		switch last.Op {
+		case isa.BR, isa.BRZ:
+			addEdge(b, last.Imm)
+			if b.End < fn.End {
+				addEdge(b, b.End)
+			} else {
+				b.ToExit = true
+			}
+		case isa.JMP:
+			addEdge(b, last.Imm)
+		case isa.JMPI:
+			targets := indirectTargets[b.End-1]
+			if len(targets) == 0 {
+				// No known targets. The approximate static CFG treats
+				// the indirect jump as falling through — mirroring the
+				// paper's Figure 7, where the static CFG misses the
+				// jump-table edges, the post-dominator information is
+				// wrong, and control dependences on the switch are
+				// missed until dynamic refinement adds the real edges.
+				if b.End < fn.End {
+					addEdge(b, b.End)
+				} else {
+					b.ToExit = true
+				}
+			}
+			for _, t := range targets {
+				addEdge(b, t)
+			}
+		case isa.RET, isa.HALT:
+			b.ToExit = true
+		default:
+			// Fall-through into the next block (the block ended because
+			// the next pc is a leader).
+			if b.End < fn.End {
+				addEdge(b, b.End)
+			} else {
+				b.ToExit = true
+			}
+		}
+	}
+
+	g.computePostDominators()
+	return g, nil
+}
+
+// BlockAt returns the block containing pc, or nil.
+func (g *FuncGraph) BlockAt(pc int64) *Block {
+	i := sort.Search(len(g.starts), func(i int) bool { return g.starts[i] > pc })
+	if i == 0 {
+		return nil
+	}
+	b := g.Blocks[i-1]
+	if pc >= b.Start && pc < b.End {
+		return b
+	}
+	return nil
+}
+
+// computePostDominators runs the Cooper–Harvey–Kennedy iterative dominance
+// algorithm on the reversed CFG rooted at the virtual exit node.
+func (g *FuncGraph) computePostDominators() {
+	n := len(g.Blocks)
+	exit := g.ExitID
+
+	// Reverse-graph successors of the exit are the blocks marked ToExit;
+	// reverse-graph edges otherwise flow from a block to its Preds.
+	// Compute a reverse post-order of the reversed graph from exit.
+	order := make([]int, 0, n+1)
+	state := make([]uint8, n+1) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		node int
+		next int
+	}
+	succsRev := func(id int) []int {
+		if id == exit {
+			var ss []int
+			for _, b := range g.Blocks {
+				if b.ToExit {
+					ss = append(ss, b.ID)
+				}
+			}
+			return ss
+		}
+		return g.Blocks[id].Preds
+	}
+	var stack []frame
+	stack = append(stack, frame{exit, 0})
+	state[exit] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ss := succsRev(f.node)
+		if f.next < len(ss) {
+			nxt := ss[f.next]
+			f.next++
+			if state[nxt] == 0 {
+				state[nxt] = 1
+				stack = append(stack, frame{nxt, 0})
+			}
+			continue
+		}
+		state[f.node] = 2
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	// order is post-order of the reversed graph; reverse it for RPO.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+
+	rpoNum := make([]int, n+1)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, id := range order {
+		rpoNum[id] = i
+	}
+
+	ipdom := make([]int, n+1)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[exit] = exit
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = ipdom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, id := range order {
+			if id == exit {
+				continue
+			}
+			// Predecessors in the reversed graph = successors in the
+			// original graph, plus exit for ToExit blocks.
+			var newIdom = -1
+			consider := func(p int) {
+				if ipdom[p] == -1 {
+					return
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			b := g.Blocks[id]
+			for _, s := range b.Succs {
+				consider(s)
+			}
+			if b.ToExit {
+				consider(exit)
+			}
+			if newIdom != -1 && ipdom[id] != newIdom {
+				ipdom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Blocks that cannot reach exit (e.g. infinite loops) keep -1;
+	// conservatively treat them as post-dominated only by exit.
+	for i := 0; i < n; i++ {
+		if ipdom[i] == -1 {
+			ipdom[i] = exit
+		}
+	}
+	g.ipdom = ipdom
+}
+
+// IPdomOf returns the immediate post-dominator block id of the given
+// block id; ExitID is the tree root.
+func (g *FuncGraph) IPdomOf(id int) int { return g.ipdom[id] }
+
+// IPDPc returns the pc at which the control-dependence region opened by
+// the branch at branchPC closes: the start pc of the immediate
+// post-dominator block of the branch's block. It returns -1 when the
+// region only closes at function exit.
+func (g *FuncGraph) IPDPc(branchPC int64) int64 {
+	b := g.BlockAt(branchPC)
+	if b == nil {
+		return -1
+	}
+	ip := g.ipdom[b.ID]
+	if ip == g.ExitID || ip < 0 {
+		return -1
+	}
+	return g.Blocks[ip].Start
+}
+
+// PostDominates reports whether block a post-dominates block b (including
+// a == b).
+func (g *FuncGraph) PostDominates(a, b int) bool {
+	for x := b; ; x = g.ipdom[x] {
+		if x == a {
+			return true
+		}
+		if x == g.ExitID {
+			return a == g.ExitID
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/isa"
+)
+
+// diamond builds: entry -> (then | else) -> join -> exit.
+func diamond(t *testing.T) (*isa.Program, isa.Func) {
+	t.Helper()
+	prog, err := asm.Assemble("d.s", `
+.func main
+	movi r1, 1
+	brz r1, elseL
+	movi r2, 10
+	jmp joinL
+elseL:
+	movi r2, 20
+joinL:
+	syscall r0, 2, r2
+	halt
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, prog.Funcs[0]
+}
+
+func TestDiamondBlocksAndIPdom(t *testing.T) {
+	prog, fn := diamond(t)
+	g, err := Build(prog, fn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks: [0,2) cond, [2,4) then, [4,5) else, [5,7) join.
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4: %+v", len(g.Blocks), g.Blocks)
+	}
+	cond := g.BlockAt(1)
+	join := g.BlockAt(5)
+	if cond == nil || join == nil {
+		t.Fatal("missing blocks")
+	}
+	if len(cond.Succs) != 2 {
+		t.Errorf("cond block has %d succs, want 2", len(cond.Succs))
+	}
+	if g.IPdomOf(cond.ID) != join.ID {
+		t.Errorf("ipdom(cond) = %d, want join %d", g.IPdomOf(cond.ID), join.ID)
+	}
+	// The branch's control-dependence region closes at the join.
+	if got := g.IPDPc(1); got != join.Start {
+		t.Errorf("IPDPc(branch) = %d, want %d", got, join.Start)
+	}
+	if !g.PostDominates(join.ID, cond.ID) {
+		t.Error("join must post-dominate cond")
+	}
+	if g.PostDominates(g.BlockAt(2).ID, cond.ID) {
+		t.Error("then must not post-dominate cond")
+	}
+}
+
+func TestLoopIPdom(t *testing.T) {
+	prog, err := asm.Assemble("l.s", `
+.func main
+	movi r1, 5
+loop:
+	addi r1, r1, -1
+	br r1, loop
+	halt
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(prog, prog.Funcs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The back-branch's region closes at the block after the loop.
+	after := g.BlockAt(3)
+	if got := g.IPDPc(2); got != after.Start {
+		t.Errorf("IPDPc(loop branch) = %d, want %d", got, after.Start)
+	}
+}
+
+func TestInfiniteLoopConservative(t *testing.T) {
+	prog, err := asm.Assemble("i.s", `
+.func main
+	movi r1, 1
+spin:
+	br r1, spin
+	halt
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(prog, prog.Funcs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A (dynamically) infinite loop must not wedge the analysis; the
+	// branch that can fall through still closes at the next block.
+	if g.IPDPc(1) == 1 {
+		t.Error("branch cannot be its own ipdom")
+	}
+}
+
+// switchProg mimics paper Figure 7: a switch lowered to an indirect jump.
+const switchSrc = `
+int classify(int c) {
+	int w = 0;
+	switch (c) {
+	case 0: w = 100; break;
+	case 1: w = 200; break;
+	case 2: w = 300; break;
+	}
+	return w;
+}
+int main() { write(classify(read())); return 0; }
+`
+
+func TestIndirectJumpApproximateVsRefined(t *testing.T) {
+	prog, err := cc.CompileSource("s.c", switchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jmpiPC int64 = -1
+	fn := prog.FuncByName("classify")
+	for pc := fn.Entry; pc < fn.End; pc++ {
+		if prog.Code[pc].Op == isa.JMPI {
+			jmpiPC = pc
+		}
+	}
+	if jmpiPC < 0 {
+		t.Fatal("no JMPI in classify")
+	}
+
+	// Approximate CFG: the unresolved indirect jump is treated as a
+	// fall-through (the jump-table edges are missing), so the block has
+	// exactly one successor and the post-dominator information is wrong —
+	// Figure 7's imprecision.
+	a := NewAnalyzer(prog)
+	g, err := a.Graph(jmpiPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb := g.BlockAt(jmpiPC)
+	if len(jb.Succs) != 1 {
+		t.Fatalf("approximate CFG should fall through the JMPI, got %+v", jb)
+	}
+
+	// Refine with the ground-truth jump-table targets.
+	if len(prog.JumpTables) != 1 {
+		t.Fatalf("want 1 jump table, got %d", len(prog.JumpTables))
+	}
+	for _, target := range prog.JumpTables[0].Targets {
+		if !a.ObserveIndirect(jmpiPC, target) && len(a.TargetsOf(jmpiPC)) == 0 {
+			t.Error("ObserveIndirect dropped a new target")
+		}
+	}
+	g2, err := a.Graph(jmpiPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb2 := g2.BlockAt(jmpiPC)
+	if len(jb2.Succs) == 0 {
+		t.Fatal("refined CFG still has no JMPI successors")
+	}
+	// After refinement the jump's control-dependence region closes inside
+	// the function (at the switch join), not at function exit.
+	if got := g2.IPDPc(jmpiPC); got < 0 {
+		t.Error("refined IPDPc should be a concrete pc, got -1")
+	}
+
+	// Re-observing known targets must not invalidate the cache.
+	before := a.Rebuilds()
+	a.ObserveIndirect(jmpiPC, prog.JumpTables[0].Targets[0])
+	if _, err := a.Graph(jmpiPC); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rebuilds() != before {
+		t.Error("re-observing a known target caused a rebuild")
+	}
+}
+
+func TestAnalyzerWithTablesMatchesRefined(t *testing.T) {
+	prog, err := cc.CompileSource("s.c", switchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := NewAnalyzerWithTables(prog)
+	fn := prog.FuncByName("classify")
+	var jmpiPC int64 = -1
+	for pc := fn.Entry; pc < fn.End; pc++ {
+		if prog.Code[pc].Op == isa.JMPI {
+			jmpiPC = pc
+		}
+	}
+	g, err := gt.Graph(jmpiPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.BlockAt(jmpiPC).Succs) == 0 {
+		t.Error("ground-truth analyzer should resolve JMPI successors")
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	prog, fn := diamond(t)
+	if _, err := Build(prog, isa.Func{Name: "bad", Entry: 5, End: 2}, nil); err == nil {
+		t.Error("bad range accepted")
+	}
+	a := NewAnalyzer(prog)
+	if _, err := a.Graph(int64(len(prog.Code)) + 5); err == nil {
+		t.Error("pc outside functions accepted")
+	}
+	_ = fn
+}
+
+func TestBlockAtBoundaries(t *testing.T) {
+	prog, fn := diamond(t)
+	g, err := Build(prog, fn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.BlockAt(fn.Entry) == nil {
+		t.Error("entry pc has no block")
+	}
+	if g.BlockAt(fn.End) != nil {
+		t.Error("pc past end should have no block")
+	}
+	if g.BlockAt(-1) != nil {
+		t.Error("negative pc should have no block")
+	}
+}
+
+// TestIrreducibleControlFlow feeds the analyzer a CFG that structured
+// source can never produce: a loop with two entries. Post-dominator
+// soundness must hold regardless (assembly and refined indirect jumps can
+// produce such shapes).
+func TestIrreducibleControlFlow(t *testing.T) {
+	prog, err := asm.Assemble("irr.s", `
+.func main
+	syscall r1, 1, rz
+	brz r1, entryB
+entryA:
+	addi r2, r2, 1
+	jmp common
+entryB:
+	addi r2, r2, 2
+common:
+	addi r3, r3, 1
+	movi r4, 10
+	cmplt r4, r3, r4
+	br r4, entryA
+	syscall r0, 2, r2
+	halt
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(prog, prog.Funcs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force soundness: every block's ipdom lies on all paths to
+	// exit.
+	for _, b := range g.Blocks {
+		p := g.IPdomOf(b.ID)
+		if p == b.ID {
+			t.Fatalf("block %d is its own ipdom", b.ID)
+		}
+		if p == g.ExitID {
+			continue
+		}
+		// Reachability avoiding p.
+		seen := map[int]bool{b.ID: true}
+		stack := []int{b.ID}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if g.Blocks[id].ToExit {
+				t.Fatalf("block %d reaches exit avoiding its ipdom %d", b.ID, p)
+			}
+			for _, s := range g.Blocks[id].Succs {
+				if s != p && !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/cfg"
+	"repro/internal/progfuzz"
+)
+
+// TestPostDominatorSoundnessOnGeneratedPrograms brute-force-verifies the
+// immediate post-dominator computation on the CFGs of randomly generated
+// programs: for every block b with ipdom(b) = p, removing p must
+// disconnect b from the exit (i.e. p lies on every b→exit path).
+func TestPostDominatorSoundnessOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		src := progfuzz.Generate(progfuzz.Config{Seed: seed, Stmts: 16, Funcs: 3})
+		prog, err := cc.CompileSource("fz.c", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		an := cfg.NewAnalyzerWithTables(prog)
+		for _, fn := range prog.Funcs {
+			g, err := an.Graph(fn.Entry)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, fn.Name, err)
+			}
+			for _, b := range g.Blocks {
+				p := g.IPdomOf(b.ID)
+				if p == b.ID {
+					t.Fatalf("seed %d %s: block %d is its own ipdom", seed, fn.Name, b.ID)
+				}
+				if p == g.ExitID {
+					continue // post-dominated only by exit: trivially sound
+				}
+				if reachesExitAvoiding(g, b.ID, p) {
+					t.Fatalf("seed %d %s: block [%d,%d) reaches exit avoiding its ipdom [%d,%d)\n%s",
+						seed, fn.Name, b.Start, b.End, g.Blocks[p].Start, g.Blocks[p].End, src)
+				}
+			}
+		}
+	}
+}
+
+// reachesExitAvoiding reports whether from can reach the virtual exit
+// without passing through banned.
+func reachesExitAvoiding(g *cfg.FuncGraph, from, banned int) bool {
+	if from == banned {
+		return false
+	}
+	seen := map[int]bool{from: true}
+	stack := []int{from}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := g.Blocks[id]
+		if b.ToExit {
+			return true
+		}
+		for _, s := range b.Succs {
+			if s == banned || seen[s] {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	return false
+}
+
+// TestPostDominatorMinimality checks that the immediate post-dominator is
+// the nearest one: no other post-dominator q of b lies strictly between b
+// and ipdom(b) (i.e. ipdom(b) must post-dominate every other
+// post-dominator candidate... equivalently, any q that post-dominates b
+// and is not b must be post-dominated-or-equal to ipdom chain).
+func TestPostDominatorMinimality(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		src := progfuzz.Generate(progfuzz.Config{Seed: seed + 100, Stmts: 14, Funcs: 2})
+		prog, err := cc.CompileSource("fz.c", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		an := cfg.NewAnalyzerWithTables(prog)
+		for _, fn := range prog.Funcs {
+			g, err := an.Graph(fn.Entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range g.Blocks {
+				// Collect all strict post-dominators of b by brute force.
+				var pdoms []int
+				for _, q := range g.Blocks {
+					if q.ID != b.ID && !reachesExitAvoiding(g, b.ID, q.ID) {
+						pdoms = append(pdoms, q.ID)
+					}
+				}
+				ip := g.IPdomOf(b.ID)
+				if ip == g.ExitID {
+					if len(pdoms) != 0 {
+						t.Fatalf("seed %d %s: block %d has pdoms %v but ipdom=exit", seed, fn.Name, b.ID, pdoms)
+					}
+					continue
+				}
+				// ip must be the unique post-dominator that every other
+				// post-dominator of b also post-dominates... the nearest
+				// one: every other pdom q must post-dominate ip.
+				for _, q := range pdoms {
+					if q == ip {
+						continue
+					}
+					if !g.PostDominates(q, ip) {
+						t.Fatalf("seed %d %s: block %d: ipdom %d is not nearest (pdom %d does not post-dominate it)",
+							seed, fn.Name, b.ID, ip, q)
+					}
+				}
+			}
+		}
+	}
+}

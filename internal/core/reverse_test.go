@@ -1,0 +1,195 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pinplay"
+)
+
+// reverseSession records a deterministic single-bug run with a known
+// monotonically updated global, so positions map to observable state.
+func reverseSession(t *testing.T) *core.Session {
+	t.Helper()
+	prog, err := cc.CompileSource("count.c", `
+int tick;
+int other;
+int worker(int n) {
+	int i;
+	for (i = 0; i < 300; i++) { other = other + 1; }
+	return 0;
+}
+int main() {
+	int i;
+	int t = spawn(worker, 0);
+	for (i = 0; i < 500; i++) { tick = tick + 1; }
+	join(t);
+	assert(tick == 0);
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.RecordFailure(prog, pinplay.LogConfig{Seed: 3, MeanQuantum: 40}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// tickAt replays forward to a position and reads the counter.
+func tickAt(t *testing.T, s *core.Session, rr *core.ReverseReplayer, pos int64) int64 {
+	t.Helper()
+	if err := rr.RunTo(pos); err != nil {
+		t.Fatal(err)
+	}
+	sym := s.Prog.SymbolByName("tick")
+	return rr.Machine().Mem.Read(sym.Addr)
+}
+
+func TestReverseRunToIsConsistent(t *testing.T) {
+	s := reverseSession(t)
+	rr := s.NewReverseReplayer(500)
+
+	// Forward to several positions, remembering state; then revisit them
+	// in arbitrary (including backward) order and require identical
+	// state.
+	positions := []int64{100, 1500, 3000, 700, 2500, 0, 3000, 42}
+	want := map[int64]int64{}
+	for _, p := range positions {
+		want[p] = tickAt(t, s, rr, p)
+	}
+	// Shuffle-ish revisit order.
+	for _, p := range []int64{3000, 0, 2500, 100, 42, 1500, 700} {
+		if got := tickAt(t, s, rr, p); got != want[p] {
+			t.Errorf("position %d: tick = %d on revisit, was %d", p, got, want[p])
+		}
+	}
+	if rr.Checkpoints() < 2 {
+		t.Errorf("expected multiple checkpoints, got %d", rr.Checkpoints())
+	}
+}
+
+func TestReverseStepBack(t *testing.T) {
+	s := reverseSession(t)
+	rr := s.NewReverseReplayer(300)
+	if err := rr.RunTo(2000); err != nil {
+		t.Fatal(err)
+	}
+	before := rr.Executed()
+	if err := rr.StepBack(1); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Executed() != before-1 {
+		t.Fatalf("StepBack(1): at %d, want %d", rr.Executed(), before-1)
+	}
+	if err := rr.StepBack(499); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Executed() != before-500 {
+		t.Fatalf("StepBack(499): at %d, want %d", rr.Executed(), before-500)
+	}
+	// Stepping back past the start clamps to region entry.
+	if err := rr.StepBack(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Executed() != 0 {
+		t.Fatalf("StepBack past start: at %d", rr.Executed())
+	}
+}
+
+func TestReverseReachesFailureAtEnd(t *testing.T) {
+	s := reverseSession(t)
+	rr := s.NewReverseReplayer(0)
+	for rr.StepForward() {
+	}
+	m := rr.Machine()
+	if m.Failure() == nil {
+		t.Fatal("forward replay through ReverseReplayer missed the failure")
+	}
+	// Now go back and forward again; the failure must reproduce.
+	if err := rr.StepBack(50); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Machine().Failure() != nil {
+		t.Fatal("failure still present after stepping back")
+	}
+	for rr.StepForward() {
+	}
+	if rr.Machine().Failure() == nil {
+		t.Fatal("failure not reproduced after reverse+forward")
+	}
+}
+
+func TestReverseSyscallConsistency(t *testing.T) {
+	// A program whose state depends on logged nondeterministic syscalls:
+	// replays from checkpoints must feed the same values.
+	prog, err := cc.CompileSource("rng.c", `
+int acc;
+int main() {
+	int i;
+	for (i = 0; i < 200; i++) {
+		acc = acc + rand() % 10 + read();
+	}
+	assert(acc == 0 - 1);
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]int64, 200)
+	for i := range input {
+		input[i] = int64(i % 7)
+	}
+	s, err := core.RecordFailure(prog, pinplay.LogConfig{Seed: 2, Input: input, RandSeed: 99}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := s.NewReverseReplayer(250)
+	sym := s.Prog.SymbolByName("acc")
+
+	if err := rr.RunTo(rr.Total()); err != nil {
+		t.Fatal(err)
+	}
+	finalAcc := rr.Machine().Mem.Read(sym.Addr)
+
+	// Bounce around; the final value must be identical every time we
+	// return to the end.
+	for _, back := range []int64{100, 1000, rr.Total() / 2} {
+		if err := rr.StepBack(back); err != nil {
+			t.Fatal(err)
+		}
+		if err := rr.RunTo(rr.Total()); err != nil {
+			t.Fatal(err)
+		}
+		if got := rr.Machine().Mem.Read(sym.Addr); got != finalAcc {
+			t.Fatalf("after -%d/+%d bounce: acc = %d, want %d", back, back, got, finalAcc)
+		}
+	}
+}
+
+func TestReverseThreadCountsRestored(t *testing.T) {
+	s := reverseSession(t)
+	rr := s.NewReverseReplayer(400)
+	if err := rr.RunTo(1200); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int64{}
+	for _, th := range rr.Machine().Threads {
+		counts[th.ID] = th.Count
+	}
+	if err := rr.RunTo(3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr.RunTo(1200); err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range rr.Machine().Threads {
+		if counts[th.ID] != th.Count {
+			t.Errorf("thread %d count %d after reverse, was %d", th.ID, th.Count, counts[th.ID])
+		}
+	}
+	_ = isa.NumRegs
+}

@@ -1,0 +1,294 @@
+// Package core is DrDebug's façade: it wires the PinPlay-style
+// record/replay system, the dynamic slicer and the execution-slice
+// machinery into the cyclic-debugging workflow of the paper (Figure 2):
+// capture a buggy region into a pinball, replay it deterministically any
+// number of times, compute highly precise dynamic slices during replay,
+// turn an interesting slice into a slice pinball, and step through the
+// execution slice while examining program state.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dualslice"
+	"repro/internal/isa"
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+	"repro/internal/races"
+	"repro/internal/slice"
+	"repro/internal/tracer"
+	"repro/internal/vm"
+)
+
+// Session is one cyclic-debugging session: a program plus the pinball
+// capturing the execution (region) under study. Traces and slicers are
+// computed lazily and cached — PinPlay's repeatability guarantee makes
+// one trace valid for every replay of the same pinball.
+type Session struct {
+	Prog    *isa.Program
+	Pinball *pinball.Pinball
+
+	trace  *tracer.Trace
+	slicer *slice.Slicer
+	opts   slice.Options
+}
+
+// RecordRegion captures an execution region into a pinball (fast-forward
+// SkipMain, record LengthMain main-thread instructions) and opens a
+// session on it.
+func RecordRegion(prog *isa.Program, cfg pinplay.LogConfig, spec pinplay.RegionSpec) (*Session, error) {
+	pb, err := pinplay.Log(prog, cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return Open(prog, pb), nil
+}
+
+// RecordFailure captures from skipMain to the program's failure point —
+// the "whole program execution region" workflow of Table 3 when skipMain
+// is 0 — and opens a session.
+func RecordFailure(prog *isa.Program, cfg pinplay.LogConfig, skipMain int64) (*Session, error) {
+	pb, err := pinplay.LogUntilFailure(prog, cfg, skipMain)
+	if err != nil {
+		return nil, err
+	}
+	return Open(prog, pb), nil
+}
+
+// Open starts a session over an existing pinball.
+func Open(prog *isa.Program, pb *pinball.Pinball) *Session {
+	return &Session{Prog: prog, Pinball: pb, opts: slice.DefaultOptions()}
+}
+
+// LoadSession opens a session from a pinball file.
+func LoadSession(prog *isa.Program, pinballPath string) (*Session, error) {
+	pb, err := pinball.Load(pinballPath)
+	if err != nil {
+		return nil, err
+	}
+	if pb.ProgramName != prog.Name {
+		return nil, fmt.Errorf("core: pinball was recorded from %q, not %q", pb.ProgramName, prog.Name)
+	}
+	return Open(prog, pb), nil
+}
+
+// SetSliceOptions configures the slicer used by subsequent slice requests,
+// invalidating any cached slicer.
+func (s *Session) SetSliceOptions(opts slice.Options) {
+	s.opts = opts
+	s.slicer = nil
+}
+
+// Replay deterministically re-executes the session's pinball, with an
+// optional observer, and returns the machine at the end of the region.
+func (s *Session) Replay(t vm.Tracer) (*vm.Machine, error) {
+	return pinplay.Replay(s.Prog, s.Pinball, t)
+}
+
+// ReplayMachine returns an un-run machine positioned at region entry; the
+// interactive debugger drives it instruction by instruction.
+func (s *Session) ReplayMachine(t vm.Tracer) *vm.Machine {
+	return pinplay.NewReplayMachine(s.Prog, s.Pinball, t)
+}
+
+// Trace returns the session's dynamic-information trace (def/use events,
+// shared-memory order, global trace), collecting it on first use by
+// replaying the region with the tracing pintool attached.
+func (s *Session) Trace() (*tracer.Trace, error) {
+	if s.trace != nil {
+		return s.trace, nil
+	}
+	m := pinplay.NewReplayMachine(s.Prog, s.Pinball, nil)
+	col := tracer.NewCollector(m)
+	m.SetTracer(col)
+	total := s.Pinball.TotalQuantumInstrs()
+	var executed int64
+	for executed < total && m.StepOne() {
+		executed++
+	}
+	if executed < total && !(m.Stopped() == vm.StopFailure && s.Pinball.Failure != nil) {
+		return nil, fmt.Errorf("core: trace collection diverged at %d of %d (stop %v)", executed, total, m.Stopped())
+	}
+	tr := col.Trace()
+	if err := tr.BuildGlobal(); err != nil {
+		return nil, err
+	}
+	s.trace = tr
+	return tr, nil
+}
+
+// Slicer returns the session's slicer (forward analysis run once, then
+// reused across slice requests).
+func (s *Session) Slicer() (*slice.Slicer, error) {
+	if s.slicer != nil {
+		return s.slicer, nil
+	}
+	tr, err := s.Trace()
+	if err != nil {
+		return nil, err
+	}
+	sl, err := slice.New(s.Prog, tr, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.slicer = sl
+	return sl, nil
+}
+
+// SliceAtFailure computes the backward slice of the failure point (the
+// failing thread's last instruction, e.g. the assert).
+func (s *Session) SliceAtFailure() (*slice.Slice, error) {
+	if s.Pinball.Failure == nil {
+		return nil, fmt.Errorf("core: session's pinball captured no failure")
+	}
+	tr, err := s.Trace()
+	if err != nil {
+		return nil, err
+	}
+	crit, err := slice.LastEventOf(tr, s.Pinball.Failure.Tid)
+	if err != nil {
+		return nil, err
+	}
+	return s.SliceFor(crit)
+}
+
+// SliceFor computes the backward slice for an arbitrary criterion.
+func (s *Session) SliceFor(crit tracer.Ref) (*slice.Slice, error) {
+	sl, err := s.Slicer()
+	if err != nil {
+		return nil, err
+	}
+	return sl.Slice(crit)
+}
+
+// SliceForVariable computes the slice of the last read of a named global
+// variable — the "slice for any interested variable" workflow.
+func (s *Session) SliceForVariable(name string) (*slice.Slice, error) {
+	sym := s.Prog.SymbolByName(name)
+	if sym == nil {
+		return nil, fmt.Errorf("core: no global variable %q", name)
+	}
+	tr, err := s.Trace()
+	if err != nil {
+		return nil, err
+	}
+	crit, err := slice.LastReadOf(tr, sym.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.SliceFor(crit)
+}
+
+// SliceAtLine computes the slice for the nth execution of the given
+// source line in the given thread.
+func (s *Session) SliceAtLine(tid int, line int32, nth int) (*slice.Slice, error) {
+	tr, err := s.Trace()
+	if err != nil {
+		return nil, err
+	}
+	crit, err := slice.EventAtLine(tr, s.Prog, tid, line, nth)
+	if err != nil {
+		return nil, err
+	}
+	return s.SliceFor(crit)
+}
+
+// ExecutionSlice converts a slice into exclusion regions and relogs the
+// region pinball into a slice pinball (paper §4, Figure 4b).
+func (s *Session) ExecutionSlice(sl *slice.Slice) (*pinball.Pinball, []pinball.Exclusion, error) {
+	tr, err := s.Trace()
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := slice.BuildExclusions(tr, sl)
+	spb, err := pinplay.Relog(s.Prog, s.Pinball, ex)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spb, ex, nil
+}
+
+// DetectRaces runs happens-before race detection over the session's
+// trace. Each reported racy access is a valid slicing criterion
+// (Race.Second can be passed to SliceFor), connecting race detection to
+// root-cause slicing.
+func (s *Session) DetectRaces() (*races.Report, error) {
+	tr, err := s.Trace()
+	if err != nil {
+		return nil, err
+	}
+	return races.Detect(tr, vm.StackBase)
+}
+
+// DualSlice slices the same criterion in this (failing) session and a
+// passing session of the same program, and diffs the results — dual
+// slicing per Weeratunge et al. The criterion is the last write to the
+// named global in each run, falling back to the failure point / last
+// event when the variable is never written.
+func DualSlice(failing, passing *Session, varName string) (*dualslice.Diff, error) {
+	if failing.Prog != passing.Prog {
+		return nil, fmt.Errorf("core: dual slice needs two sessions over the same program")
+	}
+	sliceIn := func(s *Session) (*tracer.Trace, *slice.Slice, error) {
+		tr, err := s.Trace()
+		if err != nil {
+			return nil, nil, err
+		}
+		sym := s.Prog.SymbolByName(varName)
+		if sym == nil {
+			return nil, nil, fmt.Errorf("core: no global variable %q", varName)
+		}
+		var crit tracer.Ref
+		found := false
+		for g := len(tr.Global) - 1; g >= 0 && !found; g-- {
+			e := tr.Entry(tr.Global[g])
+			if e.EffAddr >= sym.Addr && e.EffAddr < sym.Addr+sym.Size {
+				crit = tr.Global[g]
+				found = true
+			}
+		}
+		if !found {
+			crit = tr.Global[len(tr.Global)-1]
+		}
+		slicer, err := s.Slicer()
+		if err != nil {
+			return nil, nil, err
+		}
+		sl, err := slicer.Slice(crit)
+		return tr, sl, err
+	}
+	ftr, fsl, err := sliceIn(failing)
+	if err != nil {
+		return nil, err
+	}
+	ptr, psl, err := sliceIn(passing)
+	if err != nil {
+		return nil, err
+	}
+	return dualslice.Compare(failing.Prog, ftr, fsl, ptr, psl), nil
+}
+
+// SaveSlice persists a slice (with its exclusion regions) so it can be
+// reused across debug sessions.
+func (s *Session) SaveSlice(sl *slice.Slice, path string) error {
+	tr, err := s.Trace()
+	if err != nil {
+		return err
+	}
+	ex := slice.BuildExclusions(tr, sl)
+	return slice.ToFile(s.Prog, tr, sl, ex).Save(path)
+}
+
+// LoadSlice loads a previously saved slice and resolves it against this
+// session's trace.
+func (s *Session) LoadSlice(path string) (*slice.Slice, error) {
+	f, err := slice.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := s.Trace()
+	if err != nil {
+		return nil, err
+	}
+	return f.Resolve(tr)
+}

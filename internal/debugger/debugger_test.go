@@ -1,0 +1,375 @@
+package debugger_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/debugger"
+	"repro/internal/isa"
+	"repro/internal/pinplay"
+)
+
+const demoSrc = `
+int total;
+int steps;
+int bump(int n) {
+	total = total + n;
+	return total;
+}
+int main() {
+	int i;
+	for (i = 1; i <= 5; i++) {
+		bump(i);
+		steps = steps + 1;
+	}
+	assert(total == 999);
+	return 0;
+}`
+
+func compileDemo(t *testing.T) *isa.Program {
+	t.Helper()
+	prog, err := cc.CompileSource("demo.c", demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// exec runs one command and returns its output.
+func exec(t *testing.T, d *debugger.Debugger, cmd string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Execute(cmd, &buf); err != nil {
+		t.Fatalf("%q: %v", cmd, err)
+	}
+	return buf.String()
+}
+
+// execErr runs a command expecting an error.
+func execErr(t *testing.T, d *debugger.Debugger, cmd string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Execute(cmd, &buf); err == nil {
+		t.Errorf("%q should have failed; output: %s", cmd, buf.String())
+	}
+}
+
+func TestBreakpointsAndStepping(t *testing.T) {
+	d := debugger.New(compileDemo(t), pinplay.LogConfig{Seed: 1})
+	out := exec(t, d, "break bump")
+	if !strings.Contains(out, "breakpoint 1") {
+		t.Fatalf("break output: %s", out)
+	}
+	out = exec(t, d, "run")
+	if !strings.Contains(out, "breakpoint 1 hit") {
+		t.Fatalf("run did not hit breakpoint: %s", out)
+	}
+	// total should still be 0 on first entry to bump.
+	out = exec(t, d, "print total")
+	if !strings.Contains(out, "total = 0") {
+		t.Fatalf("print: %s", out)
+	}
+	out = exec(t, d, "continue")
+	if !strings.Contains(out, "breakpoint 1 hit") {
+		t.Fatalf("second continue: %s", out)
+	}
+	out = exec(t, d, "print total")
+	if !strings.Contains(out, "total = 1") {
+		t.Fatalf("after first bump, print: %s", out)
+	}
+	out = exec(t, d, "backtrace")
+	if !strings.Contains(out, "bump") || !strings.Contains(out, "main") {
+		t.Fatalf("backtrace: %s", out)
+	}
+	exec(t, d, "delete 1")
+	out = exec(t, d, "continue")
+	if !strings.Contains(out, "failed") {
+		t.Fatalf("expected run to end at assert failure: %s", out)
+	}
+}
+
+func TestBreakFileLineAndInfo(t *testing.T) {
+	d := debugger.New(compileDemo(t), pinplay.LogConfig{Seed: 1})
+	out := exec(t, d, "break demo.c:12")
+	if !strings.Contains(out, "breakpoint 1") {
+		t.Fatalf("break: %s", out)
+	}
+	out = exec(t, d, "info breakpoints")
+	if !strings.Contains(out, "demo.c:12") {
+		t.Fatalf("info breakpoints: %s", out)
+	}
+	out = exec(t, d, "run")
+	if !strings.Contains(out, "breakpoint 1 hit") {
+		t.Fatalf("run: %s", out)
+	}
+	out = exec(t, d, "info threads")
+	if !strings.Contains(out, "thread 0") {
+		t.Fatalf("info threads: %s", out)
+	}
+	out = exec(t, d, "info registers")
+	if !strings.Contains(out, "r0") || !strings.Contains(out, "pc") {
+		t.Fatalf("info registers: %s", out)
+	}
+	out = exec(t, d, "list")
+	if !strings.Contains(out, "=>") {
+		t.Fatalf("list: %s", out)
+	}
+	out = exec(t, d, "stepi")
+	if !strings.Contains(out, "thread 0 at pc") {
+		t.Fatalf("stepi: %s", out)
+	}
+	exec(t, d, "step")
+}
+
+func TestRecordReplaySliceWorkflow(t *testing.T) {
+	d := debugger.New(compileDemo(t), pinplay.LogConfig{Seed: 1})
+	exec(t, d, "break main")
+	exec(t, d, "run")
+	exec(t, d, "record on")
+	exec(t, d, "delete 1")
+	out := exec(t, d, "continue")
+	if !strings.Contains(out, "failed") {
+		t.Fatalf("continue: %s", out)
+	}
+	out = exec(t, d, "record off")
+	if !strings.Contains(out, "region pinball captured") || !strings.Contains(out, "captured failure") {
+		t.Fatalf("record off: %s", out)
+	}
+
+	// Cyclic debugging: replay the same region twice, same observations.
+	out = exec(t, d, "replay")
+	if !strings.Contains(out, "replaying region pinball") {
+		t.Fatalf("replay: %s", out)
+	}
+	exec(t, d, "break bump")
+	out = exec(t, d, "continue")
+	if !strings.Contains(out, "breakpoint") {
+		t.Fatalf("continue in replay: %s", out)
+	}
+	first := exec(t, d, "print total")
+	exec(t, d, "replay")
+	out = exec(t, d, "continue")
+	if !strings.Contains(out, "breakpoint") {
+		t.Fatalf("second replay continue: %s", out)
+	}
+	second := exec(t, d, "print total")
+	if first != second {
+		t.Errorf("replays observed different state: %q vs %q", first, second)
+	}
+
+	// Slice at the failure, inspect, save and reload it.
+	out = exec(t, d, "slice")
+	if !strings.Contains(out, "slice:") {
+		t.Fatalf("slice: %s", out)
+	}
+	out = exec(t, d, "slice show")
+	if !strings.Contains(out, "[statements]") {
+		t.Fatalf("slice show: %s", out)
+	}
+	dir := t.TempDir()
+	slicePath := filepath.Join(dir, "demo.slice")
+	exec(t, d, "slice save "+slicePath)
+	out = exec(t, d, "slice load "+slicePath)
+	if !strings.Contains(out, "slice:") {
+		t.Fatalf("slice load: %s", out)
+	}
+
+	// Execution slice: step through it and reach the assert.
+	out = exec(t, d, "execslice")
+	if !strings.Contains(out, "slice pinball generated") {
+		t.Fatalf("execslice: %s", out)
+	}
+	sawAssert := false
+	for i := 0; i < 200; i++ {
+		out = exec(t, d, "slicestep")
+		if strings.Contains(out, "end of execution slice") {
+			break
+		}
+		if strings.Contains(out, "demo.c:14") {
+			sawAssert = true
+		}
+	}
+	if !sawAssert {
+		t.Error("slice stepping never reached the assert line")
+	}
+
+	// Save the pinball for later sessions.
+	pbPath := filepath.Join(dir, "demo.pinball")
+	out = exec(t, d, "save pinball "+pbPath)
+	if !strings.Contains(out, "pinball saved") {
+		t.Fatalf("save pinball: %s", out)
+	}
+}
+
+func TestSliceForVariableCommand(t *testing.T) {
+	prog := compileDemo(t)
+	sess, err := core.RecordFailure(prog, pinplay.LogConfig{Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := debugger.New(prog, pinplay.LogConfig{Seed: 1})
+	d.UseSession(sess)
+	out := exec(t, d, "slice total")
+	if !strings.Contains(out, "slice:") {
+		t.Fatalf("slice total: %s", out)
+	}
+	out = exec(t, d, "slice at 0 5 2")
+	if !strings.Contains(out, "slice:") {
+		t.Fatalf("slice at: %s", out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	d := debugger.New(compileDemo(t), pinplay.LogConfig{Seed: 1})
+	execErr(t, d, "continue")
+	execErr(t, d, "replay")
+	execErr(t, d, "record on")
+	execErr(t, d, "record off")
+	execErr(t, d, "slice")
+	execErr(t, d, "execslice")
+	execErr(t, d, "slicestep")
+	execErr(t, d, "break nosuchfunc")
+	execErr(t, d, "break demo.c:9999")
+	execErr(t, d, "delete 7")
+	execErr(t, d, "print nope")
+	execErr(t, d, "frobnicate")
+	execErr(t, d, "thread 9")
+	execErr(t, d, "save pinball /tmp/x")
+	// Valid usage errors.
+	execErr(t, d, "record maybe")
+	execErr(t, d, "info")
+}
+
+func TestPrintForms(t *testing.T) {
+	d := debugger.New(compileDemo(t), pinplay.LogConfig{Seed: 1})
+	exec(t, d, "break demo.c:14")
+	exec(t, d, "run")
+	out := exec(t, d, "print $r0")
+	if !strings.Contains(out, "$r0 =") {
+		t.Fatalf("print reg: %s", out)
+	}
+	out = exec(t, d, "print $pc")
+	if !strings.Contains(out, "$pc =") {
+		t.Fatalf("print pc: %s", out)
+	}
+	out = exec(t, d, "print *0")
+	if !strings.Contains(out, "*0 =") {
+		t.Fatalf("print mem: %s", out)
+	}
+	out = exec(t, d, "print total")
+	if !strings.Contains(out, "total = 15") {
+		t.Fatalf("total after loop: %s", out)
+	}
+}
+
+func TestREPL(t *testing.T) {
+	d := debugger.New(compileDemo(t), pinplay.LogConfig{Seed: 1})
+	in := strings.NewReader("break bump\nrun\nprint total\nbadcmd\nquit\n")
+	var out bytes.Buffer
+	if err := d.Run(in, &out); err != nil {
+		t.Fatalf("repl: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"(drdebug)", "breakpoint 1", "total = 0", "error:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("repl output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHelp(t *testing.T) {
+	d := debugger.New(compileDemo(t), pinplay.LogConfig{Seed: 1})
+	out := exec(t, d, "help")
+	for _, want := range []string{"record", "replay", "slice", "execslice", "slicestep"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help missing %q", want)
+		}
+	}
+}
+
+func TestDepsCommand(t *testing.T) {
+	prog := compileDemo(t)
+	sess, err := core.RecordFailure(prog, pinplay.LogConfig{Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := debugger.New(prog, pinplay.LogConfig{Seed: 1})
+	d.UseSession(sess)
+	execErr(t, d, "deps") // no slice yet
+	exec(t, d, "slice")
+	out := exec(t, d, "deps")
+	for _, want := range []string{"direct dependences", "value chain", "<-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("deps output missing %q:\n%s", want, out)
+		}
+	}
+	execErr(t, d, "deps 99 0")
+	execErr(t, d, "deps x y")
+	execErr(t, d, "deps 1 2 3")
+}
+
+func TestSliceHTMLCommand(t *testing.T) {
+	prog := compileDemo(t)
+	sess, err := core.RecordFailure(prog, pinplay.LogConfig{Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := debugger.New(prog, pinplay.LogConfig{Seed: 1})
+	d.UseSession(sess)
+	exec(t, d, "slice")
+	path := filepath.Join(t.TempDir(), "s.html")
+	out := exec(t, d, "slice html "+path)
+	if !strings.Contains(out, "HTML slice report written") {
+		t.Fatalf("slice html: %s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Dynamic slice") {
+		t.Error("html file missing content")
+	}
+	execErr(t, d, "slice html")
+}
+
+func TestNextStepsOverCalls(t *testing.T) {
+	d := debugger.New(compileDemo(t), pinplay.LogConfig{Seed: 1})
+	exec(t, d, "break demo.c:11") // "bump(i);"
+	out := exec(t, d, "run")
+	if !strings.Contains(out, "breakpoint 1 hit") {
+		t.Fatalf("run: %s", out)
+	}
+	// next must land on line 12 (steps over bump), not inside bump.
+	out = exec(t, d, "next")
+	if !strings.Contains(out, "demo.c:12") {
+		t.Fatalf("next landed at %s, want demo.c:12", out)
+	}
+	// total was updated by the stepped-over call.
+	out = exec(t, d, "print total")
+	if !strings.Contains(out, "total = 1") {
+		t.Fatalf("after next: %s", out)
+	}
+}
+
+func TestFinishRunsToCaller(t *testing.T) {
+	d := debugger.New(compileDemo(t), pinplay.LogConfig{Seed: 1})
+	exec(t, d, "break demo.c:5") // inside bump
+	out := exec(t, d, "run")
+	if !strings.Contains(out, "breakpoint 1 hit") {
+		t.Fatalf("run: %s", out)
+	}
+	out = exec(t, d, "finish")
+	if !strings.Contains(out, "returned:") || !strings.Contains(out, "$r0 = 1") {
+		t.Fatalf("finish: %s", out)
+	}
+	// Back in main.
+	out = exec(t, d, "backtrace")
+	if strings.Contains(strings.Split(out, "\n")[1], "bump") {
+		t.Fatalf("still in bump after finish: %s", out)
+	}
+}

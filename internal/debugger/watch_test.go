@@ -1,0 +1,91 @@
+package debugger_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/debugger"
+	"repro/internal/pinplay"
+)
+
+func TestWatchpointStopsOnChange(t *testing.T) {
+	prog, err := cc.CompileSource("w.c", `
+int stage;
+int main() {
+	int i;
+	int pad = 0;
+	for (i = 0; i < 50; i++) { pad = pad + i; }
+	stage = 1;
+	for (i = 0; i < 50; i++) { pad = pad + i; }
+	stage = 2;
+	write(pad);
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := debugger.New(prog, pinplay.LogConfig{Seed: 1})
+	out := exec(t, d, "watch stage")
+	if !strings.Contains(out, "watchpoint 1 on stage") {
+		t.Fatalf("watch: %s", out)
+	}
+	out = exec(t, d, "run")
+	if !strings.Contains(out, "watchpoint 1 hit: stage changed to 1") {
+		t.Fatalf("first hit: %s", out)
+	}
+	out = exec(t, d, "continue")
+	if !strings.Contains(out, "watchpoint 1 hit: stage changed to 2") {
+		t.Fatalf("second hit: %s", out)
+	}
+	out = exec(t, d, "continue")
+	if !strings.Contains(out, "stopped: exit") {
+		t.Fatalf("run out: %s", out)
+	}
+}
+
+func TestWatchpointInReplayMode(t *testing.T) {
+	d := reverseDebugger(t)
+	exec(t, d, "watch total")
+	out := exec(t, d, "continue")
+	if !strings.Contains(out, "watchpoint 1 hit: total changed to 1") {
+		t.Fatalf("replay watch: %s", out)
+	}
+	// Watchpoints interact with reverse debugging: go back, re-continue,
+	// same deterministic hit.
+	exec(t, d, "reverse-stepi 20")
+	// Reset the watch to the rewound value by deleting and re-adding.
+	exec(t, d, "delete 1")
+	exec(t, d, "watch total")
+	out = exec(t, d, "continue")
+	if !strings.Contains(out, "watchpoint 2 hit: total changed to 1") {
+		t.Fatalf("watch after reverse: %s", out)
+	}
+}
+
+func TestWatchpointSpecsAndErrors(t *testing.T) {
+	prog, err := cc.CompileSource("w.c", `
+int tab[4];
+int main() { tab[2] = 9; write(tab[2]); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := debugger.New(prog, pinplay.LogConfig{Seed: 1})
+	out := exec(t, d, "watch tab[2]")
+	if !strings.Contains(out, "watchpoint 1") {
+		t.Fatalf("watch array: %s", out)
+	}
+	out = exec(t, d, "run")
+	if !strings.Contains(out, "watchpoint 1 hit") {
+		t.Fatalf("array watch hit: %s", out)
+	}
+	out = exec(t, d, "info breakpoints")
+	if !strings.Contains(out, "watch tab[2]") {
+		t.Fatalf("info: %s", out)
+	}
+	exec(t, d, "delete 1")
+	execErr(t, d, "watch nope")
+	execErr(t, d, "watch tab[99]")
+	execErr(t, d, "watch *-5")
+	execErr(t, d, "watch")
+}

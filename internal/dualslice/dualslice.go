@@ -1,0 +1,143 @@
+// Package dualslice implements dual slicing in the spirit of Weeratunge
+// et al. (ISSTA'10), cited by the paper's related work: given a failing
+// and a passing execution of the same program, slice the same criterion
+// in both and diff the results at the source-statement level. Statements
+// that only the failing run's slice contains are where the computation of
+// the bad value diverged — for concurrency bugs, typically the racing
+// access that the passing schedule ordered harmlessly.
+package dualslice
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/slice"
+	"repro/internal/tracer"
+)
+
+// Stmt summarises one source statement's participation in the two slices.
+type Stmt struct {
+	Src string
+	// FailCount / PassCount are the statement's dynamic occurrence
+	// counts in the failing / passing slice (0 = absent).
+	FailCount int
+	PassCount int
+	// Threads lists the thread ids executing the statement in whichever
+	// slice(s) contain it.
+	Threads []int
+}
+
+// Diff is the outcome of a dual slice.
+type Diff struct {
+	// OnlyFailing holds statements in the failing slice but not the
+	// passing one — the divergence, ordered by source position.
+	OnlyFailing []Stmt
+	// OnlyPassing holds statements only the passing slice contains.
+	OnlyPassing []Stmt
+	// Common holds statements in both.
+	Common []Stmt
+}
+
+// summarise aggregates a slice into per-statement counts.
+func summarise(prog *isa.Program, tr *tracer.Trace, sl *slice.Slice) map[string]*Stmt {
+	out := map[string]*Stmt{}
+	for _, m := range sl.Members {
+		e := tr.Entry(m)
+		src := prog.SourceOf(e.PC)
+		st := out[src]
+		if st == nil {
+			st = &Stmt{Src: src}
+			out[src] = st
+		}
+		st.FailCount++ // caller reinterprets for the passing side
+		seen := false
+		for _, t := range st.Threads {
+			if t == e.Tid {
+				seen = true
+			}
+		}
+		if !seen {
+			st.Threads = append(st.Threads, e.Tid)
+		}
+	}
+	return out
+}
+
+// Compare diffs a failing-run slice against a passing-run slice of the
+// same program.
+func Compare(prog *isa.Program,
+	failTr *tracer.Trace, failSl *slice.Slice,
+	passTr *tracer.Trace, passSl *slice.Slice) *Diff {
+
+	fail := summarise(prog, failTr, failSl)
+	pass := summarise(prog, passTr, passSl)
+
+	d := &Diff{}
+	var srcs []string
+	for s := range fail {
+		srcs = append(srcs, s)
+	}
+	for s := range pass {
+		if _, dup := fail[s]; !dup {
+			srcs = append(srcs, s)
+		}
+	}
+	sort.Strings(srcs)
+
+	for _, src := range srcs {
+		f, inF := fail[src]
+		p, inP := pass[src]
+		switch {
+		case inF && inP:
+			st := Stmt{Src: src, FailCount: f.FailCount, PassCount: p.FailCount}
+			st.Threads = mergeThreads(f.Threads, p.Threads)
+			d.Common = append(d.Common, st)
+		case inF:
+			d.OnlyFailing = append(d.OnlyFailing, Stmt{
+				Src: src, FailCount: f.FailCount, Threads: f.Threads,
+			})
+		default:
+			d.OnlyPassing = append(d.OnlyPassing, Stmt{
+				Src: src, PassCount: p.FailCount, Threads: p.Threads,
+			})
+		}
+	}
+	return d
+}
+
+func mergeThreads(a, b []int) []int {
+	set := map[int]bool{}
+	for _, t := range a {
+		set[t] = true
+	}
+	for _, t := range b {
+		set[t] = true
+	}
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WriteText renders the diff for the debugger/CLI.
+func (d *Diff) WriteText(w io.Writer) {
+	section := func(title string, stmts []Stmt, count func(Stmt) string) {
+		fmt.Fprintf(w, "[%s] (%d statements)\n", title, len(stmts))
+		for _, s := range stmts {
+			fmt.Fprintf(w, "  %-32s %s threads=%v\n", s.Src, count(s), s.Threads)
+		}
+	}
+	section("only in failing slice", d.OnlyFailing, func(s Stmt) string {
+		return fmt.Sprintf("x%d", s.FailCount)
+	})
+	section("only in passing slice", d.OnlyPassing, func(s Stmt) string {
+		return fmt.Sprintf("x%d", s.PassCount)
+	})
+	section("common", d.Common, func(s Stmt) string {
+		return fmt.Sprintf("fail x%d / pass x%d", s.FailCount, s.PassCount)
+	})
+}

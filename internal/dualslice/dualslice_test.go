@@ -1,0 +1,194 @@
+package dualslice_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/dualslice"
+	"repro/internal/isa"
+	"repro/internal/pinplay"
+	"repro/internal/slice"
+	"repro/internal/tracer"
+)
+
+// The atomicity-violation bug: under a failing schedule, main's write to
+// x lands between t2's two reads; under a passing schedule it lands
+// after.
+const raceSrc = `
+int x;
+int result;
+int t2func(int unused) {
+	int k = x + 1;
+	yield();
+	k = k + x;
+	result = k;
+	assert(k == 3);
+	return k;
+}
+int main() {
+	x = 1;
+	int t = spawn(t2func, 0);
+	yield();
+	x = 0 - 1;
+	join(t);
+	return 0;
+}`
+
+// sliceOf records one run under the given seed (requiring failure or
+// success) and slices the last read of `result`-producing value: the
+// write to result is the common criterion anchor.
+func sliceOf(t *testing.T, prog *isa.Program, seed int64, wantFail bool) (*tracer.Trace, *slice.Slice, bool) {
+	t.Helper()
+	pb, err := pinplay.Log(prog, pinplay.LogConfig{Seed: seed, MeanQuantum: 5}, pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := pb.Failure != nil
+	if failed != wantFail {
+		return nil, nil, false
+	}
+	sess := core.Open(prog, pb)
+	tr, err := sess.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := prog.SymbolByName("result")
+	var crit tracer.Ref
+	// Criterion: the write of result (same source statement in both
+	// runs) — slice the value stored there.
+	found := false
+	for g := len(tr.Global) - 1; g >= 0 && !found; g-- {
+		ref := tr.Global[g]
+		e := tr.Entry(ref)
+		if e.MemIsWrite && e.EffAddr == sym.Addr {
+			crit = ref
+			found = true
+		}
+	}
+	if !found {
+		// The failing run stops at the assert before writing result;
+		// fall back to the failing thread's last event.
+		crit = tr.Global[len(tr.Global)-1]
+	}
+	s, err := slice.New(prog, tr, slice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := s.Slice(crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, sl, true
+}
+
+func TestDualSliceIsolatesRacingWrite(t *testing.T) {
+	prog, err := cc.CompileSource("race.c", raceSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failTr, passTr *tracer.Trace
+	var failSl, passSl *slice.Slice
+	for seed := int64(1); seed < 300 && (failTr == nil || passTr == nil); seed++ {
+		if failTr == nil {
+			if tr, sl, ok := sliceOf(t, prog, seed, true); ok {
+				failTr, failSl = tr, sl
+			}
+		}
+		if passTr == nil {
+			if tr, sl, ok := sliceOf(t, prog, seed, false); ok {
+				passTr, passSl = tr, sl
+			}
+		}
+	}
+	if failTr == nil || passTr == nil {
+		t.Fatal("could not find both failing and passing schedules")
+	}
+
+	d := dualslice.Compare(prog, failTr, failSl, passTr, passSl)
+
+	// The racing write "x = 0 - 1" (line 16) must be failing-only: in
+	// the passing schedule it happens after both reads and does not feed
+	// the criterion.
+	foundRace := false
+	for _, s := range d.OnlyFailing {
+		if strings.HasSuffix(s.Src, ":16") {
+			foundRace = true
+		}
+	}
+	if !foundRace {
+		var srcs []string
+		for _, s := range d.OnlyFailing {
+			srcs = append(srcs, s.Src)
+		}
+		t.Errorf("racing write not isolated; only-failing = %v", srcs)
+	}
+	// The shared prefix (k = x + 1 at line 5) is common.
+	foundCommon := false
+	for _, s := range d.Common {
+		if strings.HasSuffix(s.Src, ":5") {
+			foundCommon = true
+		}
+	}
+	if !foundCommon {
+		t.Error("common computation missing from Common")
+	}
+
+	var buf bytes.Buffer
+	d.WriteText(&buf)
+	for _, want := range []string{"only in failing slice", "only in passing slice", "common", "race.c:16"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestDualSliceIdenticalRunsHaveNoDiff(t *testing.T) {
+	prog, err := cc.CompileSource("same.c", `
+int a;
+int main() {
+	a = 5;
+	a = a * 2;
+	write(a);
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(seed int64) (*tracer.Trace, *slice.Slice) {
+		pb, err := pinplay.Log(prog, pinplay.LogConfig{Seed: seed}, pinplay.RegionSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := core.Open(prog, pb)
+		tr, err := sess.Trace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sym := prog.SymbolByName("a")
+		crit, err := slice.LastReadOf(tr, sym.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := slice.New(prog, tr, slice.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sl, err := s.Slice(crit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, sl
+	}
+	t1, s1 := get(1)
+	t2, s2 := get(2)
+	d := dualslice.Compare(prog, t1, s1, t2, s2)
+	if len(d.OnlyFailing) != 0 || len(d.OnlyPassing) != 0 {
+		t.Errorf("identical single-threaded runs diverged: %+v %+v", d.OnlyFailing, d.OnlyPassing)
+	}
+	if len(d.Common) == 0 {
+		t.Error("no common statements")
+	}
+}

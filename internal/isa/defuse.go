@@ -1,0 +1,94 @@
+package isa
+
+// This file gives the static register def/use sets of each instruction.
+// Memory def/use sets depend on runtime effective addresses and are
+// reported by the VM's tracer callbacks instead.
+
+// RegUses appends the registers read by the instruction to dst and returns
+// the extended slice. RZ is never reported: it is not a real dependence
+// source. SP is reported for the stack operations that read it.
+func (i Instr) RegUses(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r != RZ {
+			dst = append(dst, r)
+		}
+	}
+	switch i.Op {
+	case NOP, MOVI, JMP, HALT, RET:
+		// RET reads SP (address of the return slot).
+		if i.Op == RET {
+			add(SP)
+		}
+	case MOV:
+		add(i.Rs1)
+	case LOAD:
+		add(i.Rs1)
+	case STORE:
+		add(i.Rs1)
+		add(i.Rs2)
+	case PUSH:
+		add(i.Rs1)
+		add(SP)
+	case POP:
+		add(SP)
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR,
+		CMPEQ, CMPNE, CMPLT, CMPLE:
+		add(i.Rs1)
+		add(i.Rs2)
+	case ADDI, MULI:
+		add(i.Rs1)
+	case BR, BRZ:
+		add(i.Rs1)
+	case JMPI:
+		add(i.Rs1)
+	case CALL:
+		add(SP)
+	case CALLI:
+		add(i.Rs1)
+		add(SP)
+	case SPAWN:
+		add(i.Rs1)
+	case JOIN, LOCK, UNLOCK, SIGNAL:
+		add(i.Rs1)
+	case WAIT:
+		add(i.Rs1)
+		add(i.Rs2)
+	case SYSCALL:
+		add(i.Rs1)
+	case ASSERT:
+		add(i.Rs1)
+	}
+	return dst
+}
+
+// RegDefs appends the registers written by the instruction to dst and
+// returns the extended slice. Writes to RZ are discarded by the hardware
+// and therefore not reported.
+func (i Instr) RegDefs(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r != RZ {
+			dst = append(dst, r)
+		}
+	}
+	switch i.Op {
+	case MOVI, MOV, LOAD,
+		ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR,
+		ADDI, MULI,
+		CMPEQ, CMPNE, CMPLT, CMPLE:
+		add(i.Rd)
+	case PUSH:
+		add(SP)
+	case POP:
+		add(i.Rd)
+		add(SP)
+	case CALL, CALLI:
+		add(SP)
+	case RET:
+		add(SP)
+	case SPAWN:
+		add(i.Rd)
+	case SYSCALL:
+		add(i.Rd)
+	}
+	return dst
+}

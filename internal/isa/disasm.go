@@ -1,0 +1,65 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String disassembles the instruction into assembler syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP, RET, HALT:
+		return i.Op.String()
+	case MOVI:
+		return fmt.Sprintf("movi %s, %d", i.Rd, i.Imm)
+	case MOV:
+		return fmt.Sprintf("mov %s, %s", i.Rd, i.Rs1)
+	case LOAD:
+		return fmt.Sprintf("load %s, [%s%+d]", i.Rd, i.Rs1, i.Imm)
+	case STORE:
+		return fmt.Sprintf("store [%s%+d], %s", i.Rs1, i.Imm, i.Rs2)
+	case PUSH:
+		return fmt.Sprintf("push %s", i.Rs1)
+	case POP:
+		return fmt.Sprintf("pop %s", i.Rd)
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR,
+		CMPEQ, CMPNE, CMPLT, CMPLE:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case ADDI, MULI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case BR, BRZ:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rs1, i.Imm)
+	case JMP, CALL:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case JMPI, CALLI:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs1)
+	case SPAWN:
+		return fmt.Sprintf("spawn %s, %d, %s", i.Rd, i.Imm, i.Rs1)
+	case JOIN, LOCK, UNLOCK, ASSERT, SIGNAL:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs1)
+	case WAIT:
+		return fmt.Sprintf("wait %s, %s", i.Rs1, i.Rs2)
+	case SYSCALL:
+		return fmt.Sprintf("syscall %s, %d, %s", i.Rd, i.Imm, i.Rs1)
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}
+
+// Disassemble renders the whole program, annotating function entries and
+// source lines, mainly for debugging the tool-chain itself.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	fi := 0
+	for pc, in := range p.Code {
+		for fi < len(p.Funcs) && p.Funcs[fi].Entry == int64(pc) {
+			fmt.Fprintf(&b, "%s:\n", p.Funcs[fi].Name)
+			fi++
+		}
+		src := ""
+		if in.Line != 0 && int(in.File) < len(p.Files) {
+			src = fmt.Sprintf("\t; %s:%d", p.Files[in.File], in.Line)
+		}
+		fmt.Fprintf(&b, "%6d\t%s%s\n", pc, in.String(), src)
+	}
+	return b.String()
+}

@@ -1,0 +1,271 @@
+// Package isa defines the instruction set of the register machine that
+// serves as DrDebug's execution substrate.
+//
+// The paper's tool-chain operates on native x86/Intel64 binaries through
+// Pin's dynamic instrumentation. This package provides the equivalent
+// substrate for a pure-Go reproduction: an x86-flavoured ISA that retains
+// every feature the paper's algorithms depend on — register/memory def-use
+// per instruction, indirect jumps (switch jump tables), an explicit stack
+// with PUSH/POP used by callee-save prologue/epilogue pairs, locks, thread
+// spawn/join, and nondeterministic system calls.
+//
+// Words are 64-bit signed integers and memory is word-addressed.
+package isa
+
+import "fmt"
+
+// Reg names a machine register. R0..R15 are general purpose; SP and FP are
+// the stack and frame pointers; RZ reads as zero and ignores writes.
+type Reg uint8
+
+// Register file layout.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	SP // stack pointer (word address, grows down)
+	FP // frame pointer
+	RZ // hard-wired zero: reads 0, writes discarded
+
+	// NumRegs is the size of the architectural register file, including
+	// SP, FP and RZ.
+	NumRegs = 19
+)
+
+// Conventional roles assigned by the mini-C compiler (internal/cc). They are
+// conventions only; the hardware treats all of R0..R15 identically.
+const (
+	RetReg    = R0 // function return value
+	Arg0      = R1 // first argument
+	Arg1      = R2
+	Arg2      = R3
+	ScratchLo = R4 // R4..R7 caller-saved temporaries
+	CalleeLo  = R8 // R8..R15 callee-saved (pushed/popped by prologue/epilogue)
+	CalleeHi  = R15
+)
+
+// String returns the assembler spelling of the register.
+func (r Reg) String() string {
+	switch {
+	case r < SP:
+		return fmt.Sprintf("r%d", int(r))
+	case r == SP:
+		return "sp"
+	case r == FP:
+		return "fp"
+	case r == RZ:
+		return "rz"
+	}
+	return fmt.Sprintf("r?%d", int(r))
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// The instruction set. Operand conventions are documented per opcode in
+// terms of the Instr fields Rd, Rs1, Rs2 and Imm.
+const (
+	// NOP does nothing.
+	NOP Op = iota
+
+	// MOVI: Rd <- Imm.
+	MOVI
+	// MOV: Rd <- Rs1.
+	MOV
+	// LOAD: Rd <- mem[Rs1 + Imm]. Use Rs1 = RZ for absolute addressing.
+	LOAD
+	// STORE: mem[Rs1 + Imm] <- Rs2.
+	STORE
+	// PUSH: SP <- SP - 1; mem[SP] <- Rs1.
+	PUSH
+	// POP: Rd <- mem[SP]; SP <- SP + 1.
+	POP
+
+	// Three-register ALU: Rd <- Rs1 op Rs2.
+	ADD
+	SUB
+	MUL
+	DIV // traps on divide by zero
+	MOD
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	// ADDI: Rd <- Rs1 + Imm.
+	ADDI
+	// MULI: Rd <- Rs1 * Imm.
+	MULI
+
+	// Comparisons: Rd <- (Rs1 op Rs2) ? 1 : 0.
+	CMPEQ
+	CMPNE
+	CMPLT
+	CMPLE
+
+	// BR: if Rs1 != 0, pc <- Imm. A conditional branch; a control-
+	// dependence source for the slicer.
+	BR
+	// BRZ: if Rs1 == 0, pc <- Imm.
+	BRZ
+	// JMP: pc <- Imm. Unconditional direct jump.
+	JMP
+	// JMPI: pc <- Rs1. Indirect jump; the translation of switch jump
+	// tables, and the source of static-CFG imprecision addressed by
+	// Section 5.1 of the paper.
+	JMPI
+	// CALL: push return address; pc <- Imm (a function entry).
+	CALL
+	// CALLI: push return address; pc <- Rs1 (indirect call).
+	CALLI
+	// RET: pop return address into pc.
+	RET
+
+	// SPAWN: Rd <- tid of a new thread starting at function entry Imm
+	// with Rs1 as its single argument (placed in the child's Arg0).
+	SPAWN
+	// JOIN: block until thread Rs1 exits.
+	JOIN
+	// LOCK: acquire the mutex whose cell is mem[Rs1] (blocking).
+	LOCK
+	// UNLOCK: release the mutex whose cell is mem[Rs1].
+	UNLOCK
+
+	// WAIT: block on the condition variable whose cell is mem[Rs1],
+	// atomically releasing the mutex whose cell is mem[Rs2] (which the
+	// caller must hold). The compiler emits a LOCK on the same mutex
+	// immediately after, so wakeup is followed by reacquisition exactly
+	// as in pthread_cond_wait.
+	WAIT
+	// SIGNAL: wake the longest-waiting thread blocked on the condition
+	// variable whose cell is mem[Rs1] (no-op when none waits).
+	SIGNAL
+
+	// SYSCALL: Rd <- syscall(Imm, Rs1). See the Sys* constants. Results of
+	// nondeterministic calls are captured in pinballs by the logger.
+	SYSCALL
+
+	// ASSERT: if Rs1 == 0, raise an assertion failure — the "symptom" of
+	// a bug in the paper's terminology. Execution of the failing thread
+	// stops and the machine reports the failure point.
+	ASSERT
+
+	// HALT: terminate the whole program (all threads).
+	HALT
+
+	numOps
+)
+
+// System call numbers for SYSCALL's Imm field.
+const (
+	// SysRead returns the next word of program input. Nondeterministic
+	// from the program's point of view; logged in pinballs.
+	SysRead int64 = 1
+	// SysWrite appends the argument word to the program output.
+	SysWrite int64 = 2
+	// SysTime returns a (logical) timestamp. Logged.
+	SysTime int64 = 3
+	// SysRand returns a pseudo-random word. Logged.
+	SysRand int64 = 4
+	// SysAlloc bump-allocates the argument number of words from the heap
+	// and returns the base address. Deterministic but logged anyway so
+	// that replay does not depend on allocator internals.
+	SysAlloc int64 = 5
+	// SysThreadID returns the calling thread's id. Deterministic.
+	SysThreadID int64 = 6
+	// SysYield hints the scheduler to preempt the calling thread.
+	SysYield int64 = 7
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", MOVI: "movi", MOV: "mov", LOAD: "load", STORE: "store",
+	PUSH: "push", POP: "pop",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", MOD: "mod",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr",
+	ADDI: "addi", MULI: "muli",
+	CMPEQ: "cmpeq", CMPNE: "cmpne", CMPLT: "cmplt", CMPLE: "cmple",
+	BR: "br", BRZ: "brz", JMP: "jmp", JMPI: "jmpi",
+	CALL: "call", CALLI: "calli", RET: "ret",
+	SPAWN: "spawn", JOIN: "join", LOCK: "lock", UNLOCK: "unlock",
+	WAIT: "wait", SIGNAL: "signal",
+	SYSCALL: "syscall", ASSERT: "assert", HALT: "halt",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op?%d", int(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < numOps }
+
+// Instr is one machine instruction. The interpretation of the operand
+// fields depends on Op; see the opcode documentation.
+type Instr struct {
+	Op       Op
+	Rd       Reg   // destination register
+	Rs1, Rs2 Reg   // source registers
+	Imm      int64 // immediate: constant, address offset, or jump target pc
+	Line     int32 // 1-based source line (0 = unknown)
+	File     int32 // index into Program.Files (valid when Line != 0)
+}
+
+// IsBranch reports whether the instruction can transfer control to more
+// than one successor (conditional branches and indirect jumps). These are
+// the instructions that give rise to dynamic control dependences.
+func (i Instr) IsBranch() bool {
+	switch i.Op {
+	case BR, BRZ, JMPI:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction is a direct or indirect call.
+func (i Instr) IsCall() bool { return i.Op == CALL || i.Op == CALLI }
+
+// EndsBlock reports whether the instruction terminates a basic block.
+func (i Instr) EndsBlock() bool {
+	switch i.Op {
+	case BR, BRZ, JMP, JMPI, RET, HALT:
+		return true
+	}
+	return false
+}
+
+// WritesMem reports whether executing the instruction writes memory.
+// CALL pushes the return address and so writes the stack.
+func (i Instr) WritesMem() bool {
+	switch i.Op {
+	case STORE, PUSH, CALL, CALLI, WAIT:
+		return true
+	}
+	return false
+}
+
+// ReadsMem reports whether executing the instruction reads memory.
+// RET pops the return address. LOCK/UNLOCK both read (and write) the mutex
+// cell.
+func (i Instr) ReadsMem() bool {
+	switch i.Op {
+	case LOAD, POP, RET, LOCK, UNLOCK:
+		return true
+	}
+	return false
+}

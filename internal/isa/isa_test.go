@@ -1,0 +1,209 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op?") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if !op.Valid() {
+			t.Errorf("opcode %d should be valid", op)
+		}
+	}
+	if Op(numOps).Valid() {
+		t.Error("out-of-range opcode reported valid")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{R0: "r0", R15: "r15", SP: "sp", FP: "fp", RZ: "rz"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestRegDefUse(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		uses []Reg
+		defs []Reg
+	}{
+		{Instr{Op: ADD, Rd: R0, Rs1: R1, Rs2: R2}, []Reg{R1, R2}, []Reg{R0}},
+		{Instr{Op: MOVI, Rd: R3, Imm: 5}, nil, []Reg{R3}},
+		{Instr{Op: LOAD, Rd: R1, Rs1: R2}, []Reg{R2}, []Reg{R1}},
+		{Instr{Op: LOAD, Rd: R1, Rs1: RZ}, nil, []Reg{R1}},
+		{Instr{Op: STORE, Rs1: R2, Rs2: R3}, []Reg{R2, R3}, nil},
+		{Instr{Op: PUSH, Rs1: R1}, []Reg{R1, SP}, []Reg{SP}},
+		{Instr{Op: POP, Rd: R1}, []Reg{SP}, []Reg{R1, SP}},
+		{Instr{Op: CALL}, []Reg{SP}, []Reg{SP}},
+		{Instr{Op: RET}, []Reg{SP}, []Reg{SP}},
+		{Instr{Op: BR, Rs1: R4}, []Reg{R4}, nil},
+		{Instr{Op: JMPI, Rs1: R4}, []Reg{R4}, nil},
+		{Instr{Op: SYSCALL, Rd: R0, Rs1: R1}, []Reg{R1}, []Reg{R0}},
+		{Instr{Op: SPAWN, Rd: R0, Rs1: R1}, []Reg{R1}, []Reg{R0}},
+		{Instr{Op: ASSERT, Rs1: R2}, []Reg{R2}, nil},
+	}
+	for _, tc := range cases {
+		gotU := tc.in.RegUses(nil)
+		gotD := tc.in.RegDefs(nil)
+		if !regsEq(gotU, tc.uses) {
+			t.Errorf("%v uses = %v, want %v", tc.in, gotU, tc.uses)
+		}
+		if !regsEq(gotD, tc.defs) {
+			t.Errorf("%v defs = %v, want %v", tc.in, gotD, tc.defs)
+		}
+	}
+}
+
+func regsEq(a, b []Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInstrPredicates(t *testing.T) {
+	if !(Instr{Op: BR}).IsBranch() || !(Instr{Op: JMPI}).IsBranch() {
+		t.Error("BR/JMPI must be branches")
+	}
+	if (Instr{Op: JMP}).IsBranch() {
+		t.Error("JMP is unconditional, not a branch")
+	}
+	if !(Instr{Op: CALL}).IsCall() || !(Instr{Op: CALLI}).IsCall() {
+		t.Error("CALL/CALLI are calls")
+	}
+	for _, op := range []Op{BR, BRZ, JMP, JMPI, RET, HALT} {
+		if !(Instr{Op: op}).EndsBlock() {
+			t.Errorf("%v should end a block", op)
+		}
+	}
+	if (Instr{Op: ADD}).EndsBlock() {
+		t.Error("ADD must not end a block")
+	}
+	if !(Instr{Op: STORE}).WritesMem() || !(Instr{Op: CALL}).WritesMem() {
+		t.Error("STORE/CALL write memory")
+	}
+	if !(Instr{Op: LOAD}).ReadsMem() || !(Instr{Op: RET}).ReadsMem() {
+		t.Error("LOAD/RET read memory")
+	}
+}
+
+func validProgram() *Program {
+	return &Program{
+		Name: "p",
+		Code: []Instr{
+			{Op: MOVI, Rd: R0, Imm: 1},
+			{Op: BR, Rs1: R0, Imm: 3},
+			{Op: NOP},
+			{Op: HALT},
+		},
+		Funcs:       []Func{{Name: "main", Entry: 0, End: 4}},
+		EntryPC:     0,
+		GlobalWords: 4,
+		Data:        []DataInit{{Addr: 0, Val: 7}},
+		Symbols:     []Symbol{{Name: "g", Addr: 0, Size: 4}},
+		Files:       []string{"p.c"},
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	bad := validProgram()
+	bad.Code[1].Imm = 99
+	if bad.Validate() == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+	bad = validProgram()
+	bad.EntryPC = -1
+	if bad.Validate() == nil {
+		t.Error("bad entry pc accepted")
+	}
+	bad = validProgram()
+	bad.Data[0].Addr = 100
+	if bad.Validate() == nil {
+		t.Error("data init outside globals accepted")
+	}
+	bad = validProgram()
+	bad.Funcs = []Func{{Name: "a", Entry: 0, End: 3}, {Name: "b", Entry: 2, End: 4}}
+	if bad.Validate() == nil {
+		t.Error("overlapping functions accepted")
+	}
+}
+
+func TestProgramLookups(t *testing.T) {
+	p := validProgram()
+	if f := p.FuncAt(2); f == nil || f.Name != "main" {
+		t.Errorf("FuncAt(2) = %v", f)
+	}
+	if f := p.FuncAt(10); f != nil {
+		t.Errorf("FuncAt(10) = %v, want nil", f)
+	}
+	if p.FuncByName("main") == nil || p.FuncByName("nope") != nil {
+		t.Error("FuncByName broken")
+	}
+	if p.SymbolByName("g") == nil || p.SymbolByName("h") != nil {
+		t.Error("SymbolByName broken")
+	}
+	if s := p.SymbolAt(2); s == nil || s.Name != "g" {
+		t.Error("SymbolAt broken")
+	}
+	if p.SymbolAt(100) != nil {
+		t.Error("SymbolAt out of range should be nil")
+	}
+}
+
+func TestSourceOf(t *testing.T) {
+	p := validProgram()
+	p.Code[0].Line = 12
+	p.Code[0].File = 0
+	if got := p.SourceOf(0); got != "p.c:12" {
+		t.Errorf("SourceOf(0) = %q", got)
+	}
+	if got := p.SourceOf(2); got != "?" {
+		t.Errorf("SourceOf(2) = %q, want ?", got)
+	}
+	if got := p.SourceOf(-1); got != "?" {
+		t.Errorf("SourceOf(-1) = %q, want ?", got)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p := validProgram()
+	text := Disassemble(p)
+	for _, want := range []string{"main:", "movi r0, 1", "br r0, 3", "halt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	cases := map[string]Instr{
+		"load r1, [r2+4]":   {Op: LOAD, Rd: R1, Rs1: R2, Imm: 4},
+		"store [r2+0], r3":  {Op: STORE, Rs1: R2, Rs2: R3},
+		"add r1, r2, r3":    {Op: ADD, Rd: R1, Rs1: R2, Rs2: R3},
+		"addi r1, r2, -1":   {Op: ADDI, Rd: R1, Rs1: R2, Imm: -1},
+		"spawn r1, 5, r2":   {Op: SPAWN, Rd: R1, Imm: 5, Rs1: R2},
+		"syscall r0, 2, r1": {Op: SYSCALL, Rd: R0, Imm: 2, Rs1: R1},
+		"jmpi r4":           {Op: JMPI, Rs1: R4},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Func describes one function in a program: a half-open pc range
+// [Entry, End) within Program.Code. Functions never overlap.
+type Func struct {
+	Name  string
+	Entry int64
+	End   int64
+}
+
+// Contains reports whether pc lies inside the function body.
+func (f Func) Contains(pc int64) bool { return pc >= f.Entry && pc < f.End }
+
+// Symbol names a global data object so that the debugger can resolve
+// variable names to addresses. Size is in words.
+type Symbol struct {
+	Name string
+	Addr int64
+	Size int64
+}
+
+// DataInit gives an initial value for one global memory word.
+type DataInit struct {
+	Addr int64
+	Val  int64
+}
+
+// JumpTable records the compiler's knowledge of a switch jump table: the
+// global words [Base, Base+len(Targets)) hold the pc values in Targets.
+// Static code discovery deliberately ignores jump tables when building the
+// "approximate" CFG — resolving indirect-jump targets dynamically is
+// exactly the Section 5.1 refinement — but the tables are kept so tests
+// can compare refined CFGs against ground truth.
+type JumpTable struct {
+	Base    int64
+	Targets []int64
+}
+
+// Program is a loaded executable: flat code, function map, initialised
+// globals and debug metadata. Programs are immutable once built.
+type Program struct {
+	Name    string
+	Code    []Instr
+	Funcs   []Func // sorted by Entry, non-overlapping
+	EntryPC int64  // pc where the main thread starts
+
+	// GlobalWords is the number of words of statically allocated global
+	// data, occupying addresses [0, GlobalWords).
+	GlobalWords int64
+	Data        []DataInit
+	Symbols     []Symbol
+	JumpTables  []JumpTable
+
+	Files []string // source file table referenced by Instr.File
+}
+
+// Validate checks structural well-formedness: jump targets in range,
+// function ranges sorted and disjoint, entry pc valid. It returns the
+// first problem found.
+func (p *Program) Validate() error {
+	n := int64(len(p.Code))
+	if n == 0 {
+		return fmt.Errorf("isa: %s: empty code", p.Name)
+	}
+	if p.EntryPC < 0 || p.EntryPC >= n {
+		return fmt.Errorf("isa: %s: entry pc %d out of range [0,%d)", p.Name, p.EntryPC, n)
+	}
+	for pc, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: %s: pc %d: invalid opcode %d", p.Name, pc, in.Op)
+		}
+		switch in.Op {
+		case BR, BRZ, JMP, CALL, SPAWN:
+			if in.Imm < 0 || in.Imm >= n {
+				return fmt.Errorf("isa: %s: pc %d: %s target %d out of range", p.Name, pc, in.Op, in.Imm)
+			}
+		}
+		if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+			return fmt.Errorf("isa: %s: pc %d: register out of range", p.Name, pc)
+		}
+	}
+	for i, f := range p.Funcs {
+		if f.Entry < 0 || f.End > n || f.Entry >= f.End {
+			return fmt.Errorf("isa: %s: func %s: bad range [%d,%d)", p.Name, f.Name, f.Entry, f.End)
+		}
+		if i > 0 && f.Entry < p.Funcs[i-1].End {
+			return fmt.Errorf("isa: %s: func %s overlaps %s", p.Name, f.Name, p.Funcs[i-1].Name)
+		}
+	}
+	for _, d := range p.Data {
+		if d.Addr < 0 || d.Addr >= p.GlobalWords {
+			return fmt.Errorf("isa: %s: data init at %d outside globals [0,%d)", p.Name, d.Addr, p.GlobalWords)
+		}
+	}
+	return nil
+}
+
+// FuncAt returns the function containing pc, or nil if pc is not inside
+// any known function.
+func (p *Program) FuncAt(pc int64) *Func {
+	i := sort.Search(len(p.Funcs), func(i int) bool { return p.Funcs[i].End > pc })
+	if i < len(p.Funcs) && p.Funcs[i].Contains(pc) {
+		return &p.Funcs[i]
+	}
+	return nil
+}
+
+// FuncByName returns the named function, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	for i := range p.Funcs {
+		if p.Funcs[i].Name == name {
+			return &p.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// SymbolByName returns the named global symbol, or nil.
+func (p *Program) SymbolByName(name string) *Symbol {
+	for i := range p.Symbols {
+		if p.Symbols[i].Name == name {
+			return &p.Symbols[i]
+		}
+	}
+	return nil
+}
+
+// SymbolAt returns the symbol covering addr, or nil.
+func (p *Program) SymbolAt(addr int64) *Symbol {
+	for i := range p.Symbols {
+		s := &p.Symbols[i]
+		if addr >= s.Addr && addr < s.Addr+s.Size {
+			return s
+		}
+	}
+	return nil
+}
+
+// SourceOf returns the "file:line" position of the instruction at pc, or
+// "?" when no line information exists.
+func (p *Program) SourceOf(pc int64) string {
+	if pc < 0 || pc >= int64(len(p.Code)) {
+		return "?"
+	}
+	in := p.Code[pc]
+	if in.Line == 0 || int(in.File) >= len(p.Files) {
+		return "?"
+	}
+	return fmt.Sprintf("%s:%d", p.Files[in.File], in.Line)
+}
+
+// LineOf returns the source line of the instruction at pc (0 if unknown).
+func (p *Program) LineOf(pc int64) int32 {
+	if pc < 0 || pc >= int64(len(p.Code)) {
+		return 0
+	}
+	return p.Code[pc].Line
+}
+
+// ResolveLocation maps a user-facing location spec to a pc: a function
+// name resolves to its entry, "file:line" (file may be a suffix, or empty
+// as ":line") to the first instruction of that line, and a bare integer
+// to the pc itself. Debugger breakpoints and region start/end points use
+// this.
+func (p *Program) ResolveLocation(spec string) (int64, error) {
+	if fn := p.FuncByName(spec); fn != nil {
+		return fn.Entry, nil
+	}
+	if i := strings.LastIndexByte(spec, ':'); i >= 0 {
+		file := spec[:i]
+		line, err := strconv.Atoi(spec[i+1:])
+		if err != nil {
+			return 0, fmt.Errorf("isa: bad line in %q", spec)
+		}
+		for pc, in := range p.Code {
+			if in.Line == int32(line) && int(in.File) < len(p.Files) &&
+				(file == "" || strings.HasSuffix(p.Files[in.File], file)) {
+				return int64(pc), nil
+			}
+		}
+		return 0, fmt.Errorf("isa: no code at %s", spec)
+	}
+	if pc, err := strconv.ParseInt(spec, 10, 64); err == nil {
+		if pc < 0 || pc >= int64(len(p.Code)) {
+			return 0, fmt.Errorf("isa: pc %d out of range", pc)
+		}
+		return pc, nil
+	}
+	return 0, fmt.Errorf("isa: cannot resolve %q (want file:line, function, or pc)", spec)
+}

@@ -1,0 +1,261 @@
+// Package maple reimplements the Maple workflow the paper integrates with
+// DrDebug: a coverage-driven testing tool for multi-threaded programs
+// with (i) a profiling phase that records observed inter-thread
+// dependencies (iRoots) and predicts untested ones, and (ii) an active
+// scheduling phase that runs the program on a single virtual processor,
+// manipulating thread priorities to force a predicted interleaving until
+// the bug is exposed. Following the paper's integration, the active
+// scheduler does PinPlay-based logging of every attempt, so the moment an
+// attempt fails the buggy execution is already captured in a pinball that
+// DrDebug can replay and slice.
+package maple
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+	"repro/internal/vm"
+)
+
+// IRoot is a simplified idiom-1 inter-thread dependency: the instruction
+// at First executes, and the next conflicting access to the same shared
+// location comes from a different thread at Then (at least one of the two
+// is a write).
+type IRoot struct {
+	First int64
+	Then  int64
+}
+
+func (r IRoot) String() string { return fmt.Sprintf("pc%d->pc%d", r.First, r.Then) }
+
+// Profile is the outcome of the profiling phase.
+type Profile struct {
+	// Observed maps each iRoot seen in some profile run to the number of
+	// runs it appeared in.
+	Observed map[IRoot]int
+	// Predicted lists iRoots never observed whose flip was observed —
+	// the candidate untested interleavings the active phase forces.
+	Predicted []IRoot
+	// Runs is the number of profiling runs performed.
+	Runs int
+}
+
+// profiler observes conflicting cross-thread access pairs.
+type profiler struct {
+	vm.NopTracer
+	last     map[int64]lastAccess
+	observed map[IRoot]int
+}
+
+type lastAccess struct {
+	tid     int
+	pc      int64
+	isWrite bool
+}
+
+func (p *profiler) OnInstr(ev *vm.InstrEvent) {
+	if ev.EffAddr < 0 || ev.EffAddr >= vm.StackBase {
+		return
+	}
+	isWrite := ev.MemIsWrite
+	prev, ok := p.last[ev.EffAddr]
+	if ok && prev.tid != ev.Tid && (prev.isWrite || isWrite) {
+		p.observed[IRoot{First: prev.pc, Then: ev.PC}]++
+	}
+	p.last[ev.EffAddr] = lastAccess{tid: ev.Tid, pc: ev.PC, isWrite: isWrite}
+}
+
+// Options configures the Maple workflow.
+type Options struct {
+	// ProfileRuns is how many differently-seeded profiling runs to
+	// perform (default 4).
+	ProfileRuns int
+	// MaxSteps bounds each run.
+	MaxSteps int64
+}
+
+// Result reports an exposed bug.
+type Result struct {
+	// Exposed is true when some run failed.
+	Exposed bool
+	// Root is the iRoot whose enforcement exposed the bug (zero when the
+	// failure surfaced during profiling).
+	Root IRoot
+	// DuringProfiling is set when a plain profiling run already failed.
+	DuringProfiling bool
+	// Pinball captures the failing execution, ready for DrDebug.
+	Pinball *pinball.Pinball
+	// Attempts counts active-scheduler runs performed.
+	Attempts int
+	// RootsPredicted is the size of the candidate set.
+	RootsPredicted int
+}
+
+// ProfilePhase runs the profiler. Every run is logged; if a run happens
+// to fail outright, the failing pinball is returned alongside the profile.
+func ProfilePhase(prog *isa.Program, cfg pinplay.LogConfig, opts Options) (*Profile, *pinball.Pinball, error) {
+	runs := opts.ProfileRuns
+	if runs <= 0 {
+		runs = 4
+	}
+	prof := &Profile{Observed: make(map[IRoot]int), Runs: runs}
+	var failing *pinball.Pinball
+	for i := 0; i < runs; i++ {
+		p := &profiler{last: make(map[int64]lastAccess), observed: prof.Observed}
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(i)*7919
+		pb, err := logRun(prog, vm.NewRandomScheduler(runCfg.Seed, mq(runCfg)), runCfg, p, opts.MaxSteps)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pb.Failure != nil && failing == nil {
+			failing = pb
+		}
+	}
+	// Predict the flips of observed iRoots that were never themselves
+	// observed.
+	seen := map[IRoot]bool{}
+	for r := range prof.Observed {
+		seen[r] = true
+	}
+	for r := range prof.Observed {
+		flip := IRoot{First: r.Then, Then: r.First}
+		if !seen[flip] {
+			prof.Predicted = append(prof.Predicted, flip)
+		}
+	}
+	sort.Slice(prof.Predicted, func(i, j int) bool {
+		a, b := prof.Predicted[i], prof.Predicted[j]
+		if a.First != b.First {
+			return a.First < b.First
+		}
+		return a.Then < b.Then
+	})
+	return prof, failing, nil
+}
+
+// mq returns the configured mean quantum with the default applied.
+func mq(cfg pinplay.LogConfig) int64 {
+	if cfg.MeanQuantum <= 0 {
+		return 1000
+	}
+	return cfg.MeanQuantum
+}
+
+// logRun executes prog under the given scheduler with recording on from
+// the start, returning the whole-execution pinball.
+func logRun(prog *isa.Program, sched vm.Scheduler, cfg pinplay.LogConfig, extra vm.Tracer, maxSteps int64) (*pinball.Pinball, error) {
+	if maxSteps <= 0 {
+		maxSteps = 200_000_000
+	}
+	m := vm.New(prog, vm.Config{
+		Sched:    sched,
+		Env:      vm.NewNativeEnv(cfg.Input, cfg.RandSeed),
+		MaxSteps: maxSteps,
+	})
+	if as, ok := sched.(*activeScheduler); ok {
+		as.m = m
+	}
+	rec := pinplay.StartRecordingWith(m, extra)
+	m.Run()
+	pb := rec.Finish(m, m.Stopped().String())
+	pb.Kind = pinball.KindWhole
+	return pb, nil
+}
+
+// FindBug runs the full Maple workflow: profile, predict, then force each
+// predicted iRoot with the active scheduler until a run fails. The
+// failing run's pinball is returned ready for replay-based debugging.
+func FindBug(prog *isa.Program, cfg pinplay.LogConfig, opts Options) (*Result, error) {
+	prof, failing, err := ProfilePhase(prog, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{RootsPredicted: len(prof.Predicted)}
+	if failing != nil {
+		res.Exposed = true
+		res.DuringProfiling = true
+		res.Pinball = failing
+		return res, nil
+	}
+	for _, root := range prof.Predicted {
+		res.Attempts++
+		watch := &rootWatcher{root: root}
+		sched := &activeScheduler{root: root, watch: watch}
+		pb, err := logRun(prog, sched, cfg, watch, opts.MaxSteps)
+		if err != nil {
+			return nil, err
+		}
+		if pb.Failure != nil {
+			res.Exposed = true
+			res.Root = root
+			res.Pinball = pb
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// rootWatcher tracks whether the iRoot's First pc has executed yet (and
+// on which thread), driving the active scheduler's decisions.
+type rootWatcher struct {
+	vm.NopTracer
+	root      IRoot
+	firstDone bool
+	firstTid  int
+	enforced  bool
+}
+
+func (w *rootWatcher) OnInstr(ev *vm.InstrEvent) {
+	if !w.firstDone && ev.PC == w.root.First {
+		w.firstDone = true
+		w.firstTid = ev.Tid
+		return
+	}
+	if w.firstDone && !w.enforced && ev.PC == w.root.Then && ev.Tid != w.firstTid {
+		w.enforced = true
+	}
+}
+
+// activeScheduler runs the program on one virtual processor and delays
+// any thread sitting at the iRoot's Then pc until another thread has
+// executed First — Maple's priority-based interleaving enforcement,
+// simplified to first dynamic occurrences. Decisions are a deterministic
+// function of machine state, so the recorded run replays exactly.
+type activeScheduler struct {
+	root  IRoot
+	watch *rootWatcher
+	m     *vm.Machine
+	rr    int
+}
+
+// Pick implements vm.Scheduler with quantum 1 so every decision sees
+// fresh thread positions.
+func (s *activeScheduler) Pick(runnable []int) (int, int64) {
+	if s.m != nil && !s.watch.firstDone {
+		// Prefer a thread about to execute First.
+		for _, tid := range runnable {
+			if s.m.Threads[tid].PC == s.root.First {
+				return tid, 1
+			}
+		}
+		// Otherwise avoid threads about to execute Then.
+		var ok []int
+		for _, tid := range runnable {
+			if s.m.Threads[tid].PC != s.root.Then {
+				ok = append(ok, tid)
+			}
+		}
+		if len(ok) > 0 {
+			s.rr++
+			return ok[s.rr%len(ok)], 1
+		}
+		// Every runnable thread is parked at Then: give up on the
+		// enforcement rather than wedge (Maple's timeout, in miniature).
+	}
+	s.rr++
+	return runnable[s.rr%len(runnable)], 1
+}

@@ -1,0 +1,179 @@
+package maple_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/maple"
+	"repro/internal/pinplay"
+	"repro/internal/vm"
+)
+
+func compileT(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := cc.CompileSource("m.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// orderBugSrc has an order violation that virtually never fires under
+// plain scheduling: the worker burns a long warm-up before reading init,
+// so main's (unsynchronised) initialisation always wins the race — unless
+// a scheduler actively delays it.
+const orderBugSrc = `
+int init;
+int val;
+int worker(int u) {
+	int i;
+	int w = 0;
+	for (i = 0; i < 5000; i++) { w = w + i; }
+	val = init * 2;
+	assert(val == 20);
+	return 0;
+}
+int main() {
+	int t = spawn(worker, 0);
+	init = 10;
+	join(t);
+	return 0;
+}`
+
+func TestProfilePhaseObservesAndPredicts(t *testing.T) {
+	prog := compileT(t, orderBugSrc)
+	prof, failing, err := maple.ProfilePhase(prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 500}, maple.Options{ProfileRuns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failing != nil {
+		t.Skip("profiling run already failed; active phase not needed on this host seed")
+	}
+	if len(prof.Observed) == 0 {
+		t.Fatal("no iRoots observed")
+	}
+	if len(prof.Predicted) == 0 {
+		t.Fatal("no iRoots predicted")
+	}
+	// The store to init and the load of init must appear in some
+	// observed iRoot.
+	sym := prog.SymbolByName("init")
+	if sym == nil {
+		t.Fatal("no symbol init")
+	}
+	found := false
+	for r := range prof.Observed {
+		if prog.Code[r.First].Op == isa.STORE || prog.Code[r.Then].Op == isa.LOAD {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no store->load iRoot observed")
+	}
+}
+
+func TestFindBugExposesOrderViolation(t *testing.T) {
+	prog := compileT(t, orderBugSrc)
+	res, err := maple.FindBug(prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 500}, maple.Options{ProfileRuns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exposed {
+		t.Fatalf("maple failed to expose the bug (%d roots predicted, %d attempts)",
+			res.RootsPredicted, res.Attempts)
+	}
+	if res.Pinball == nil || res.Pinball.Failure == nil {
+		t.Fatal("no failing pinball recorded")
+	}
+	if res.DuringProfiling {
+		t.Log("bug fired during profiling; active scheduling not exercised on this run")
+	} else if res.Attempts == 0 {
+		t.Error("active phase reported success without attempts")
+	}
+
+	// The recorded pinball must deterministically reproduce the failure —
+	// the paper's "pinballs generated could be readily replayed and
+	// debugged".
+	for i := 0; i < 3; i++ {
+		m, err := pinplay.Replay(prog, res.Pinball, nil)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if m.Stopped() != vm.StopFailure {
+			t.Fatalf("replay %d: stop = %v", i, m.Stopped())
+		}
+		if m.Failure().PC != res.Pinball.Failure.PC {
+			t.Fatalf("replay %d: failure at pc %d, logged %d", i, m.Failure().PC, res.Pinball.Failure.PC)
+		}
+	}
+}
+
+func TestMapleToDrDebugIntegration(t *testing.T) {
+	// End-to-end: Maple exposes and records the bug; DrDebug opens the
+	// pinball and slices the failure down to the unsynchronised read.
+	prog := compileT(t, orderBugSrc)
+	res, err := maple.FindBug(prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 500}, maple.Options{ProfileRuns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exposed {
+		t.Fatal("bug not exposed")
+	}
+	sess := core.Open(prog, res.Pinball)
+	sl, err := sess.SliceAtFailure()
+	if err != nil {
+		t.Fatalf("slice: %v", err)
+	}
+	tr, err := sess.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRead := false
+	for _, m := range sl.Members {
+		if tr.Entry(m).Instr.Line == 8 { // "val = init * 2"
+			foundRead = true
+		}
+	}
+	if !foundRead {
+		t.Error("failure slice missing the racy read of init")
+	}
+	// The warm-up loop (line 7) is noise and must not be in the slice.
+	for _, m := range sl.Members {
+		if tr.Entry(m).Instr.Line == 7 {
+			t.Error("failure slice includes the warm-up loop")
+			break
+		}
+	}
+}
+
+func TestFindBugOnCleanProgram(t *testing.T) {
+	prog := compileT(t, `
+int total;
+int mtx;
+int worker(int n) {
+	lock(&mtx);
+	total = total + n;
+	unlock(&mtx);
+	return 0;
+}
+int main() {
+	int t1 = spawn(worker, 1);
+	int t2 = spawn(worker, 2);
+	join(t1);
+	join(t2);
+	assert(total == 3);
+	return 0;
+}`)
+	res, err := maple.FindBug(prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 50}, maple.Options{ProfileRuns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exposed {
+		t.Errorf("maple exposed a bug in a correct program (root %v)", res.Root)
+	}
+	if res.RootsPredicted == 0 {
+		t.Error("correct program with real interleavings should still predict candidate roots")
+	}
+}

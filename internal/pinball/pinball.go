@@ -1,0 +1,191 @@
+// Package pinball defines the on-disk capture format of the PinPlay-style
+// record/replay system: the initial architecture state of an execution
+// region plus every source of nondeterminism needed to reproduce it — the
+// thread schedule (run-length quanta), system-call results and the
+// shared-memory access order. Slice pinballs additionally carry the code
+// exclusion regions and the side-effect injections that let the replayer
+// skip everything outside an execution slice (paper Section 4).
+package pinball
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Kind distinguishes how a pinball was produced.
+type Kind string
+
+// Pinball kinds.
+const (
+	KindRegion Kind = "region" // captured region of a native execution
+	KindWhole  Kind = "whole"  // region spanning the whole execution
+	KindSlice  Kind = "slice"  // relogged execution slice
+)
+
+// Exclusion is one code-exclusion region for one thread, in the paper's
+// [startPc:sinstance:tid, endPc:einstance:tid) notation, plus the
+// mechanically exact per-thread dynamic instruction index range
+// [FromIdx, ToIdx) it denotes.
+type Exclusion struct {
+	Tid           int
+	StartPC       int64
+	StartInstance int64 // which dynamic execution of StartPC opens the region
+	EndPC         int64
+	EndInstance   int64
+	FromIdx       int64 // first excluded per-thread instruction index
+	ToIdx         int64 // first index after the excluded range
+}
+
+func (e Exclusion) String() string {
+	return fmt.Sprintf("[%d:%d:%d, %d:%d:%d)", e.StartPC, e.StartInstance, e.Tid, e.EndPC, e.EndInstance, e.Tid)
+}
+
+// MemWrite is one injected memory cell.
+type MemWrite struct {
+	Addr int64
+	Val  int64
+}
+
+// Injection restores the side effects of one skipped exclusion region:
+// when slice replay reaches AtStep executed-instructions, thread Tid's
+// registers are replaced, its pc moved past the region, and the region's
+// memory writes applied — PinPlay's "injecting modified memory cells and
+// registers" (paper Figure 6b).
+type Injection struct {
+	AtStep int64 // ordinal among the slice pinball's executed instructions
+	Tid    int
+	NewPC  int64
+	// NewCount restores the thread's per-thread dynamic instruction
+	// index to its original-execution value, so instruction identities
+	// (tid, idx) remain stable between region replay and slice replay.
+	NewCount int64
+	Regs     [isa.NumRegs]int64 // full register file at region exit
+	Mem      []MemWrite
+}
+
+// Pinball is a captured execution (region). It contains everything needed
+// to deterministically re-execute: where execution starts (State), which
+// thread runs when (Quanta), what the environment answered (Syscalls),
+// and — for analysis tools — the shared-memory access order (OrderEdges).
+type Pinball struct {
+	ProgramName string
+	Kind        Kind
+
+	State    *vm.MachineState
+	Quanta   []vm.Quantum
+	Syscalls []vm.SyscallRecord
+
+	// OrderEdges is the shared-memory access order observed while
+	// logging; the slicer's global-trace construction consumes it.
+	OrderEdges []vm.OrderEdge
+
+	// Region accounting.
+	RegionInstrs int64 // instructions in the region, all threads
+	MainInstrs   int64 // instructions executed by the main thread
+	SkipMain     int64 // main-thread instructions skipped before logging
+
+	// EndReason records why logging stopped: "length", "halt", "exit",
+	// "failure", "deadlock" or "manual".
+	EndReason string
+	Failure   *vm.Failure
+
+	// Slice pinballs only.
+	Exclusions []Exclusion
+	Injections []Injection
+}
+
+// TotalQuantumInstrs returns the number of instructions the pinball's
+// schedule executes.
+func (p *Pinball) TotalQuantumInstrs() int64 {
+	var n int64
+	for _, q := range p.Quanta {
+		n += q.Count
+	}
+	return n
+}
+
+// File format framing: a magic string and a format version precede the
+// gzip stream so stale or foreign files fail fast with a clear error
+// instead of a gob panic deep inside decoding.
+const (
+	fileMagic     = "DRPB"
+	formatVersion = byte(1)
+)
+
+// Save writes the pinball to path, gob-encoded and gzip-compressed (the
+// paper uses bzip2 pinball compression; gzip is the stdlib equivalent).
+func (p *Pinball) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pinball: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append([]byte(fileMagic), formatVersion)); err != nil {
+		return fmt.Errorf("pinball: %w", err)
+	}
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(p); err != nil {
+		return fmt.Errorf("pinball: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("pinball: compress: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a pinball from path.
+func Load(path string) (*Pinball, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pinball: %w", err)
+	}
+	defer f.Close()
+	header := make([]byte, len(fileMagic)+1)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, fmt.Errorf("pinball: %s is not a pinball file", path)
+	}
+	if string(header[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("pinball: %s is not a pinball file (bad magic)", path)
+	}
+	if v := header[len(fileMagic)]; v != formatVersion {
+		return nil, fmt.Errorf("pinball: %s has format version %d; this build reads %d", path, v, formatVersion)
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("pinball: decompress: %w", err)
+	}
+	defer zr.Close()
+	var p Pinball
+	if err := gob.NewDecoder(zr).Decode(&p); err != nil {
+		return nil, fmt.Errorf("pinball: decode: %w", err)
+	}
+	return &p, nil
+}
+
+// EncodedSize returns the compressed size of the pinball in bytes by
+// encoding it to a counting sink; the evaluation tables report this as
+// the pinball's space overhead.
+func (p *Pinball) EncodedSize() (int64, error) {
+	var cw countingWriter
+	zw := gzip.NewWriter(&cw)
+	if err := gob.NewEncoder(zw).Encode(p); err != nil {
+		return 0, err
+	}
+	if err := zw.Close(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	c.n += int64(len(b))
+	return len(b), nil
+}

@@ -1,0 +1,257 @@
+// Package pinplay reimplements the record/replay core of the PinPlay
+// framework on the vm substrate: a Logger that fast-forwards to an
+// execution region and captures it into a pinball, a Replayer that
+// deterministically re-executes a pinball, and a Relogger that replays a
+// region pinball while excluding code regions to produce a smaller slice
+// pinball (paper Sections 1, 2 and 4).
+package pinplay
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/pinball"
+	"repro/internal/vm"
+)
+
+// RegionSpec selects which part of an execution the logger captures, in
+// PinPlay's skip/length convention: both counts are in main-thread
+// instructions. Length 0 means "until the program stops" (including a
+// failure — which is how a bug's symptom ends up inside the pinball).
+type RegionSpec struct {
+	SkipMain   int64
+	LengthMain int64
+}
+
+// LogConfig configures a native (original) execution for logging.
+type LogConfig struct {
+	// Seed drives the emulated OS scheduling nondeterminism.
+	Seed int64
+	// MeanQuantum is the scheduler's mean preemption quantum.
+	MeanQuantum int64
+	// Input is the program input consumed by read().
+	Input []int64
+	// RandSeed seeds the program-visible rand() syscall.
+	RandSeed int64
+	// MaxSteps bounds total execution (0 = default guard).
+	MaxSteps int64
+}
+
+func (c LogConfig) env() *vm.NativeEnv { return vm.NewNativeEnv(c.Input, c.RandSeed) }
+
+func (c LogConfig) sched() vm.Scheduler {
+	mq := c.MeanQuantum
+	if mq <= 0 {
+		mq = 1000
+	}
+	return vm.NewRandomScheduler(c.Seed, mq)
+}
+
+// recordTracer accumulates the nondeterministic events a pinball stores.
+type recordTracer struct {
+	vm.NopTracer
+	syscalls []vm.SyscallRecord
+	edges    []vm.OrderEdge
+}
+
+func (r *recordTracer) OnSyscall(rec vm.SyscallRecord) { r.syscalls = append(r.syscalls, rec) }
+func (r *recordTracer) OnOrderEdge(e vm.OrderEdge)     { r.edges = append(r.edges, e) }
+
+// Log executes prog natively, fast-forwards SkipMain main-thread
+// instructions at uninstrumented speed, then records the region into a
+// pinball. Logging ends when the main thread has executed LengthMain more
+// instructions, or when the program stops (halt, exit, failure, deadlock).
+func Log(prog *isa.Program, cfg LogConfig, spec RegionSpec) (*pinball.Pinball, error) {
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 2_000_000_000
+	}
+	m := vm.New(prog, vm.Config{Sched: cfg.sched(), Env: cfg.env(), MaxSteps: maxSteps})
+
+	// Fast-forward: the logger "does only minimal instrumentation before
+	// the region, so fast-forwarding proceeds at Pin-only speed".
+	for m.Threads[0].Count < spec.SkipMain && m.StepOne() {
+	}
+	if !m.Running() && m.Threads[0].Count < spec.SkipMain {
+		return nil, fmt.Errorf("pinplay: program stopped (%v) before skip %d", m.Stopped(), spec.SkipMain)
+	}
+
+	rec := StartRecording(m)
+	var endReason string
+	if spec.LengthMain > 0 {
+		target := m.Threads[0].Count + spec.LengthMain
+		for m.Threads[0].Count < target && m.StepOne() {
+		}
+		endReason = "length"
+		if !m.Running() {
+			endReason = m.Stopped().String()
+		}
+	} else {
+		m.Run()
+		endReason = m.Stopped().String()
+	}
+	pb := rec.Finish(m, endReason)
+	pb.Kind = pinball.KindRegion
+	if spec.SkipMain == 0 && spec.LengthMain == 0 {
+		pb.Kind = pinball.KindWhole
+	}
+	pb.SkipMain = spec.SkipMain
+	return pb, nil
+}
+
+// LogUntilFailure is a convenience wrapper capturing from SkipMain to the
+// program's failure point; it fails if the program does not fail.
+func LogUntilFailure(prog *isa.Program, cfg LogConfig, skipMain int64) (*pinball.Pinball, error) {
+	pb, err := Log(prog, cfg, RegionSpec{SkipMain: skipMain})
+	if err != nil {
+		return nil, err
+	}
+	if pb.Failure == nil {
+		return nil, fmt.Errorf("pinplay: execution did not fail (end: %s)", pb.EndReason)
+	}
+	return pb, nil
+}
+
+// Recorder captures a region of a live machine: the debugger's
+// "record on/off" commands use it directly.
+type Recorder struct {
+	state      *vm.MachineState
+	tracer     *recordTracer
+	startMain  int64
+	startSteps int64
+}
+
+// StartRecording snapshots the machine state and begins capturing
+// nondeterministic events. The machine's existing tracer keeps receiving
+// events.
+func StartRecording(m *vm.Machine) *Recorder {
+	r := &Recorder{
+		state:      m.Snapshot(),
+		tracer:     &recordTracer{},
+		startMain:  m.Threads[0].Count,
+		startSteps: m.Steps(),
+	}
+	m.ResetQuanta()
+	m.ResetSharedTracking()
+	// Shared-access order tracking only runs while a tracer is attached,
+	// so recording always installs one.
+	m.SetTracer(r.tracer)
+	return r
+}
+
+// StartRecordingWith is StartRecording but keeps an additional tracer
+// attached alongside the recorder's.
+func StartRecordingWith(m *vm.Machine, extra vm.Tracer) *Recorder {
+	r := StartRecording(m)
+	if extra != nil {
+		m.SetTracer(vm.MultiTracer{r.tracer, extra})
+	}
+	return r
+}
+
+// Finish stops recording and assembles the pinball. endReason documents
+// why the region ended.
+func (r *Recorder) Finish(m *vm.Machine, endReason string) *pinball.Pinball {
+	pb := &pinball.Pinball{
+		ProgramName:  m.Prog.Name,
+		Kind:         pinball.KindRegion,
+		State:        r.state,
+		Quanta:       append([]vm.Quantum(nil), m.Quanta()...),
+		Syscalls:     r.tracer.syscalls,
+		OrderEdges:   r.tracer.edges,
+		RegionInstrs: m.Steps() - r.startSteps,
+		MainInstrs:   m.Threads[0].Count - r.startMain,
+		EndReason:    endReason,
+		Failure:      m.Failure(),
+	}
+	m.SetTracer(nil)
+	return pb
+}
+
+// PointSpec selects an execution region by code locations instead of
+// instruction counts — the paper's "users can focus on a (buggy) region
+// of execution by specifying its start and end points". StartPC triggers
+// recording the nth time (StartInstance, 1-based) any thread is about to
+// execute it; EndPC stops it likewise. EndPC < 0 records to program end.
+type PointSpec struct {
+	StartPC       int64
+	StartInstance int64
+	EndPC         int64
+	EndInstance   int64
+}
+
+// LogBetween executes prog natively and captures the region between two
+// code points into a pinball.
+func LogBetween(prog *isa.Program, cfg LogConfig, spec PointSpec) (*pinball.Pinball, error) {
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 2_000_000_000
+	}
+	if spec.StartInstance <= 0 {
+		spec.StartInstance = 1
+	}
+	if spec.EndInstance <= 0 {
+		spec.EndInstance = 1
+	}
+	m := vm.New(prog, vm.Config{Sched: cfg.sched(), Env: cfg.env(), MaxSteps: maxSteps})
+
+	// Fast-forward until some thread is about to execute the start pc for
+	// the StartInstance'th time. A pending instruction may be observed
+	// several times when the thread is preempted before executing it, so
+	// instances are deduplicated by (tid, per-thread count).
+	var seen int64
+	lastCounted := map[int]int64{}
+	pending := func(pc int64) bool {
+		t := m.CurThread()
+		if t == nil {
+			return false
+		}
+		if t.PC != pc {
+			return false
+		}
+		if c, ok := lastCounted[t.ID]; ok && c == t.Count {
+			return false
+		}
+		lastCounted[t.ID] = t.Count
+		return true
+	}
+	for {
+		if m.CurThread() == nil {
+			return nil, fmt.Errorf("pinplay: program stopped (%v) before reaching start point pc %d", m.Stopped(), spec.StartPC)
+		}
+		if pending(spec.StartPC) {
+			seen++
+			if seen >= spec.StartInstance {
+				break
+			}
+		}
+		if !m.StepOne() {
+			return nil, fmt.Errorf("pinplay: program stopped (%v) before reaching start point pc %d", m.Stopped(), spec.StartPC)
+		}
+	}
+
+	rec := StartRecording(m)
+	endReason := "end-point"
+	if spec.EndPC >= 0 {
+		var endSeen int64
+		lastCounted = map[int]int64{}
+		for {
+			if !m.StepOne() {
+				endReason = m.Stopped().String()
+				break
+			}
+			if pending(spec.EndPC) {
+				endSeen++
+				if endSeen >= spec.EndInstance {
+					break
+				}
+			}
+		}
+	} else {
+		m.Run()
+		endReason = m.Stopped().String()
+	}
+	pb := rec.Finish(m, endReason)
+	pb.Kind = pinball.KindRegion
+	return pb, nil
+}

@@ -1,0 +1,169 @@
+package pinplay
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/pinball"
+	"repro/internal/vm"
+)
+
+// NewReplayMachine builds a machine that runs off a pinball: initial
+// state restored, schedule and syscall results fed from the capture. The
+// optional tracer observes the replayed execution (this is how analysis
+// pintools such as the slicer attach).
+func NewReplayMachine(prog *isa.Program, pb *pinball.Pinball, tracer vm.Tracer) *vm.Machine {
+	m := vm.NewFromState(prog, pb.State, vm.Config{
+		Sched:  vm.NewReplayScheduler(pb.Quanta),
+		Env:    vm.NewReplayEnv(pb.Syscalls),
+		Tracer: tracer,
+	})
+	return m
+}
+
+// Replay deterministically re-executes the pinball's region to its end
+// and returns the machine in its end-of-region state. The replay stops
+// exactly after the recorded number of instructions, or earlier if the
+// region ends in the recorded failure.
+func Replay(prog *isa.Program, pb *pinball.Pinball, tracer vm.Tracer) (*vm.Machine, error) {
+	if pb.Kind == pinball.KindSlice {
+		return ReplaySlice(prog, pb, tracer)
+	}
+	m := NewReplayMachine(prog, pb, tracer)
+	total := pb.TotalQuantumInstrs()
+	var executed int64
+	for executed < total && m.StepOne() {
+		executed++
+	}
+	if executed < total {
+		// The region legitimately ends early only at the recorded
+		// failure (a failing assert is counted in the quanta).
+		if m.Stopped() == vm.StopFailure && pb.Failure != nil {
+			return m, nil
+		}
+		return m, fmt.Errorf("pinplay: replay diverged: executed %d of %d instructions (stop: %v)",
+			executed, total, m.Stopped())
+	}
+	// A region that ends in a machine fault (bad memory access, divide by
+	// zero, ...) does not count the faulting instruction in its quanta;
+	// take the one extra deterministic step to reproduce the fault.
+	if pb.Failure != nil && m.Running() {
+		m.StepOne()
+	}
+	return m, nil
+}
+
+// ReplaySlice re-executes a slice pinball: the recorded quanta only cover
+// the instructions inside the execution slice, and each skipped exclusion
+// region's side effects are injected at its recorded position.
+func ReplaySlice(prog *isa.Program, pb *pinball.Pinball, tracer vm.Tracer) (*vm.Machine, error) {
+	r := NewSliceRunner(prog, pb, tracer)
+	for {
+		ok, err := r.Step()
+		if err != nil {
+			return r.Machine(), err
+		}
+		if !ok {
+			return r.Machine(), nil
+		}
+	}
+}
+
+// SliceRunner replays a slice pinball one instruction at a time, applying
+// pending side-effect injections between instructions. The debugger's
+// slice-stepping commands drive it directly.
+type SliceRunner struct {
+	m        *vm.Machine
+	pb       *pinball.Pinball
+	inj      []pinball.Injection
+	executed int64
+	total    int64
+}
+
+// NewSliceRunner prepares a slice replay.
+func NewSliceRunner(prog *isa.Program, pb *pinball.Pinball, tracer vm.Tracer) *SliceRunner {
+	return &SliceRunner{
+		m:     NewReplayMachine(prog, pb, tracer),
+		pb:    pb,
+		inj:   pb.Injections,
+		total: pb.TotalQuantumInstrs(),
+	}
+}
+
+// Machine exposes the machine being driven, for state examination.
+func (r *SliceRunner) Machine() *vm.Machine { return r.m }
+
+// Executed returns how many slice instructions have run.
+func (r *SliceRunner) Executed() int64 { return r.executed }
+
+// Done reports whether the slice replay has completed.
+func (r *SliceRunner) Done() bool {
+	return r.executed >= r.total || !r.m.Running()
+}
+
+// Step applies due injections and executes one instruction. It returns
+// false when the replay is complete (end of slice, or the recorded
+// failure). An unexpected early stop is a divergence error.
+func (r *SliceRunner) Step() (bool, error) {
+	for len(r.inj) > 0 && r.inj[0].AtStep == r.executed {
+		applyInjection(r.m, &r.inj[0])
+		r.inj = r.inj[1:]
+	}
+	if r.executed >= r.total {
+		// Reproduce a trailing machine fault (not counted in quanta).
+		if r.pb.Failure != nil && r.m.Running() && r.executed == r.total {
+			r.executed++ // take the extra step exactly once
+			r.m.StepOne()
+		}
+		return false, nil
+	}
+	if !r.m.StepOne() {
+		if r.m.Stopped() == vm.StopFailure && r.pb.Failure != nil {
+			return false, nil
+		}
+		return false, fmt.Errorf("pinplay: slice replay diverged at %d of %d (stop: %v)",
+			r.executed, r.total, r.m.Stopped())
+	}
+	r.executed++
+	return true, nil
+}
+
+// applyInjection restores the side effects of one skipped code region:
+// register file, continuation pc and the region's memory writes.
+func applyInjection(m *vm.Machine, in *pinball.Injection) {
+	t := m.Threads[in.Tid]
+	t.Regs = in.Regs
+	t.PC = in.NewPC
+	t.Count = in.NewCount
+	for _, w := range in.Mem {
+		m.Mem.Write(w.Addr, w.Val)
+	}
+}
+
+// CheckReplayDeterminism replays the pinball twice and verifies that both
+// replays end in identical memory and output — the repeatability
+// guarantee cyclic debugging relies on. It returns an error describing
+// the first difference.
+func CheckReplayDeterminism(prog *isa.Program, pb *pinball.Pinball) error {
+	m1, err := Replay(prog, pb, nil)
+	if err != nil {
+		return err
+	}
+	m2, err := Replay(prog, pb, nil)
+	if err != nil {
+		return err
+	}
+	if !m1.Snapshot().Mem.Equal(m2.Snapshot().Mem) {
+		return fmt.Errorf("pinplay: replays reached different memory states")
+	}
+	o1, o2 := m1.Output(), m2.Output()
+	if len(o1) != len(o2) {
+		return fmt.Errorf("pinplay: replays produced different outputs")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			return fmt.Errorf("pinplay: replay outputs differ at %d", i)
+		}
+	}
+	return nil
+}

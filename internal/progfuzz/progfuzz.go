@@ -1,0 +1,341 @@
+// Package progfuzz generates random — but always valid and terminating —
+// mini-C programs. The test suites use it to property-test the whole
+// stack: every generated program must compile, run deterministically,
+// replay from its pinball to an identical final state, and slice without
+// divergence. Generation is seed-deterministic so failures reproduce.
+package progfuzz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config shapes generated programs.
+type Config struct {
+	Seed int64
+	// Stmts is the approximate statement budget per function body.
+	Stmts int
+	// Funcs is the number of helper functions (callable, non-recursive).
+	Funcs int
+	// Threads adds spawned workers with lock-protected shared updates.
+	Threads bool
+}
+
+// rng is a small deterministic generator (split from math/rand so that
+// generated programs are stable across Go releases).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// gen carries generation state.
+type gen struct {
+	r      *rng
+	b      strings.Builder
+	indent int
+
+	globals []string
+	arrays  []string // global arrays, all of size arraySize
+	funcs   []string // helper functions defined so far (callable)
+
+	locals [][]string // scope stack of in-scope scalar locals
+	depth  int        // statement nesting depth
+	budget int
+	uniq   int // monotonically increasing name counter
+}
+
+const arraySize = 16
+
+// Generate produces one program.
+func Generate(cfg Config) string {
+	if cfg.Stmts <= 0 {
+		cfg.Stmts = 12
+	}
+	if cfg.Funcs < 0 {
+		cfg.Funcs = 0
+	}
+	g := &gen{r: &rng{s: uint64(cfg.Seed)*2862933555777941757 + 3037000493}}
+
+	// Globals.
+	nGlobals := 2 + g.r.intn(3)
+	for i := 0; i < nGlobals; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.globals = append(g.globals, name)
+		g.line("int %s = %d;", name, g.r.intn(100))
+	}
+	nArrays := 1 + g.r.intn(2)
+	for i := 0; i < nArrays; i++ {
+		name := fmt.Sprintf("arr%d", i)
+		g.arrays = append(g.arrays, name)
+		g.line("int %s[%d];", name, arraySize)
+	}
+	if cfg.Threads {
+		g.line("int fuzzMtx;")
+		g.line("int shared;")
+	}
+
+	// Helper functions (each may call only earlier ones: no recursion).
+	for i := 0; i < cfg.Funcs; i++ {
+		name := fmt.Sprintf("helper%d", i)
+		g.line("int %s(int p0, int p1) {", name)
+		g.indent++
+		g.pushScope("p0", "p1")
+		g.declareLocals(1 + g.r.intn(3))
+		g.budget = cfg.Stmts / 2
+		for g.budget > 0 {
+			g.stmt(cfg)
+		}
+		g.line("return %s;", g.expr(2))
+		g.popScope()
+		g.indent--
+		g.line("}")
+		g.funcs = append(g.funcs, name)
+	}
+
+	if cfg.Threads {
+		g.line("int fuzzWorker(int id) {")
+		g.indent++
+		g.pushScope("id")
+		g.declareLocals(2)
+		g.line("int fi;")
+		g.line("for (fi = 0; fi < %d; fi++) {", 5+g.r.intn(20))
+		g.indent++
+		g.line("lock(&fuzzMtx);")
+		g.line("shared = shared + %s;", g.expr(1))
+		g.line("unlock(&fuzzMtx);")
+		g.indent--
+		g.line("}")
+		g.line("return 0;")
+		g.popScope()
+		g.indent--
+		g.line("}")
+	}
+
+	// Main.
+	g.line("int main() {")
+	g.indent++
+	g.pushScope()
+	g.declareLocals(2 + g.r.intn(3))
+	if cfg.Threads {
+		g.line("int fz1 = spawn(fuzzWorker, 1);")
+		g.line("int fz2 = spawn(fuzzWorker, 2);")
+	}
+	g.budget = cfg.Stmts
+	for g.budget > 0 {
+		g.stmt(cfg)
+	}
+	if cfg.Threads {
+		g.line("join(fz1);")
+		g.line("join(fz2);")
+		g.line("write(shared);")
+	}
+	for _, gl := range g.globals {
+		g.line("write(%s);", gl)
+	}
+	for _, a := range g.arrays {
+		g.line("write(%s[%d]);", a, g.r.intn(arraySize))
+	}
+	g.line("return 0;")
+	g.popScope()
+	g.indent--
+	g.line("}")
+	return g.b.String()
+}
+
+func (g *gen) line(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) pushScope(names ...string) {
+	g.locals = append(g.locals, append([]string(nil), names...))
+}
+
+func (g *gen) popScope() { g.locals = g.locals[:len(g.locals)-1] }
+
+func (g *gen) scope() []string { return g.locals[len(g.locals)-1] }
+
+// declareLocals adds fresh scalar locals with initialisers to the current
+// scope.
+func (g *gen) declareLocals(n int) {
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("v%d_%d", len(g.locals), len(g.scope()))
+		g.line("int %s = %d;", name, g.r.intn(50))
+		g.locals[len(g.locals)-1] = append(g.locals[len(g.locals)-1], name)
+	}
+}
+
+// allVars returns every readable scalar in scope (globals + locals).
+func (g *gen) allVars() []string {
+	out := append([]string(nil), g.globals...)
+	for _, s := range g.locals {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// expr produces a side-effect-free expression of bounded depth. Division
+// and modulo only appear with non-zero constant divisors, so generated
+// programs never fault.
+func (g *gen) expr(depth int) string {
+	vars := g.allVars()
+	leaf := func() string {
+		switch g.r.intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.intn(200)-100)
+		case 1:
+			if len(vars) > 0 {
+				return vars[g.r.intn(len(vars))]
+			}
+			return fmt.Sprintf("%d", g.r.intn(9))
+		default:
+			if len(g.arrays) > 0 {
+				return fmt.Sprintf("%s[%d]", g.arrays[g.r.intn(len(g.arrays))], g.r.intn(arraySize))
+			}
+			return fmt.Sprintf("%d", g.r.intn(9))
+		}
+	}
+	if depth <= 0 {
+		return leaf()
+	}
+	switch g.r.intn(9) {
+	case 0, 1:
+		return leaf()
+	case 8:
+		return fmt.Sprintf("(%s ? %s : %s)", g.cond(), g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 4:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), leaf())
+	case 5:
+		return fmt.Sprintf("(%s / %d)", g.expr(depth-1), 1+g.r.intn(9))
+	case 6:
+		return fmt.Sprintf("(%s %% %d)", g.expr(depth-1), 1+g.r.intn(15))
+	default:
+		op := []string{"&", "|", "^", "<<", ">>"}[g.r.intn(5)]
+		if op == "<<" || op == ">>" {
+			return fmt.Sprintf("(%s %s %d)", g.expr(depth-1), op, g.r.intn(8))
+		}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, leaf())
+	}
+}
+
+// cond produces a boolean-ish expression.
+func (g *gen) cond() string {
+	op := []string{"==", "!=", "<", "<=", ">", ">="}[g.r.intn(6)]
+	return fmt.Sprintf("%s %s %s", g.expr(1), op, g.expr(1))
+}
+
+// lvalue picks an assignable target.
+func (g *gen) lvalue() string {
+	vars := g.allVars()
+	if len(g.arrays) > 0 && g.r.intn(3) == 0 {
+		return fmt.Sprintf("%s[%d]", g.arrays[g.r.intn(len(g.arrays))], g.r.intn(arraySize))
+	}
+	return vars[g.r.intn(len(vars))]
+}
+
+// stmt emits one random statement, consuming budget.
+func (g *gen) stmt(cfg Config) {
+	g.budget--
+	choice := g.r.intn(13)
+	if g.depth >= 2 && choice >= 7 {
+		choice = g.r.intn(7) // cap nesting
+	}
+	switch choice {
+	case 0, 1, 2, 3:
+		g.line("%s = %s;", g.lvalue(), g.expr(2))
+	case 4:
+		if len(g.funcs) > 0 {
+			fn := g.funcs[g.r.intn(len(g.funcs))]
+			g.line("%s = %s(%s, %s);", g.lvalue(), fn, g.expr(1), g.expr(1))
+		} else {
+			g.line("%s = %s;", g.lvalue(), g.expr(2))
+		}
+	case 5:
+		g.line("write(%s);", g.expr(1))
+	case 6:
+		g.line("%s = %s;", g.lvalue(), g.expr(2))
+	case 7:
+		g.depth++
+		g.line("if (%s) {", g.cond())
+		g.indent++
+		g.stmt(cfg)
+		g.indent--
+		if g.r.intn(2) == 0 {
+			g.line("} else {")
+			g.indent++
+			g.stmt(cfg)
+			g.indent--
+		}
+		g.line("}")
+		g.depth--
+	case 8:
+		// Bounded counted loop: always terminates. The loop variable is
+		// deliberately NOT added to the visible-variable list — this
+		// statement may sit inside a nested block, and mini-C scoping
+		// would reject later out-of-block references.
+		g.uniq++
+		iv := fmt.Sprintf("i%d", g.uniq)
+		g.depth++
+		g.line("int %s;", iv)
+		g.line("for (%s = 0; %s < %d; %s++) {", iv, iv, 2+g.r.intn(12), iv)
+		g.indent++
+		g.stmt(cfg)
+		g.indent--
+		g.line("}")
+		g.depth--
+	case 11:
+		// Bounded do-while: runs at least once, terminates via counter.
+		g.uniq++
+		dv := fmt.Sprintf("d%d", g.uniq)
+		g.depth++
+		g.line("int %s = 0;", dv)
+		g.line("do {")
+		g.indent++
+		g.stmt(cfg)
+		g.line("%s = %s + 1;", dv, dv)
+		g.indent--
+		g.line("} while (%s < %d);", dv, 1+g.r.intn(6))
+		g.depth--
+	case 9:
+		g.depth++
+		n := 2 + g.r.intn(4)
+		g.line("switch (%s %% %d) {", g.expr(1), n)
+		for c := 0; c < n; c++ {
+			g.line("case %d:", c)
+			g.indent++
+			g.stmt(cfg)
+			g.line("break;")
+			g.indent--
+		}
+		if g.r.intn(2) == 0 {
+			g.line("default:")
+			g.indent++
+			g.stmt(cfg)
+			g.line("break;")
+			g.indent--
+		}
+		g.line("}")
+		g.depth--
+	case 10:
+		if len(g.arrays) > 0 {
+			a := g.arrays[g.r.intn(len(g.arrays))]
+			g.line("%s[(%s %% %d + %d) %% %d] = %s;",
+				a, g.expr(1), arraySize, arraySize, arraySize, g.expr(1))
+		} else {
+			g.line("%s = %s;", g.lvalue(), g.expr(2))
+		}
+	default:
+		g.line("%s = %s + 1;", g.lvalue(), g.lvalue())
+	}
+}

@@ -1,0 +1,266 @@
+// Package races implements a FastTrack-style happens-before data-race
+// detector over DrDebug's collected traces — the companion analysis the
+// paper's related work points at (Tallam et al., "Dynamic slicing of
+// multithreaded programs for race detection"): because a replayed region
+// comes with its full shared-memory access order and synchronisation
+// history, races can be detected deterministically and each racy access
+// handed straight to the slicer as a criterion.
+//
+// Happens-before is induced by program order, lock release→acquire on
+// the same lock cell, spawn→child-start and child-exit→join. Two
+// conflicting accesses (same shared word, different threads, at least
+// one write) unordered by happens-before constitute a race.
+package races
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/tracer"
+)
+
+// Race is one detected data race: two dynamically unordered conflicting
+// accesses. First is the access that appeared earlier in the replayed
+// (observed) order.
+type Race struct {
+	Addr   int64
+	First  tracer.Ref
+	Second tracer.Ref
+	// WriteWrite is true for write/write races; otherwise one side is a
+	// read.
+	WriteWrite bool
+}
+
+// Report is the outcome of race detection on one trace.
+type Report struct {
+	// Races holds one representative race per (pc, pc, addr-class)
+	// triple, in observed order of the second access.
+	Races []Race
+	// Checked counts the shared-memory accesses examined.
+	Checked int64
+}
+
+// vc is a vector clock, indexed by thread id.
+type vc []int64
+
+func (v vc) get(t int) int64 {
+	if t < len(v) {
+		return v[t]
+	}
+	return 0
+}
+
+func (v *vc) set(t int, x int64) {
+	for len(*v) <= t {
+		*v = append(*v, 0)
+	}
+	(*v)[t] = x
+}
+
+// join merges o into v (pointwise max).
+func (v *vc) join(o vc) {
+	for t, x := range o {
+		if x > v.get(t) {
+			v.set(t, x)
+		}
+	}
+}
+
+// happensBefore reports whether an event with clock (t, c) happens
+// before the thread holding clock w.
+func happensBefore(t int, c int64, w vc) bool { return c <= w.get(t) }
+
+// epoch is a single (tid, clock) access stamp.
+type epoch struct {
+	tid int
+	c   int64
+	ref tracer.Ref
+}
+
+// addrState tracks the last write and the read set since that write for
+// one shared word.
+type addrState struct {
+	write    epoch
+	hasWrite bool
+	reads    []epoch
+}
+
+// Detect runs happens-before race detection over the trace's global
+// order. BuildGlobal must have been called (slicing sessions already
+// guarantee this).
+func Detect(tr *tracer.Trace, sharedLimit int64) (*Report, error) {
+	if len(tr.Global) == 0 && tr.Len() > 0 {
+		return nil, fmt.Errorf("races: trace has no global order (call BuildGlobal)")
+	}
+
+	clocks := map[int]*vc{}   // thread -> vector clock
+	lockRel := map[int64]vc{} // lock cell -> clock at last release
+	exitClock := map[int]vc{} // thread -> clock at exit
+	state := map[int64]*addrState{}
+
+	pendingJoin := map[int]vc{} // woken thread -> signaler clock to join
+
+	clockOf := func(tid int) *vc {
+		c, ok := clocks[tid]
+		if !ok {
+			c = &vc{}
+			c.set(tid, 1)
+			clocks[tid] = c
+		}
+		return c
+	}
+
+	rep := &Report{}
+	seen := map[[3]int64]bool{} // (pc1, pc2, addr) dedup
+
+	report := func(prev epoch, cur epoch, addr int64, ww bool) {
+		e1 := tr.Entry(prev.ref)
+		e2 := tr.Entry(cur.ref)
+		key := [3]int64{e1.PC, e2.PC, addr}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		rep.Races = append(rep.Races, Race{
+			Addr: addr, First: prev.ref, Second: cur.ref, WriteWrite: ww,
+		})
+	}
+
+	for _, ref := range tr.Global {
+		e := tr.Entry(ref)
+		tid := e.Tid
+		c := clockOf(tid)
+		if pj, ok := pendingJoin[tid]; ok {
+			c.join(pj)
+			delete(pendingJoin, tid)
+		}
+
+		switch e.Instr.Op {
+		case isa.LOCK:
+			// Acquire: join the last releaser's clock.
+			if rel, ok := lockRel[e.EffAddr]; ok {
+				c.join(rel)
+			}
+			continue
+		case isa.UNLOCK:
+			// Release: publish this thread's clock, then advance it.
+			cp := make(vc, len(*c))
+			copy(cp, *c)
+			lockRel[e.EffAddr] = cp
+			c.set(tid, c.get(tid)+1)
+			continue
+		case isa.SPAWN:
+			// Child inherits the parent's clock.
+			child := int(e.Aux)
+			cc := clockOf(child)
+			cc.join(*c)
+			cc.set(child, cc.get(child)+1)
+			c.set(tid, c.get(tid)+1)
+			continue
+		case isa.JOIN:
+			if ec, ok := exitClock[int(e.Aux)]; ok {
+				c.join(ec)
+			}
+			continue
+		case isa.WAIT:
+			// Releases the mutex (EffAddr): publish like an unlock.
+			cp := make(vc, len(*c))
+			copy(cp, *c)
+			lockRel[e.EffAddr] = cp
+			c.set(tid, c.get(tid)+1)
+			continue
+		case isa.SIGNAL:
+			// The woken thread (Aux) inherits the signaler's clock at
+			// its next instruction.
+			if e.Aux >= 0 {
+				cp := make(vc, len(*c))
+				copy(cp, *c)
+				if prev, ok := pendingJoin[int(e.Aux)]; ok {
+					cp.join(prev)
+				}
+				pendingJoin[int(e.Aux)] = cp
+			}
+			c.set(tid, c.get(tid)+1)
+			continue
+		case isa.RET:
+			if e.NextPC == -1 {
+				// Thread exit: publish the clock for joiners.
+				cp := make(vc, len(*c))
+				copy(cp, *c)
+				exitClock[tid] = cp
+			}
+			continue
+		}
+
+		if e.EffAddr < 0 || e.EffAddr >= sharedLimit {
+			continue
+		}
+		rep.Checked++
+		st := state[e.EffAddr]
+		if st == nil {
+			st = &addrState{}
+			state[e.EffAddr] = st
+		}
+		myC := c.get(tid)
+
+		if e.MemIsWrite {
+			// Write vs previous write.
+			if st.hasWrite && st.write.tid != tid && !happensBefore(st.write.tid, st.write.c, *c) {
+				report(st.write, epoch{tid, myC, ref}, e.EffAddr, true)
+			}
+			// Write vs reads since the previous write.
+			for _, r := range st.reads {
+				if r.tid != tid && !happensBefore(r.tid, r.c, *c) {
+					report(r, epoch{tid, myC, ref}, e.EffAddr, false)
+				}
+			}
+			st.write = epoch{tid, myC, ref}
+			st.hasWrite = true
+			st.reads = st.reads[:0]
+		} else {
+			// Read vs previous write.
+			if st.hasWrite && st.write.tid != tid && !happensBefore(st.write.tid, st.write.c, *c) {
+				report(st.write, epoch{tid, myC, ref}, e.EffAddr, false)
+			}
+			// Keep one read epoch per thread (the latest).
+			kept := false
+			for i := range st.reads {
+				if st.reads[i].tid == tid {
+					st.reads[i] = epoch{tid, myC, ref}
+					kept = true
+					break
+				}
+			}
+			if !kept {
+				st.reads = append(st.reads, epoch{tid, myC, ref})
+			}
+		}
+	}
+
+	sort.Slice(rep.Races, func(i, j int) bool {
+		gi, _ := tr.GlobalPosOf(rep.Races[i].Second)
+		gj, _ := tr.GlobalPosOf(rep.Races[j].Second)
+		return gi < gj
+	})
+	return rep, nil
+}
+
+// Describe renders one race with source positions.
+func (r Race) Describe(tr *tracer.Trace, prog *isa.Program) string {
+	e1 := tr.Entry(r.First)
+	e2 := tr.Entry(r.Second)
+	kind := "read/write"
+	if r.WriteWrite {
+		kind = "write/write"
+	}
+	loc := fmt.Sprintf("word %d", r.Addr)
+	if sym := prog.SymbolAt(r.Addr); sym != nil {
+		loc = sym.Name
+		if sym.Size > 1 {
+			loc = fmt.Sprintf("%s[%d]", sym.Name, r.Addr-sym.Addr)
+		}
+	}
+	return fmt.Sprintf("%s race on %s: T%d at %s  <->  T%d at %s",
+		kind, loc, e1.Tid, prog.SourceOf(e1.PC), e2.Tid, prog.SourceOf(e2.PC))
+}

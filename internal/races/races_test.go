@@ -1,0 +1,250 @@
+package races_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pinplay"
+	"repro/internal/races"
+	"repro/internal/slice"
+	"repro/internal/tracer"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// traceOf records a whole run (any end state) and returns its trace.
+func traceOf(t *testing.T, src string, seed int64) (*isa.Program, *tracer.Trace) {
+	t.Helper()
+	prog, err := cc.CompileSource("r.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := pinplay.Log(prog, pinplay.LogConfig{Seed: seed, MeanQuantum: 11}, pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.Open(prog, pb)
+	tr, err := sess.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, tr
+}
+
+func TestNoRacesWhenFullyLocked(t *testing.T) {
+	_, tr := traceOf(t, `
+int counter;
+int mtx;
+int worker(int n) {
+	int i;
+	for (i = 0; i < 30; i++) {
+		lock(&mtx);
+		counter = counter + 1;
+		unlock(&mtx);
+	}
+	return 0;
+}
+int main() {
+	int t1 = spawn(worker, 0);
+	int t2 = spawn(worker, 0);
+	worker(0);
+	join(t1);
+	join(t2);
+	write(counter);
+	return 0;
+}`, 5)
+	rep, err := races.Detect(tr, vm.StackBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) != 0 {
+		t.Fatalf("false positives on fully locked counter: %+v", rep.Races)
+	}
+	if rep.Checked == 0 {
+		t.Error("no accesses checked")
+	}
+}
+
+func TestDetectsUnlockedCounterRace(t *testing.T) {
+	_, tr := traceOf(t, `
+int counter;
+int worker(int n) {
+	int i;
+	for (i = 0; i < 30; i++) { counter = counter + 1; }
+	return 0;
+}
+int main() {
+	int t1 = spawn(worker, 0);
+	worker(0);
+	join(t1);
+	write(counter);
+	return 0;
+}`, 5)
+	rep, err := races.Detect(tr, vm.StackBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) == 0 {
+		t.Fatal("missed the unlocked counter race")
+	}
+	ww := false
+	for _, r := range rep.Races {
+		if r.First.Tid == r.Second.Tid {
+			t.Errorf("same-thread race reported: %+v", r)
+		}
+		if r.WriteWrite {
+			ww = true
+		}
+	}
+	if !ww {
+		t.Error("no write/write race on the counter")
+	}
+}
+
+func TestSpawnJoinInduceOrder(t *testing.T) {
+	// Parent writes before spawn; child reads; child writes; parent reads
+	// after join: fully ordered, no races despite no locks.
+	_, tr := traceOf(t, `
+int box;
+int child(int u) {
+	box = box + 1;
+	return 0;
+}
+int main() {
+	box = 10;
+	int t = spawn(child, 0);
+	join(t);
+	write(box);
+	return 0;
+}`, 3)
+	rep, err := races.Detect(tr, vm.StackBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) != 0 {
+		t.Fatalf("spawn/join order not honoured: %+v", rep.Races)
+	}
+}
+
+func TestLockOnlyOrdersSameLock(t *testing.T) {
+	// Two variables guarded by two different locks in different threads:
+	// accesses to v guarded by different locks still race.
+	_, tr := traceOf(t, `
+int v;
+int m1;
+int m2;
+int a(int u) {
+	lock(&m1);
+	v = v + 1;
+	unlock(&m1);
+	return 0;
+}
+int main() {
+	int t = spawn(a, 0);
+	lock(&m2);
+	v = v + 10;
+	unlock(&m2);
+	join(t);
+	write(v);
+	return 0;
+}`, 7)
+	rep, err := races.Detect(tr, vm.StackBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) == 0 {
+		t.Fatal("different-lock accesses must race")
+	}
+}
+
+func TestTable1BugsAreRacy(t *testing.T) {
+	// The pbzip2 and aget reconstructions must show their reported races.
+	for _, tc := range []struct {
+		name   string
+		symbol string
+	}{
+		{"pbzip2", "fifoValid"},
+		{"aget", "bwritten"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := workloads.ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := w.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pb, err := pinplay.Log(prog, pinplay.LogConfig{
+				Seed: 3, MeanQuantum: 15, Input: w.Input(w.DefaultThreads, 30), MaxSteps: 50_000_000,
+			}, pinplay.RegionSpec{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess := core.Open(prog, pb)
+			rep, err := sess.DetectRaces()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, _ := sess.Trace()
+			sym := prog.SymbolByName(tc.symbol)
+			if sym == nil {
+				t.Fatalf("no symbol %s", tc.symbol)
+			}
+			found := false
+			for _, r := range rep.Races {
+				if r.Addr >= sym.Addr && r.Addr < sym.Addr+sym.Size {
+					found = true
+					desc := r.Describe(tr, prog)
+					if !strings.Contains(desc, tc.symbol) {
+						t.Errorf("Describe missing symbol name: %s", desc)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("race on %s not detected; %d races found", tc.symbol, len(rep.Races))
+			}
+		})
+	}
+}
+
+func TestRacyAccessIsSliceable(t *testing.T) {
+	// Each reported race endpoint is a usable slicing criterion.
+	prog, tr := traceOf(t, `
+int v;
+int w2(int u) { v = 5; return 0; }
+int main() {
+	int t = spawn(w2, 0);
+	v = 7;
+	join(t);
+	write(v);
+	return 0;
+}`, 9)
+	rep, err := races.Detect(tr, vm.StackBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) == 0 {
+		t.Fatal("race not detected")
+	}
+	s, err := sliceNew(prog, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := s.Slice(rep.Races[0].Second)
+	if err != nil {
+		t.Fatalf("slicing racy access: %v", err)
+	}
+	if sl.Stats.Members == 0 {
+		t.Error("empty slice for racy access")
+	}
+}
+
+// sliceNew builds a slicer for the race-to-slice handoff test.
+func sliceNew(prog *isa.Program, tr *tracer.Trace) (*slice.Slicer, error) {
+	return slice.New(prog, tr, slice.DefaultOptions())
+}

@@ -1,0 +1,197 @@
+package slice
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteHTML renders the slice as a self-contained HTML report — the
+// text-mode stand-in for the paper's KDbg GUI (Figure 9): source listings
+// with every slice statement highlighted, per-statement dynamic counts
+// and thread sets, and the dependence edges for backward navigation.
+//
+// sources maps file names (as recorded in the program's line table) to
+// their source text; files without source fall back to a statement table.
+func (f *File) WriteHTML(w io.Writer, sources map[string]string) error {
+	type lineInfo struct {
+		Count   int
+		Threads string
+	}
+	// Aggregate members per file:line.
+	perFile := map[string]map[int]*lineInfo{}
+	threadSets := map[string]map[int]map[int]bool{}
+	for _, m := range f.Members {
+		file, line := splitSrc(m.Src)
+		if file == "" {
+			continue
+		}
+		if perFile[file] == nil {
+			perFile[file] = map[int]*lineInfo{}
+			threadSets[file] = map[int]map[int]bool{}
+		}
+		li := perFile[file][line]
+		if li == nil {
+			li = &lineInfo{}
+			perFile[file][line] = li
+			threadSets[file][line] = map[int]bool{}
+		}
+		li.Count++
+		threadSets[file][line][m.Tid] = true
+	}
+	for file, lines := range threadSets {
+		for line, tids := range lines {
+			var ts []int
+			for t := range tids {
+				ts = append(ts, t)
+			}
+			sort.Ints(ts)
+			var parts []string
+			for _, t := range ts {
+				parts = append(parts, fmt.Sprintf("T%d", t))
+			}
+			perFile[file][line].Threads = strings.Join(parts, ",")
+		}
+	}
+
+	type renderLine struct {
+		No      int
+		Text    string
+		InSlice bool
+		Count   int
+		Threads string
+	}
+	type renderFile struct {
+		Name   string
+		HasSrc bool
+		Lines  []renderLine
+		Stmts  []renderLine // fallback when source is unavailable
+	}
+	type renderDep struct {
+		Kind, From, To string
+		Cross          bool
+	}
+	data := struct {
+		Program      string
+		CriterionTid int
+		CriterionIdx int64
+		Members      int
+		Files        []renderFile
+		Deps         []renderDep
+		Exclusions   []string
+		Stats        Stats
+	}{
+		Program:      f.Program,
+		CriterionTid: f.CriterionTid,
+		CriterionIdx: f.CriterionIdx,
+		Members:      len(f.Members),
+		Stats:        f.Stats,
+	}
+
+	var fileNames []string
+	for name := range perFile {
+		fileNames = append(fileNames, name)
+	}
+	sort.Strings(fileNames)
+	for _, name := range fileNames {
+		rf := renderFile{Name: name}
+		if src, ok := sources[name]; ok {
+			rf.HasSrc = true
+			for i, text := range strings.Split(src, "\n") {
+				no := i + 1
+				rl := renderLine{No: no, Text: text}
+				if li, in := perFile[name][no]; in {
+					rl.InSlice = true
+					rl.Count = li.Count
+					rl.Threads = li.Threads
+				}
+				rf.Lines = append(rf.Lines, rl)
+			}
+		} else {
+			var nos []int
+			for no := range perFile[name] {
+				nos = append(nos, no)
+			}
+			sort.Ints(nos)
+			for _, no := range nos {
+				li := perFile[name][no]
+				rf.Stmts = append(rf.Stmts, renderLine{No: no, InSlice: true, Count: li.Count, Threads: li.Threads})
+			}
+		}
+		data.Files = append(data.Files, rf)
+	}
+
+	for _, d := range f.Deps {
+		data.Deps = append(data.Deps, renderDep{
+			Kind:  d.Kind.String(),
+			From:  fmt.Sprintf("T%d@%d", d.FromTid, d.FromIdx),
+			To:    fmt.Sprintf("T%d@%d", d.ToTid, d.ToIdx),
+			Cross: d.FromTid != d.ToTid,
+		})
+	}
+	for _, e := range f.Exclusions {
+		data.Exclusions = append(data.Exclusions, e.String())
+	}
+
+	return sliceHTMLTmpl.Execute(w, data)
+}
+
+func splitSrc(src string) (string, int) {
+	i := strings.LastIndexByte(src, ':')
+	if i < 0 {
+		return "", 0
+	}
+	var line int
+	if _, err := fmt.Sscanf(src[i+1:], "%d", &line); err != nil {
+		return "", 0
+	}
+	return src[:i], line
+}
+
+var sliceHTMLTmpl = template.Must(template.New("slice").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>DrDebug slice — {{.Program}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; color: #222; }
+pre { margin: 0; }
+table { border-collapse: collapse; }
+.src td { font-family: monospace; white-space: pre; padding: 0 0.6em; }
+.src .no { color: #999; text-align: right; user-select: none; }
+.hit { background: #fff3a0; }
+.meta { color: #777; font-size: 85%; }
+.cross { background: #ffd9d9; }
+h2 { border-bottom: 1px solid #ddd; padding-bottom: 0.2em; }
+.dep td { padding: 0.1em 0.8em; font-family: monospace; }
+</style></head><body>
+<h1>Dynamic slice — {{.Program}}</h1>
+<p>Criterion: thread {{.CriterionTid}}, instruction {{.CriterionIdx}}.
+{{.Members}} dynamic instructions of {{.Stats.TraceLen}} in slice.
+Precision: {{.Stats.CFGRefinements}} CFG refinements,
+{{.Stats.VerifiedPairs}} save/restore pairs verified,
+{{.Stats.PrunedBypasses}} spurious dependences bypassed.</p>
+
+{{range .Files}}
+<h2>{{.Name}}</h2>
+{{if .HasSrc}}
+<table class="src">
+{{range .Lines}}<tr{{if .InSlice}} class="hit"{{end}}><td class="no">{{.No}}</td><td>{{.Text}}</td><td class="meta">{{if .InSlice}}&times;{{.Count}} {{.Threads}}{{end}}</td></tr>
+{{end}}</table>
+{{else}}
+<table class="src">
+<tr><td class="no">line</td><td class="meta">executions</td><td class="meta">threads</td></tr>
+{{range .Stmts}}<tr class="hit"><td class="no">{{.No}}</td><td>&times;{{.Count}}</td><td class="meta">{{.Threads}}</td></tr>
+{{end}}</table>
+{{end}}
+{{end}}
+
+<h2>Dependences ({{len .Deps}})</h2>
+<table class="dep">
+{{range .Deps}}<tr{{if .Cross}} class="cross"{{end}}><td>{{.Kind}}</td><td>{{.From}}</td><td>&larr;</td><td>{{.To}}</td></tr>
+{{end}}</table>
+
+<h2>Exclusion regions ({{len .Exclusions}})</h2>
+<pre>{{range .Exclusions}}{{.}}
+{{end}}</pre>
+</body></html>
+`))

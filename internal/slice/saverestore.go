@@ -1,0 +1,66 @@
+package slice
+
+import "repro/internal/isa"
+
+// srCandidates is the static half of the Section 5.2 save/restore
+// detector: the pcs of potential save and restore instructions, found
+// without compiler markers so the tool works on arbitrary binaries.
+type srCandidates struct {
+	saves    map[int64]bool // PUSH pcs in function prologues
+	restores map[int64]bool // POP pcs in function epilogues
+	maxSave  int
+}
+
+// findSaveRestoreCandidates statically scans every function: the first
+// MaxSave PUSH instructions at its start are potential saves; the last
+// MaxSave POP instructions before each RET are potential restores.
+// MaxSave is the paper's tunable parameter (default 10). Intervening
+// register moves and frame arithmetic are skipped; anything else ends the
+// prologue/epilogue scan, which is how pushes/pops used for ordinary
+// computation are kept out of the candidate sets.
+func findSaveRestoreCandidates(prog *isa.Program, maxSave int) *srCandidates {
+	if maxSave <= 0 {
+		maxSave = 10
+	}
+	c := &srCandidates{
+		saves:    make(map[int64]bool),
+		restores: make(map[int64]bool),
+		maxSave:  maxSave,
+	}
+	for _, fn := range prog.Funcs {
+		// Prologue scan: forward from entry.
+		n := 0
+	prologue:
+		for pc := fn.Entry; pc < fn.End && n < maxSave; pc++ {
+			switch prog.Code[pc].Op {
+			case isa.PUSH:
+				c.saves[pc] = true
+				n++
+			case isa.MOV, isa.ADDI, isa.STORE:
+				// Frame setup and argument homing; keep scanning.
+			default:
+				break prologue
+			}
+		}
+		// Epilogue scans: backward from each RET.
+		for pc := fn.Entry; pc < fn.End; pc++ {
+			if prog.Code[pc].Op != isa.RET {
+				continue
+			}
+			n := 0
+		epilogue:
+			for q := pc - 1; q >= fn.Entry && n < maxSave; q-- {
+				switch prog.Code[q].Op {
+				case isa.POP:
+					c.restores[q] = true
+					n++
+				case isa.MOV:
+					// Frame teardown (mov sp, fp); keep scanning.
+				default:
+					break epilogue
+				}
+			}
+		}
+	}
+	return c
+}

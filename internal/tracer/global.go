@@ -1,0 +1,101 @@
+package tracer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// BuildGlobal combines the per-thread local traces into a single fully
+// ordered trace that honours program order and every shared-memory order
+// edge (read-after-write, write-after-write, write-after-read), i.e. a
+// topological order of the happens-before graph (paper Section 3(ii)).
+//
+// The construction clusters runs from one thread for as long as its next
+// entry's cross-thread predecessors have been emitted, which improves the
+// locality of the Limited Preprocessing traversal (the paper's
+// "we always try to cluster traces for each thread to the extent
+// possible").
+func (t *Trace) BuildGlobal() error {
+	// Incoming cross-thread constraints per target entry.
+	preds := make(map[Ref][]Ref, len(t.Edges))
+	for _, e := range t.Edges {
+		fr, ok1 := t.RefOf(e.FromTid, e.FromIdx)
+		to, ok2 := t.RefOf(e.ToTid, e.ToIdx)
+		if !ok1 || !ok2 {
+			// An edge endpoint outside the traced region imposes no
+			// constraint within it.
+			continue
+		}
+		preds[to] = append(preds[to], fr)
+	}
+	// Thread-lifecycle causality: a spawn precedes every instruction of
+	// the thread it created, and a successful join follows the joined
+	// thread's last instruction.
+	for child, sp := range t.SpawnEvent {
+		if first, ok := t.RefOf(child, t.FirstIdx[child]); ok {
+			preds[first] = append(preds[first], sp)
+		}
+	}
+	for tid, l := range t.Locals {
+		for pos := range l {
+			e := &l[pos]
+			if e.Instr.Op == isa.JOIN {
+				child := int(e.Aux)
+				cl := t.Locals[child]
+				if len(cl) > 0 {
+					last := Ref{Tid: int32(child), Pos: int32(len(cl) - 1)}
+					preds[Ref{Tid: int32(tid), Pos: int32(pos)}] = append(preds[Ref{Tid: int32(tid), Pos: int32(pos)}], last)
+				}
+			}
+		}
+	}
+
+	tids := make([]int, 0, len(t.Locals))
+	total := 0
+	for tid, l := range t.Locals {
+		tids = append(tids, tid)
+		total += len(l)
+	}
+	sort.Ints(tids)
+
+	cursor := make(map[int]int, len(tids))
+	emitted := func(r Ref) bool { return int(r.Pos) < cursor[int(r.Tid)] }
+	ready := func(tid int) bool {
+		pos := cursor[tid]
+		if pos >= len(t.Locals[tid]) {
+			return false
+		}
+		for _, p := range preds[Ref{Tid: int32(tid), Pos: int32(pos)}] {
+			if !emitted(p) {
+				return false
+			}
+		}
+		return true
+	}
+
+	t.Global = make([]Ref, 0, total)
+	gpos := make(map[int][]int32, len(tids))
+	for tid, l := range t.Locals {
+		gpos[tid] = make([]int32, len(l))
+	}
+
+	for len(t.Global) < total {
+		progress := false
+		for _, tid := range tids {
+			for ready(tid) {
+				r := Ref{Tid: int32(tid), Pos: int32(cursor[tid])}
+				gpos[tid][cursor[tid]] = int32(len(t.Global))
+				t.Global = append(t.Global, r)
+				cursor[tid]++
+				progress = true
+			}
+		}
+		if !progress {
+			return fmt.Errorf("tracer: cycle in happens-before constraints (%d of %d emitted)", len(t.Global), total)
+		}
+	}
+	t.globalPosArr = gpos
+	return nil
+}

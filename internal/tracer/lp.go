@@ -1,0 +1,133 @@
+package tracer
+
+import "repro/internal/isa"
+
+// Loc is a dependence location: a shared memory word or a per-thread
+// register. Registers of different threads are distinct locations.
+type Loc int64
+
+const regLocBase Loc = 1 << 62
+
+// MemLoc returns the location of a memory word.
+func MemLoc(addr int64) Loc { return Loc(addr) }
+
+// RegLoc returns the location of a register in a thread.
+func RegLoc(tid int, r isa.Reg) Loc {
+	return regLocBase | Loc(int64(tid)<<8|int64(r))
+}
+
+// IsReg reports whether the location is a register.
+func (l Loc) IsReg() bool { return l&regLocBase != 0 }
+
+// Defs appends the locations the entry defines (registers written plus
+// the memory word written, if any).
+//
+// The stack pointer is excluded from dependence tracking: SP updates are
+// bookkeeping that would chain every stack operation into every slice,
+// while the actual values flow through the stack *slots*, which are
+// tracked as memory locations (a PUSH defines the slot it writes, a POP
+// uses the slot it reads).
+func Defs(e *Entry, buf []Loc) []Loc {
+	var regs [4]isa.Reg
+	for _, r := range e.Instr.RegDefs(regs[:0]) {
+		if r == isa.SP {
+			continue
+		}
+		buf = append(buf, RegLoc(e.Tid, r))
+	}
+	if e.EffAddr >= 0 && e.MemIsWrite {
+		buf = append(buf, MemLoc(e.EffAddr))
+	}
+	return buf
+}
+
+// Uses appends the locations the entry uses (registers read plus the
+// memory word read, if any). LOCK/UNLOCK both read and write their cell
+// (MemAlsoRead), so the cell appears in both Defs and Uses for them.
+// SP is excluded for the reason documented on Defs.
+func Uses(e *Entry, buf []Loc) []Loc {
+	var regs [4]isa.Reg
+	for _, r := range e.Instr.RegUses(regs[:0]) {
+		if r == isa.SP {
+			continue
+		}
+		buf = append(buf, RegLoc(e.Tid, r))
+	}
+	if e.EffAddr >= 0 && (!e.MemIsWrite || e.MemAlsoRead) {
+		buf = append(buf, MemLoc(e.EffAddr))
+	}
+	return buf
+}
+
+// DefaultLPBlock is the default Limited Preprocessing block size.
+const DefaultLPBlock = 4096
+
+// LPIndex divides the global trace into fixed-size blocks and keeps, per
+// block, the set of locations defined in it ("summary of downward exposed
+// values"). The backward traversal skips any block whose summary is
+// disjoint from the wanted locations — the Limited Preprocessing
+// algorithm of Zhang, Gupta and Zhang (ICSE'03) the paper adopts.
+type LPIndex struct {
+	BlockSize int
+	summaries []map[Loc]struct{}
+
+	// Skipped and Visited count blocks during traversals, for the
+	// evaluation harness.
+	Skipped int64
+	Visited int64
+}
+
+// BuildLPIndex scans the global trace once and constructs the per-block
+// definition summaries. BuildGlobal must have run.
+func BuildLPIndex(t *Trace, blockSize int) *LPIndex {
+	if blockSize <= 0 {
+		blockSize = DefaultLPBlock
+	}
+	n := len(t.Global)
+	idx := &LPIndex{
+		BlockSize: blockSize,
+		summaries: make([]map[Loc]struct{}, (n+blockSize-1)/blockSize),
+	}
+	var buf [8]Loc
+	for g, ref := range t.Global {
+		b := g / blockSize
+		s := idx.summaries[b]
+		if s == nil {
+			s = make(map[Loc]struct{}, 64)
+			idx.summaries[b] = s
+		}
+		for _, l := range Defs(t.Entry(ref), buf[:0]) {
+			s[l] = struct{}{}
+		}
+	}
+	return idx
+}
+
+// BlockOf returns the block number containing global position g.
+func (idx *LPIndex) BlockOf(g int) int { return g / idx.BlockSize }
+
+// BlockStart returns the first global position of block b.
+func (idx *LPIndex) BlockStart(b int) int { return b * idx.BlockSize }
+
+// MayDefine reports whether block b defines any of the wanted locations.
+func (idx *LPIndex) MayDefine(b int, wanted map[Loc]struct{}) bool {
+	s := idx.summaries[b]
+	if len(s) == 0 {
+		return false
+	}
+	// Iterate over the smaller set.
+	if len(wanted) <= len(s) {
+		for l := range wanted {
+			if _, ok := s[l]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	for l := range s {
+		if _, ok := wanted[l]; ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+// Package tracer implements the dynamic-information collection the slicer
+// needs (paper Section 3): per-thread local execution traces with the
+// memory addresses and registers defined and used by each instruction,
+// the construction of the combined global trace honouring shared-memory
+// access order, and the Limited Preprocessing block summaries of Zhang et
+// al. that let the backward traversal skip irrelevant trace blocks.
+package tracer
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Entry is one executed instruction in a local trace. It is exactly the
+// VM's instruction event, retained.
+type Entry = vm.InstrEvent
+
+// Ref identifies one entry in a Trace: thread id and position within that
+// thread's local trace (position, not the per-thread dynamic index — a
+// local trace starts at the region entry, where threads may already have
+// executed instructions).
+type Ref struct {
+	Tid int32
+	Pos int32
+}
+
+// Trace is the dynamic information collected from one replay of a region:
+// per-thread local traces, the shared-memory order edges, and — after
+// BuildGlobal — the combined global trace.
+type Trace struct {
+	Locals   map[int][]Entry
+	Edges    []vm.OrderEdge
+	FirstIdx map[int]int64 // per-thread Idx of the first traced entry
+
+	// Global is the combined, fully ordered trace (filled by BuildGlobal).
+	Global []Ref
+	// globalPosArr maps tid -> local position -> global position.
+	globalPosArr map[int][]int32
+
+	// SpawnEvent maps a thread id to the ref of the SPAWN instruction
+	// that created it, when that spawn happened inside the traced region.
+	SpawnEvent map[int]Ref
+}
+
+// Entry returns the trace entry for a ref.
+func (t *Trace) Entry(r Ref) *Entry { return &t.Locals[int(r.Tid)][r.Pos] }
+
+// RefOf translates a (tid, per-thread Idx) pair into a Ref, or false when
+// the index is outside the traced region.
+func (t *Trace) RefOf(tid int, idx int64) (Ref, bool) {
+	first, ok := t.FirstIdx[tid]
+	if !ok {
+		return Ref{}, false
+	}
+	pos := idx - first
+	if pos < 0 || pos >= int64(len(t.Locals[tid])) {
+		return Ref{}, false
+	}
+	return Ref{Tid: int32(tid), Pos: int32(pos)}, true
+}
+
+// GlobalPosOf returns the position of ref in the global trace; BuildGlobal
+// must have run.
+func (t *Trace) GlobalPosOf(r Ref) (int, bool) {
+	arr, ok := t.globalPosArr[int(r.Tid)]
+	if !ok || int(r.Pos) >= len(arr) {
+		return 0, false
+	}
+	return int(arr[r.Pos]), true
+}
+
+// Len returns the total number of traced instructions.
+func (t *Trace) Len() int {
+	n := 0
+	for _, l := range t.Locals {
+		n += len(l)
+	}
+	return n
+}
+
+// Collector is the analysis pintool that gathers the trace during a
+// replay: attach it as the machine's tracer.
+type Collector struct {
+	vm.NopTracer
+	trace *Trace
+	m     *vm.Machine
+}
+
+// NewCollector creates a collector. The machine reference (optional) lets
+// the collector attribute SPAWN instructions to the thread ids they
+// create, which the execution-slice builder uses to keep thread creation
+// inside slices.
+func NewCollector(m *vm.Machine) *Collector {
+	return &Collector{
+		trace: &Trace{
+			Locals:     make(map[int][]Entry),
+			FirstIdx:   make(map[int]int64),
+			SpawnEvent: make(map[int]Ref),
+		},
+		m: m,
+	}
+}
+
+// Trace returns the collected trace.
+func (c *Collector) Trace() *Trace { return c.trace }
+
+// OnInstr implements vm.Tracer.
+func (c *Collector) OnInstr(ev *Entry) {
+	l, ok := c.trace.Locals[ev.Tid]
+	if !ok {
+		c.trace.FirstIdx[ev.Tid] = ev.Idx
+	}
+	c.trace.Locals[ev.Tid] = append(l, *ev)
+	if ev.Instr.Op == isa.SPAWN {
+		c.trace.SpawnEvent[int(ev.Aux)] = Ref{Tid: int32(ev.Tid), Pos: int32(len(c.trace.Locals[ev.Tid]) - 1)}
+	}
+}
+
+// OnOrderEdge implements vm.Tracer.
+func (c *Collector) OnOrderEdge(e vm.OrderEdge) {
+	c.trace.Edges = append(c.trace.Edges, e)
+}
+
+// Validate checks internal consistency: entries per thread have
+// contiguous, increasing Idx values.
+func (t *Trace) Validate() error {
+	for tid, l := range t.Locals {
+		for i := range l {
+			if want := t.FirstIdx[tid] + int64(i); l[i].Idx != want {
+				return fmt.Errorf("tracer: thread %d entry %d has idx %d, want %d", tid, i, l[i].Idx, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package vm_test
+
+import (
+	"testing"
+
+	"repro/internal/pinplay"
+	"repro/internal/vm"
+)
+
+// producerConsumerSrc is the canonical condvar pattern: a bounded queue
+// with wait/signal in both directions.
+const producerConsumerSrc = `
+int mtx;
+int notEmpty;
+int notFull;
+int queue[4];
+int count;
+int produced;
+int consumed;
+int items;
+int producer(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		lock(&mtx);
+		while (count == 4) {
+			wait(&notFull, &mtx);
+		}
+		queue[count] = i + 1;
+		count = count + 1;
+		produced = produced + i + 1;
+		signal(&notEmpty);
+		unlock(&mtx);
+	}
+	return 0;
+}
+int consumer(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		lock(&mtx);
+		while (count == 0) {
+			wait(&notEmpty, &mtx);
+		}
+		count = count - 1;
+		consumed = consumed + queue[count];
+		signal(&notFull);
+		unlock(&mtx);
+	}
+	return 0;
+}
+int main() {
+	items = read();
+	int p = spawn(producer, items);
+	int c = spawn(consumer, items);
+	join(p);
+	join(c);
+	assert(count == 0);
+	write(produced);
+	write(consumed);
+	return 0;
+}`
+
+func TestCondVarProducerConsumer(t *testing.T) {
+	prog := compile(t, producerConsumerSrc)
+	for seed := int64(1); seed <= 20; seed++ {
+		m := vm.New(prog, vm.Config{
+			Sched:    vm.NewRandomScheduler(seed, 7),
+			Env:      vm.NewNativeEnv([]int64{30}, seed),
+			MaxSteps: 10_000_000,
+		})
+		if got := m.Run(); got != vm.StopExit {
+			t.Fatalf("seed %d: stop = %v (failure: %v)", seed, got, m.Failure())
+		}
+		out := m.Output()
+		// produced == consumed == sum 1..30 regardless of interleaving.
+		if len(out) != 2 || out[0] != 465 || out[1] != 465 {
+			t.Fatalf("seed %d: output = %v, want [465 465]", seed, out)
+		}
+	}
+}
+
+func TestCondVarReplayDeterminism(t *testing.T) {
+	prog := compile(t, producerConsumerSrc)
+	pb, err := pinplay.Log(prog, pinplay.LogConfig{Seed: 9, MeanQuantum: 5, Input: []int64{25}}, pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pinplay.CheckReplayDeterminism(prog, pb); err != nil {
+		t.Fatal(err)
+	}
+	m, err := pinplay.Replay(prog, pb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Output()
+	if len(out) != 2 || out[0] != 325 || out[1] != 325 {
+		t.Fatalf("replayed output = %v", out)
+	}
+}
+
+func TestCondVarSnapshotRestoreMidWait(t *testing.T) {
+	// Snapshot while threads are blocked on the condvar and restore: the
+	// FIFO order must survive.
+	prog := compile(t, producerConsumerSrc)
+	m := vm.New(prog, vm.Config{
+		Sched:    vm.NewRandomScheduler(3, 11),
+		Env:      vm.NewNativeEnv([]int64{40}, 3),
+		MaxSteps: 10_000_000,
+	})
+	// Run until some thread is blocked on a condvar.
+	snapAt := -1
+	for i := 0; i < 1_000_000 && m.StepOne(); i++ {
+		for _, th := range m.Threads {
+			if th.Status == vm.BlockedCond {
+				snapAt = i
+			}
+		}
+		if snapAt >= 0 {
+			break
+		}
+	}
+	if snapAt < 0 {
+		t.Skip("no condvar block observed under this seed")
+	}
+	snap := m.Snapshot()
+	m.ResetQuanta()
+	for m.StepOne() {
+	}
+	want := append([]int64(nil), m.Output()...)
+	suffix := m.Quanta()
+
+	m2 := vm.NewFromState(prog, snap, vm.Config{
+		Sched: vm.NewReplayScheduler(suffix),
+		Env:   vm.NewNativeEnv(nil, 0), // inputs already consumed pre-snapshot
+	})
+	m2.Run()
+	got := m2.Output()
+	if len(got) != len(want) {
+		t.Fatalf("outputs: %v vs %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d]: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWaitWithoutMutexFails(t *testing.T) {
+	prog := compile(t, `
+int cv;
+int m;
+int main() { wait(&cv, &m); return 0; }`)
+	mach := vm.New(prog, vm.Config{MaxSteps: 1000})
+	if mach.Run() != vm.StopFailure {
+		t.Fatalf("stop = %v, want failure", mach.Stopped())
+	}
+}
+
+func TestSignalNoWaitersIsNoop(t *testing.T) {
+	prog := compile(t, `
+int cv;
+int main() { signal(&cv); write(1); return 0; }`)
+	m := vm.New(prog, vm.Config{MaxSteps: 1000})
+	if m.Run() != vm.StopExit {
+		t.Fatalf("stop = %v", m.Stopped())
+	}
+}
+
+func TestLostWakeupDeadlocks(t *testing.T) {
+	// A waiter that starts waiting after the only signal was sent blocks
+	// forever: the machine must report deadlock, not hang.
+	prog := compile(t, `
+int cv;
+int m;
+int waiter(int u) {
+	lock(&m);
+	wait(&cv, &m);
+	unlock(&m);
+	return 0;
+}
+int main() {
+	signal(&cv);
+	int t = spawn(waiter, 0);
+	join(t);
+	return 0;
+}`)
+	mach := vm.New(prog, vm.Config{MaxSteps: 1_000_000})
+	if got := mach.Run(); got != vm.StopDeadlock {
+		t.Fatalf("stop = %v, want deadlock", got)
+	}
+}

@@ -1,0 +1,108 @@
+package vm
+
+import "repro/internal/isa"
+
+// InstrEvent describes one executed instruction. It is delivered to the
+// Tracer after the instruction's effects are applied. The pointed-to event
+// is reused between calls; tracers must copy anything they retain.
+type InstrEvent struct {
+	Tid int
+	PC  int64
+	// Idx is the per-thread dynamic instruction index (0-based): this is
+	// the Idx'th instruction thread Tid has executed.
+	Idx   int64
+	Instr isa.Instr
+
+	// Memory effect of this instruction, if any. EffAddr is -1 when the
+	// instruction touches no memory. MemIsWrite distinguishes the access
+	// direction; LOCK and UNLOCK read and then write their cell and are
+	// reported as writes (with MemAlsoRead set).
+	EffAddr     int64
+	MemIsWrite  bool
+	MemAlsoRead bool
+	MemVal      int64 // value read or written
+
+	// NextPC is where control goes after this instruction; for branches
+	// and indirect jumps it reveals the dynamically taken target.
+	NextPC int64
+
+	// Taken is set for BR/BRZ when the branch condition held.
+	Taken bool
+
+	// Aux carries opcode-specific extra information: the created thread
+	// id for SPAWN and the joined thread id for JOIN.
+	Aux int64
+}
+
+// OrderEdge records that one shared-memory access happens before a
+// conflicting access by a different thread. Accesses are identified by the
+// per-thread dynamic instruction index (InstrEvent.Idx). These edges are
+// exactly the shared-memory access order PinPlay captures in pinballs and
+// the slicer's global-trace construction consumes.
+type OrderEdge struct {
+	FromTid int
+	FromIdx int64
+	ToTid   int
+	ToIdx   int64
+	Addr    int64
+}
+
+// SyscallRecord captures the result of one system call, in per-thread
+// program order. Replaying feeds recorded results back instead of
+// consulting the environment.
+type SyscallRecord struct {
+	Tid int
+	Num int64
+	Arg int64
+	Ret int64
+}
+
+// Tracer observes execution. All methods are invoked synchronously from
+// the interpreter loop; a nil Tracer field in Config disables observation
+// entirely.
+type Tracer interface {
+	// OnInstr is called after each executed instruction.
+	OnInstr(ev *InstrEvent)
+	// OnOrderEdge is called when a conflicting shared-memory access pair
+	// across threads is detected.
+	OnOrderEdge(e OrderEdge)
+	// OnSyscall is called after each system call.
+	OnSyscall(r SyscallRecord)
+}
+
+// MultiTracer fans events out to several tracers in order.
+type MultiTracer []Tracer
+
+// OnInstr implements Tracer.
+func (m MultiTracer) OnInstr(ev *InstrEvent) {
+	for _, t := range m {
+		t.OnInstr(ev)
+	}
+}
+
+// OnOrderEdge implements Tracer.
+func (m MultiTracer) OnOrderEdge(e OrderEdge) {
+	for _, t := range m {
+		t.OnOrderEdge(e)
+	}
+}
+
+// OnSyscall implements Tracer.
+func (m MultiTracer) OnSyscall(r SyscallRecord) {
+	for _, t := range m {
+		t.OnSyscall(r)
+	}
+}
+
+// NopTracer implements Tracer and ignores everything; useful for
+// embedding when only some callbacks are interesting.
+type NopTracer struct{}
+
+// OnInstr implements Tracer.
+func (NopTracer) OnInstr(*InstrEvent) {}
+
+// OnOrderEdge implements Tracer.
+func (NopTracer) OnOrderEdge(OrderEdge) {}
+
+// OnSyscall implements Tracer.
+func (NopTracer) OnSyscall(SyscallRecord) {}

@@ -1,0 +1,331 @@
+package vm_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cc"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+const racySrc = `
+int counter;
+int mtx;
+int done;
+int worker(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		lock(&mtx);
+		counter = counter + 1;
+		unlock(&mtx);
+	}
+	return 0;
+}
+int main() {
+	int t1 = spawn(worker, 200);
+	int t2 = spawn(worker, 200);
+	worker(100);
+	join(t1);
+	join(t2);
+	write(counter);
+	return 0;
+}`
+
+func compile(t testing.TB, src string) *isa.Program {
+	t.Helper()
+	p, err := cc.CompileSource("t.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+type collectTracer struct {
+	vm.NopTracer
+	events   []vm.InstrEvent
+	edges    []vm.OrderEdge
+	syscalls []vm.SyscallRecord
+}
+
+func (c *collectTracer) OnInstr(ev *vm.InstrEvent)    { c.events = append(c.events, *ev) }
+func (c *collectTracer) OnOrderEdge(e vm.OrderEdge)   { c.edges = append(c.edges, e) }
+func (c *collectTracer) OnSyscall(r vm.SyscallRecord) { c.syscalls = append(c.syscalls, r) }
+
+func TestSameSeedSameExecution(t *testing.T) {
+	prog := compile(t, racySrc)
+	runOnce := func(seed int64) ([]vm.Quantum, []int64) {
+		m := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(seed, 37), MaxSteps: 10_000_000})
+		m.Run()
+		return m.Quanta(), m.Output()
+	}
+	q1, o1 := runOnce(5)
+	q2, o2 := runOnce(5)
+	if len(q1) != len(q2) {
+		t.Fatalf("same seed produced different schedules: %d vs %d quanta", len(q1), len(q2))
+	}
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Fatalf("quantum %d differs: %v vs %v", i, q1[i], q2[i])
+		}
+	}
+	if o1[0] != o2[0] || o1[0] != 500 {
+		t.Fatalf("outputs %v %v, want 500", o1, o2)
+	}
+}
+
+func TestDifferentSeedsDifferentSchedules(t *testing.T) {
+	prog := compile(t, racySrc)
+	diff := false
+	base := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(1, 37), MaxSteps: 10_000_000})
+	base.Run()
+	for seed := int64(2); seed < 6; seed++ {
+		m := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(seed, 37), MaxSteps: 10_000_000})
+		m.Run()
+		if len(m.Quanta()) != len(base.Quanta()) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("4 different seeds all produced identical schedule shapes")
+	}
+}
+
+func TestScheduleReplayReproducesExecution(t *testing.T) {
+	prog := compile(t, racySrc)
+	tr := &collectTracer{}
+	m1 := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(99, 23), Tracer: tr, MaxSteps: 10_000_000})
+	m1.Run()
+
+	tr2 := &collectTracer{}
+	m2 := vm.New(prog, vm.Config{Sched: vm.NewReplayScheduler(m1.Quanta()), Tracer: tr2, MaxSteps: 10_000_000})
+	m2.Run()
+
+	if len(tr.events) != len(tr2.events) {
+		t.Fatalf("event counts differ: %d vs %d", len(tr.events), len(tr2.events))
+	}
+	for i := range tr.events {
+		if tr.events[i] != tr2.events[i] {
+			t.Fatalf("event %d differs:\n%+v\n%+v", i, tr.events[i], tr2.events[i])
+		}
+	}
+	if !m1.Snapshot().Mem.Equal(m2.Snapshot().Mem) {
+		t.Error("final memory differs between original and schedule replay")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	prog := compile(t, racySrc)
+	m := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(3, 41), MaxSteps: 10_000_000})
+	// Execute half the program, snapshot, finish, then restore and
+	// finish again with the recorded schedule suffix: results must agree.
+	for i := 0; i < 5000 && m.StepOne(); i++ {
+	}
+	snap := m.Snapshot()
+	m.ResetQuanta()
+	for m.StepOne() {
+	}
+	out1 := append([]int64(nil), m.Output()...)
+	suffix := m.Quanta()
+
+	m2 := vm.NewFromState(prog, snap, vm.Config{Sched: vm.NewReplayScheduler(suffix), MaxSteps: 10_000_000})
+	m2.Run()
+	out2 := m2.Output()
+	if len(out1) != len(out2) {
+		t.Fatalf("outputs differ: %v vs %v", out1, out2)
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("outputs differ at %d: %v vs %v", i, out1, out2)
+		}
+	}
+}
+
+func TestOrderEdgesOnSharedCounter(t *testing.T) {
+	prog := compile(t, racySrc)
+	tr := &collectTracer{}
+	m := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(11, 13), Tracer: tr, MaxSteps: 10_000_000})
+	m.Run()
+	if len(tr.edges) == 0 {
+		t.Fatal("no order edges recorded for cross-thread counter updates")
+	}
+	cross := 0
+	for _, e := range tr.edges {
+		if e.FromTid == e.ToTid {
+			t.Fatalf("order edge within one thread: %+v", e)
+		}
+		cross++
+	}
+	if cross == 0 {
+		t.Error("expected cross-thread edges")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	prog := compile(t, `
+int a;
+int b;
+int t2(int x) {
+	lock(&b);
+	yield();
+	lock(&a);
+	unlock(&a);
+	unlock(&b);
+	return 0;
+}
+int main() {
+	int t = spawn(t2, 0);
+	lock(&a);
+	yield();
+	lock(&b);
+	unlock(&b);
+	unlock(&a);
+	join(t);
+	return 0;
+}`)
+	// Find a schedule that deadlocks (alternating at the yields).
+	deadlocked := false
+	for seed := int64(1); seed < 50; seed++ {
+		m := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(seed, 2), MaxSteps: 1_000_000})
+		if m.Run() == vm.StopDeadlock {
+			deadlocked = true
+			break
+		}
+	}
+	if !deadlocked {
+		t.Error("no seed produced the classic AB-BA deadlock")
+	}
+}
+
+func TestUnlockNotHeldFails(t *testing.T) {
+	prog := compile(t, `
+int m;
+int main() { unlock(&m); return 0; }`)
+	mach := vm.New(prog, vm.Config{MaxSteps: 1000})
+	if mach.Run() != vm.StopFailure {
+		t.Fatalf("stop = %v, want failure", mach.Stopped())
+	}
+}
+
+func TestDivideByZeroFails(t *testing.T) {
+	prog := compile(t, `
+int main() { int z = 0; write(1 / z); return 0; }`)
+	m := vm.New(prog, vm.Config{MaxSteps: 1000})
+	if m.Run() != vm.StopFailure {
+		t.Fatalf("stop = %v, want failure", m.Stopped())
+	}
+}
+
+func TestMaxStepsStops(t *testing.T) {
+	prog := compile(t, `int main() { while (1) {} return 0; }`)
+	m := vm.New(prog, vm.Config{MaxSteps: 1000})
+	if m.Run() != vm.StopMaxSteps {
+		t.Fatalf("stop = %v, want max-steps", m.Stopped())
+	}
+}
+
+func TestMemoryImageEqual(t *testing.T) {
+	m1 := vm.NewMemory()
+	m2 := vm.NewMemory()
+	m1.Write(100, 5)
+	m2.Write(100, 5)
+	if !m1.Snapshot().Equal(m2.Snapshot()) {
+		t.Error("identical memories compare unequal")
+	}
+	m2.Write(4096*10, 0) // touching a page with zeros must not matter
+	if !m1.Snapshot().Equal(m2.Snapshot()) {
+		t.Error("zero page broke equality")
+	}
+	m2.Write(7, 1)
+	if m1.Snapshot().Equal(m2.Snapshot()) {
+		t.Error("different memories compare equal")
+	}
+}
+
+func TestMemoryReadWriteProperty(t *testing.T) {
+	mem := vm.NewMemory()
+	shadow := map[int64]int64{}
+	f := func(addrRaw uint32, val int64) bool {
+		addr := int64(addrRaw)
+		mem.Write(addr, val)
+		shadow[addr] = val
+		// Check this and a few neighbours against the shadow map.
+		for d := int64(-2); d <= 2; d++ {
+			a := addr + d
+			if a < 0 {
+				continue
+			}
+			if mem.Read(a) != shadow[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	prog := compile(t, `int g; int main() { g = 1; g = 2; return 0; }`)
+	m := vm.New(prog, vm.Config{MaxSteps: 1000})
+	snap := m.Snapshot()
+	m.Run()
+	snap2 := m.Snapshot()
+	if snap.Mem.Equal(snap2.Mem) {
+		t.Error("snapshot aliased live memory")
+	}
+}
+
+func TestReplayEnvFeedsRecordedValues(t *testing.T) {
+	prog := compile(t, `
+int main() {
+	write(read());
+	write(rand() % 100);
+	write(read());
+	return 0;
+}`)
+	tr := &collectTracer{}
+	m1 := vm.New(prog, vm.Config{Env: vm.NewNativeEnv([]int64{10, 20}, 77), Tracer: tr, MaxSteps: 10000})
+	m1.Run()
+
+	m2 := vm.New(prog, vm.Config{Env: vm.NewReplayEnv(tr.syscalls), MaxSteps: 10000})
+	m2.Run()
+	o1, o2 := m1.Output(), m2.Output()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("replayed output differs: %v vs %v", o1, o2)
+		}
+	}
+}
+
+func TestThreadStacksDisjoint(t *testing.T) {
+	prog := compile(t, `
+int out[4];
+int worker(int slot) {
+	int deep[100];
+	int i;
+	for (i = 0; i < 100; i++) { deep[i] = slot * 1000 + i; }
+	out[slot] = deep[99];
+	return 0;
+}
+int main() {
+	int t1 = spawn(worker, 1);
+	int t2 = spawn(worker, 2);
+	worker(0);
+	join(t1);
+	join(t2);
+	write(out[0]); write(out[1]); write(out[2]);
+	return 0;
+}`)
+	m := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(9, 7), MaxSteps: 1_000_000})
+	m.Run()
+	out := m.Output()
+	want := []int64{99, 1099, 2099}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("output %v, want %v", out, want)
+		}
+	}
+}

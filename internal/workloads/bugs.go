@@ -1,0 +1,191 @@
+package workloads
+
+// The three real concurrency bugs of Table 1, reconstructed to preserve
+// the reported bug pattern. Each program is correct under "lucky"
+// schedules and fails under the buggy interleaving, so they exercise the
+// full DrDebug pipeline: expose (Maple or seed search), record, replay,
+// slice.
+
+// Pbzip2Bug reconstructs the pbzip2 0.9.4 race: the main thread tears
+// down the FIFO queue (destroying fifo->mut) while compressor threads may
+// still be draining it. The symptom is a compressor using the destroyed
+// mutex.
+var Pbzip2Bug = register(&Workload{
+	Name:           "pbzip2",
+	Suite:          SuiteBug,
+	Description:    "data race on fifo->mut between main and the compressor threads (use of a destroyed mutex)",
+	DefaultThreads: 3,
+	Source: `
+int fifoMut;
+int fifoNotEmpty;
+int fifoValid;
+int queue[128];
+int qhead;
+int qtail;
+int produced;
+int compressed[8];
+int compressor(int id) {
+	int running = 1;
+	while (running) {
+		// pbzip2's consumer uses fifo->mut (and its condition variable)
+		// assuming the queue is still alive; the assert is the "mutex
+		// destroyed" crash of the real bug.
+		assert(fifoValid == 1);
+		lock(&fifoMut);
+		while (qhead == qtail && !produced) {
+			wait(&fifoNotEmpty, &fifoMut);
+		}
+		if (qhead < qtail) {
+			int block = queue[qhead % 128];
+			qhead = qhead + 1;
+			compressed[id] = compressed[id] + block % 97;
+		} else {
+			running = 0;
+		}
+		unlock(&fifoMut);
+		yield();
+	}
+	return 0;
+}
+int main() {
+	int nthreads = read();
+	int blocks = read();
+	int tids[8];
+	int i;
+	fifoValid = 1;
+	if (nthreads > 8) { nthreads = 8; }
+	for (i = 1; i < nthreads; i++) { tids[i] = spawn(compressor, i); }
+	for (i = 0; i < blocks; i++) {
+		lock(&fifoMut);
+		queue[qtail % 128] = i * 31 + 7;
+		qtail = qtail + 1;
+		signal(&fifoNotEmpty);
+		unlock(&fifoMut);
+		if (i % 4 == 0) { yield(); }
+	}
+	lock(&fifoMut);
+	produced = 1;
+	for (i = 1; i < nthreads; i++) { signal(&fifoNotEmpty); }
+	unlock(&fifoMut);
+	yield();
+	// BUG: main destroys the queue (mutex and condvar) without joining
+	// the compressors first (the pbzip2 0.9.4 fifo->mut race).
+	fifoValid = 0;
+	for (i = 1; i < nthreads; i++) { join(tids[i]); }
+	int total = 0;
+	for (i = 0; i < nthreads; i++) { total = total + compressed[i]; }
+	write(total);
+	return 0;
+}`,
+})
+
+// AgetBug reconstructs the Aget 0.57 race: downloader threads update the
+// shared byte counter bwritten without synchronisation against the signal
+// handler thread that reads it to write the resume log; the resume state
+// can then disagree with the bytes actually written.
+var AgetBug = register(&Workload{
+	Name:           "aget",
+	Suite:          SuiteBug,
+	Description:    "data race on bwritten between downloader threads and the signal-handler thread",
+	DefaultThreads: 3,
+	Source: `
+int bwritten;
+int written[8];
+int saveRequested;
+int savedState;
+int saveDone;
+int downloader(int id) {
+	int i;
+	int chunks = size;
+	for (i = 0; i < chunks; i++) {
+		// BUG: read-modify-write of bwritten with no lock (Aget 0.57).
+		int cur = bwritten;
+		yield();
+		bwritten = cur + 1;
+		written[id] = written[id] + 1;
+	}
+	return 0;
+}
+int size;
+int sigHandler(int u) {
+	while (!saveRequested) { yield(); }
+	// The signal handler snapshots bwritten for the resume log.
+	savedState = bwritten;
+	saveDone = 1;
+	return 0;
+}
+int main() {
+	int nthreads = read();
+	size = read();
+	int tids[8];
+	int i;
+	if (nthreads > 8) { nthreads = 8; }
+	int sig = spawn(sigHandler, 0);
+	for (i = 1; i < nthreads; i++) { tids[i] = spawn(downloader, i); }
+	downloader(0);
+	for (i = 1; i < nthreads; i++) { join(tids[i]); }
+	saveRequested = 1;
+	join(sig);
+	int actual = 0;
+	for (i = 0; i < nthreads; i++) { actual = actual + written[i]; }
+	// With the lost updates, the saved resume state disagrees with the
+	// bytes actually written.
+	assert(savedState == actual);
+	write(savedState);
+	return 0;
+}`,
+})
+
+// MozillaBug reconstructs the mozilla js engine race: one thread destroys
+// rt->scriptFilenameTable while another thread is sweeping it; the
+// sweeper crashes dereferencing the freed table (here: a poisoned
+// pointer, producing a real memory fault in the VM).
+var MozillaBug = register(&Workload{
+	Name:           "mozilla",
+	Suite:          SuiteBug,
+	Description:    "race on rt->scriptFilenameTable: destroy vs js_SweepScriptFilenames crash",
+	DefaultThreads: 2,
+	Source: `
+int tablePtr;
+int sweepRounds;
+int destroyed;
+int sweepEntry(int base, int i) {
+	// js_SweepScriptFilenames: walks the hash table through the runtime
+	// pointer. If the other thread has destroyed the table, base is the
+	// poison pointer and this load faults (the reported crash).
+	int *p = base;
+	return p[i % 64];
+}
+int sweeper(int u) {
+	int r;
+	int live = 0;
+	for (r = 0; r < sweepRounds; r++) {
+		int base = tablePtr;
+		int i;
+		for (i = 0; i < 16; i++) {
+			live = live + sweepEntry(base, r * 16 + i) % 3;
+		}
+		yield();
+	}
+	return live;
+}
+int main() {
+	int unusedThreads = read();
+	sweepRounds = read();
+	int i;
+	tablePtr = alloc(64);
+	int *t = tablePtr;
+	for (i = 0; i < 64; i++) { t[i] = i * 7; }
+	int sw = spawn(sweeper, 0);
+	int work = 0;
+	for (i = 0; i < 40; i++) { work = work + i; yield(); }
+	// BUG: destroy the table while the sweeper may still be running
+	// (mozilla 1.9.1 shutdown race). The poison value makes any further
+	// sweep access fault, like touching freed memory.
+	tablePtr = 0 - 1;
+	destroyed = 1;
+	join(sw);
+	write(work);
+	return 0;
+}`,
+})

@@ -1,0 +1,341 @@
+package workloads
+
+// The eight PARSEC-like workloads. Each mirrors the parallelisation
+// pattern and computational character of its namesake at mini-C scale:
+// the main thread participates as worker 0 (so main-thread skip/length
+// region selection works exactly as in the paper), workers 1..N-1 are
+// spawned, and the kernel body is organised into helper functions so the
+// generated code has realistic call/prologue/epilogue structure.
+
+// parallelHarness wraps a kernel body into the standard spawn/join main.
+// The kernel must define "int worker(int id)".
+const parallelHarness = `
+int nthreads;
+int size;
+int results[64];
+int main() {
+	int tids[64];
+	int i;
+	nthreads = read();
+	size = read();
+	if (nthreads > 64) { nthreads = 64; }
+	for (i = 1; i < nthreads; i++) { tids[i] = spawn(worker, i); }
+	worker(0);
+	for (i = 1; i < nthreads; i++) { join(tids[i]); }
+	int sum = 0;
+	for (i = 0; i < nthreads; i++) { sum = sum ^ results[i]; }
+	write(sum);
+	return 0;
+}`
+
+// Blackscholes prices a portfolio of options with a fixed-point
+// polynomial CNDF approximation — PARSEC's blackscholes in miniature.
+var Blackscholes = register(&Workload{
+	Name:        "blackscholes",
+	Suite:       SuiteParsec,
+	Class:       "app",
+	Description: "Black-Scholes option pricing over a partitioned portfolio",
+	Source: `
+int cndf(int x) {
+	int ax = x;
+	if (ax < 0) { ax = 0 - ax; }
+	int k = 1000000 / (1000 + 235 * ax / 1000);
+	int poly = 319 * k / 1000;
+	poly = poly - 356 * k / 1000 * k / 1000000;
+	poly = poly + 178 * k / 1000 * k / 1000000 * k / 1000;
+	if (x < 0) { return 1000 - poly; }
+	return poly;
+}
+int price(int spot, int strike, int vol) {
+	int d1 = (spot - strike) * 1000 / (vol + 1);
+	int d2 = d1 - vol;
+	int c = spot * cndf(d1) / 1000 - strike * cndf(d2) / 1000;
+	if (c < 0) { c = 0 - c; }
+	return c;
+}
+int worker(int id) {
+	int i;
+	int acc = 0;
+	int spot = 100 + id;
+	for (i = 0; i < size; i++) {
+		int strike = 90 + (i % 21);
+		int vol = 150 + (i % 70);
+		acc = acc + price(spot, strike, vol);
+		spot = 80 + (spot + acc) % 40;
+	}
+	results[id] = acc;
+	return 0;
+}` + parallelHarness,
+})
+
+// Swaptions runs Monte-Carlo interest-rate paths using the program-level
+// rand() syscall, like PARSEC's swaptions HJM simulation.
+var Swaptions = register(&Workload{
+	Name:        "swaptions",
+	Suite:       SuiteParsec,
+	Class:       "app",
+	Description: "Monte-Carlo swaption pricing along simulated rate paths",
+	Source: `
+int stepRate(int r, int shock) {
+	int drift = (500 - r) / 16;
+	return r + drift + shock % 23 - 11;
+}
+int payoff(int r, int strike) {
+	if (r > strike) { return r - strike; }
+	return 0;
+}
+int worker(int id) {
+	int i;
+	int acc = 0;
+	for (i = 0; i < size; i++) {
+		int r = 400 + id * 10;
+		int j;
+		for (j = 0; j < 8; j++) {
+			r = stepRate(r, rand());
+		}
+		acc = acc + payoff(r, 450);
+	}
+	results[id] = acc;
+	return 0;
+}` + parallelHarness,
+})
+
+// Fluidanimate relaxes a shared grid; border cells between partitions
+// are protected by per-border locks, giving real thread interaction.
+var Fluidanimate = register(&Workload{
+	Name:        "fluidanimate",
+	Suite:       SuiteParsec,
+	Class:       "app",
+	Description: "grid relaxation with lock-protected partition borders",
+	Source: `
+int grid[4160];
+int borderlock[64];
+int cellIndex(int id, int i) {
+	return id * 64 + (i % 64);
+}
+int relax(int idx) {
+	int left = grid[idx];
+	int right = grid[idx + 1];
+	grid[idx] = (left * 3 + right) / 4;
+	return grid[idx];
+}
+int worker(int id) {
+	int i;
+	int acc = 0;
+	for (i = 0; i < size; i++) {
+		int idx = cellIndex(id, i);
+		if (i % 64 == 63) {
+			lock(&borderlock[id]);
+			acc = acc + relax(idx);
+			unlock(&borderlock[id]);
+		} else {
+			acc = acc + relax(idx);
+		}
+	}
+	results[id] = acc;
+	return 0;
+}` + parallelHarness,
+})
+
+// Vips runs a staged per-pixel transform pipeline whose stage dispatch is
+// a dense switch — an indirect jump through a jump table.
+var Vips = register(&Workload{
+	Name:        "vips",
+	Suite:       SuiteParsec,
+	Class:       "app",
+	Description: "image transform pipeline with switch-dispatched stages",
+	Source: `
+int clampByte(int v) {
+	if (v < 0) { return 0; }
+	if (v > 255) { return 255; }
+	return v;
+}
+int applyStage(int op, int px) {
+	int out = px;
+	switch (op) {
+	case 0: out = px + 30; break;
+	case 1: out = px * 2; break;
+	case 2: out = 255 - px; break;
+	case 3: out = px / 2 + 64; break;
+	case 4: out = (px * 3 + 128) / 4; break;
+	default: out = px; break;
+	}
+	return clampByte(out);
+}
+int worker(int id) {
+	int i;
+	int acc = 0;
+	for (i = 0; i < size; i++) {
+		int px = (i * 37 + id * 11) % 256;
+		px = applyStage(i % 5, px);
+		px = applyStage((i + 2) % 5, px);
+		px = applyStage((i * i) % 5, px);
+		acc = acc + px;
+	}
+	results[id] = acc;
+	return 0;
+}` + parallelHarness,
+})
+
+// X264 does block motion estimation: sum-of-absolute-differences over
+// candidate offsets, nested loops and small helper calls.
+var X264 = register(&Workload{
+	Name:        "x264",
+	Suite:       SuiteParsec,
+	Class:       "app",
+	Description: "block motion estimation (SAD search)",
+	Source: `
+int frameA[1024];
+int frameB[1024];
+int absdiff(int a, int b) {
+	int d = a - b;
+	if (d < 0) { return 0 - d; }
+	return d;
+}
+int sad(int base, int off) {
+	int j;
+	int s = 0;
+	for (j = 0; j < 8; j++) {
+		s = s + absdiff(frameA[(base + j) % 1024], frameB[(base + off + j) % 1024]);
+	}
+	return s;
+}
+int worker(int id) {
+	int i;
+	int best = 1 << 30;
+	for (i = 0; i < size; i++) {
+		int base = (id * 256 + i * 8) % 1024;
+		int off;
+		int localBest = 1 << 30;
+		for (off = 0; off < 4; off++) {
+			int s = sad(base, off);
+			if (s < localBest) { localBest = s; }
+		}
+		if (localBest < best) { best = localBest; }
+		frameA[(base + i) % 1024] = i % 255;
+	}
+	results[id] = best;
+	return 0;
+}` + parallelHarness,
+})
+
+// Canneal does simulated-annealing element swaps with rand()-driven
+// accept/reject, on thread-private slices of a shared netlist.
+var Canneal = register(&Workload{
+	Name:        "canneal",
+	Suite:       SuiteParsec,
+	Class:       "kernel",
+	Description: "simulated annealing with randomized swap accept/reject",
+	Source: `
+int netlist[4096];
+int swapCost(int a, int b) {
+	int d = netlist[a] - netlist[b];
+	if (d < 0) { d = 0 - d; }
+	return d;
+}
+int doSwap(int a, int b) {
+	int t = netlist[a];
+	netlist[a] = netlist[b];
+	netlist[b] = t;
+	return t;
+}
+int worker(int id) {
+	int i;
+	int acc = 0;
+	int temp = 1000;
+	for (i = 0; i < size; i++) {
+		int a = id * 1024 + (rand() % 1024);
+		int b = id * 1024 + (rand() % 1024);
+		int cost = swapCost(a, b);
+		if (cost < temp || rand() % 100 < 5) {
+			doSwap(a, b);
+			acc = acc + cost;
+		}
+		if (temp > 10 && i % 64 == 0) { temp = temp * 99 / 100; }
+	}
+	results[id] = acc;
+	return 0;
+}` + parallelHarness,
+})
+
+// Dedup chunks a synthetic stream with a rolling hash and deduplicates
+// chunks in a lock-protected shared hash table.
+var Dedup = register(&Workload{
+	Name:        "dedup",
+	Suite:       SuiteParsec,
+	Class:       "kernel",
+	Description: "rolling-hash chunking with a shared dedup table",
+	Source: `
+int table[2048];
+int tlock;
+int rollHash(int h, int byte) {
+	return (h * 31 + byte) % 1048573;
+}
+int lookupInsert(int h) {
+	int slot = h % 2048;
+	int hit = 0;
+	lock(&tlock);
+	if (table[slot] == h) {
+		hit = 1;
+	} else {
+		table[slot] = h;
+	}
+	unlock(&tlock);
+	return hit;
+}
+int worker(int id) {
+	int i;
+	int dups = 0;
+	int h = id + 1;
+	for (i = 0; i < size; i++) {
+		int byte = (i * 131 + id * 17) % 251;
+		h = rollHash(h, byte);
+		if (h % 16 == 0) {
+			dups = dups + lookupInsert(h);
+			h = id + 1;
+		}
+	}
+	results[id] = dups;
+	return 0;
+}` + parallelHarness,
+})
+
+// Streamcluster assigns streamed points to the nearest of k centres and
+// updates per-thread cluster statistics.
+var Streamcluster = register(&Workload{
+	Name:        "streamcluster",
+	Suite:       SuiteParsec,
+	Class:       "kernel",
+	Description: "online k-median point assignment",
+	Source: `
+int centers[16];
+int dist(int p, int c) {
+	int d = p - c;
+	if (d < 0) { d = 0 - d; }
+	return d;
+}
+int nearest(int p) {
+	int best = 0;
+	int bestd = dist(p, centers[0]);
+	int k;
+	for (k = 1; k < 8; k++) {
+		int d = dist(p, centers[k]);
+		if (d < bestd) { bestd = d; best = k; }
+	}
+	return best;
+}
+int worker(int id) {
+	int i;
+	int acc = 0;
+	for (i = 0; i < size; i++) {
+		int p = (i * 97 + id * 13) % 1000;
+		int c = nearest(p);
+		acc = acc + c;
+		if (i % 128 == 0) {
+			centers[(c + id) % 8] = (centers[c] + p) / 2;
+		}
+	}
+	results[id] = acc;
+	return 0;
+}` + parallelHarness,
+})

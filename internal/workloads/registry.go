@@ -1,0 +1,125 @@
+// Package workloads provides the benchmark programs of the paper's
+// evaluation, reconstructed in mini-C for the vm substrate:
+//
+//   - eight PARSEC-like multi-threaded kernels (five "apps", three
+//     "kernels") used by the logging/replay scaling experiments
+//     (Figures 11, 12, 14),
+//   - five SPEC OMP2001-like call-dense numeric kernels (ammp, apsi,
+//     galgel, mgrid, wupwise) used by the save/restore pruning experiment
+//     (Figure 13), and
+//   - the three real concurrency bugs of Table 1 (pbzip2, Aget, mozilla),
+//     reconstructed to preserve each bug's pattern.
+//
+// Every program is parameterised through its input stream: word 0 is the
+// thread count, word 1 the work size, so region lengths scale smoothly.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cc"
+	"repro/internal/isa"
+)
+
+// Suite classifies a workload.
+type Suite string
+
+// Workload suites.
+const (
+	SuiteParsec  Suite = "parsec"
+	SuiteSpecOMP Suite = "specomp"
+	SuiteBug     Suite = "bug"
+)
+
+// Workload is one registered benchmark program.
+type Workload struct {
+	Name        string
+	Suite       Suite
+	Class       string // "app" or "kernel" for PARSEC-likes
+	Description string
+	Source      string
+
+	// DefaultThreads is the thread count the paper's experiments use.
+	DefaultThreads int64
+
+	once sync.Once
+	prog *isa.Program
+	err  error
+}
+
+// Program compiles the workload (once) and returns it.
+func (w *Workload) Program() (*isa.Program, error) {
+	w.once.Do(func() {
+		w.prog, w.err = cc.CompileSource(w.Name+".c", w.Source)
+	})
+	return w.prog, w.err
+}
+
+// Input builds the program input: thread count, work size, then any
+// extra words the specific workload reads.
+func (w *Workload) Input(threads, size int64) []int64 {
+	if threads <= 0 {
+		threads = w.DefaultThreads
+	}
+	return []int64{threads, size}
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) *Workload {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	if w.DefaultThreads == 0 {
+		w.DefaultThreads = 4
+	}
+	registry[w.Name] = w
+	return w
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (try 'list')", name)
+	}
+	return w, nil
+}
+
+// All returns every workload, sorted by suite then name.
+func All() []*Workload {
+	var out []*Workload
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite < out[j].Suite
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// BySuite returns the workloads of one suite, sorted by name.
+func BySuite(s Suite) []*Workload {
+	var out []*Workload
+	for _, w := range registry {
+		if w.Suite == s {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Parsec returns the eight PARSEC-like workloads.
+func Parsec() []*Workload { return BySuite(SuiteParsec) }
+
+// SpecOMP returns the five SPEC OMP-like workloads.
+func SpecOMP() []*Workload { return BySuite(SuiteSpecOMP) }
+
+// Bugs returns the three Table-1 bug reconstructions.
+func Bugs() []*Workload { return BySuite(SuiteBug) }

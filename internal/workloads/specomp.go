@@ -1,0 +1,201 @@
+package workloads
+
+// The five SPEC OMP2001-like workloads used for the Figure 13 experiment
+// (save/restore spurious-dependence pruning). What matters for that
+// experiment is call density: deep chains of small numeric helper
+// functions whose prologues save callee-saved registers that the caller
+// holds live values in. Each kernel below therefore factors its inner
+// loop into several leaf calls, exactly the shape gcc gives the original
+// Fortran/C codes. They run multi-threaded (the paper uses the OpenMP
+// "medium" configuration) through the same harness as the PARSEC-likes.
+
+// Ammp models molecular-dynamics force accumulation: pairwise force
+// terms computed by nested helpers.
+var Ammp = register(&Workload{
+	Name:        "ammp",
+	Suite:       SuiteSpecOMP,
+	Description: "molecular dynamics pairwise force accumulation",
+	Source: `
+int pos[2048];
+int lj(int r2) {
+	int inv = 1000000 / (r2 + 1);
+	int six = inv * inv / 1000 * inv / 1000;
+	return six * 2 - inv;
+}
+int pairForce(int a, int b) {
+	int dx = pos[a] - pos[b];
+	int r2 = dx * dx + 1;
+	int f = lj(r2 % 10000);
+	return f % 1000;
+}
+int accumulate(int a, int i) {
+	int f1 = pairForce(a, (a + i) % 2048);
+	int f2 = pairForce(a, (a + i + 1) % 2048);
+	return f1 + f2;
+}
+int worker(int id) {
+	int i;
+	int energy = 0;
+	int a = id * 512;
+	for (i = 0; i < size; i++) {
+		energy = energy + accumulate((a + i) % 2048, i % 64);
+		pos[(a + i) % 2048] = (energy + i) % 4096;
+	}
+	results[id] = energy;
+	return 0;
+}` + parallelHarness,
+})
+
+// Apsi models a meteorology kernel: layered updates with several small
+// physics helpers per cell.
+var Apsi = register(&Workload{
+	Name:        "apsi",
+	Suite:       SuiteSpecOMP,
+	Description: "mesoscale weather column updates",
+	Source: `
+int temperature[1024];
+int pressure[1024];
+int advect(int t, int wind) {
+	return t + wind / 8 - t / 64;
+}
+int diffuse(int t, int tl, int tr) {
+	return (tl + 2 * t + tr) / 4;
+}
+int columnStep(int c) {
+	int t = temperature[c];
+	int tl = temperature[(c + 1023) % 1024];
+	int tr = temperature[(c + 1) % 1024];
+	int w = pressure[c] % 32;
+	t = advect(t, w);
+	t = diffuse(t, tl, tr);
+	temperature[c] = t;
+	return t;
+}
+int worker(int id) {
+	int i;
+	int acc = 0;
+	for (i = 0; i < size; i++) {
+		int c = (id * 256 + i) % 1024;
+		acc = acc + columnStep(c);
+		pressure[c] = (pressure[c] + acc) % 2048;
+	}
+	results[id] = acc;
+	return 0;
+}` + parallelHarness,
+})
+
+// Galgel models Galerkin fluid oscillation: small matrix-vector helper
+// calls per step.
+var Galgel = register(&Workload{
+	Name:        "galgel",
+	Suite:       SuiteSpecOMP,
+	Description: "Galerkin method oscillatory flow steps",
+	Source: `
+int coeff[256];
+int xvec[4];
+int dot4(int base) {
+	int s = coeff[base] * xvec[0] + coeff[base + 1] * xvec[1];
+	s = s + coeff[base + 2] * xvec[2] + coeff[base + 3] * xvec[3];
+	return s / 16;
+}
+int mode(int m, int phase) {
+	int b = (m * 4) % 252;
+	xvec[0] = phase;
+	xvec[1] = phase / 2;
+	xvec[2] = phase / 3 + 1;
+	xvec[3] = phase / 5 + 1;
+	return dot4(b);
+}
+int worker(int id) {
+	int i;
+	int amp = id + 1;
+	for (i = 0; i < size; i++) {
+		amp = amp + mode(i % 63, amp % 97) % 50 - 20;
+		if (amp < 0) { amp = 0 - amp; }
+		coeff[(id * 64 + i) % 256] = amp % 128;
+	}
+	results[id] = amp;
+	return 0;
+}` + parallelHarness,
+})
+
+// Mgrid models the multigrid V-cycle: restriction, smoothing and
+// prolongation helpers over a 1-D hierarchy.
+var Mgrid = register(&Workload{
+	Name:        "mgrid",
+	Suite:       SuiteSpecOMP,
+	Description: "multigrid V-cycle smoothing",
+	Source: `
+int fine[2048];
+int coarse[1024];
+int smooth(int idx) {
+	int v = (fine[idx] + fine[(idx + 1) % 2048] + fine[(idx + 2047) % 2048]) / 3;
+	fine[idx] = v;
+	return v;
+}
+int restrictTo(int idx) {
+	int v = (fine[(2 * idx) % 2048] + fine[(2 * idx + 1) % 2048]) / 2;
+	coarse[idx % 1024] = v;
+	return v;
+}
+int prolong(int idx) {
+	int v = coarse[idx % 1024];
+	fine[(2 * idx) % 2048] = (fine[(2 * idx) % 2048] + v) / 2;
+	return v;
+}
+int vcycle(int base, int i) {
+	int a = smooth((base + i) % 2048);
+	int b = restrictTo((base + i) % 1024);
+	int c = prolong((base + i / 2) % 1024);
+	return a + b - c;
+}
+int worker(int id) {
+	int i;
+	int residual = 0;
+	for (i = 0; i < size; i++) {
+		residual = residual + vcycle(id * 512, i) % 100;
+	}
+	results[id] = residual;
+	return 0;
+}` + parallelHarness,
+})
+
+// Wupwise models lattice QCD su3 multiplications: fixed-size complex
+// arithmetic helpers chained per lattice site.
+var Wupwise = register(&Workload{
+	Name:        "wupwise",
+	Suite:       SuiteSpecOMP,
+	Description: "lattice gauge su3-like multiply chains",
+	Source: `
+int lattice[4096];
+int cmulRe(int ar, int ai, int b) {
+	int br = b / 4096;
+	int bi = b % 4096;
+	return (ar * br - ai * bi) / 256;
+}
+int cmulIm(int ar, int ai, int b) {
+	int br = b / 4096;
+	int bi = b % 4096;
+	return (ar * bi + ai * br) / 256;
+}
+int siteMul(int s) {
+	int ar = lattice[s];
+	int ai = lattice[(s + 1) % 4096];
+	int br = lattice[(s + 2) % 4096] % 4096;
+	int bi = lattice[(s + 3) % 4096] % 4096;
+	int packed = br * 4096 + bi;
+	int re = cmulRe(ar, ai, packed);
+	int im = cmulIm(ar, ai, packed);
+	lattice[s] = (re + 256) % 512;
+	return re + im;
+}
+int worker(int id) {
+	int i;
+	int acc = 0;
+	for (i = 0; i < size; i++) {
+		acc = acc + siteMul((id * 1024 + i * 4) % 4093);
+	}
+	results[id] = acc;
+	return 0;
+}` + parallelHarness,
+})

@@ -1,0 +1,182 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/maple"
+	"repro/internal/pinplay"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func TestAllWorkloadsCompile(t *testing.T) {
+	all := workloads.All()
+	if len(all) != 16 {
+		t.Fatalf("got %d workloads, want 16 (8 parsec + 5 specomp + 3 bugs)", len(all))
+	}
+	for _, w := range all {
+		if _, err := w.Program(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	if len(workloads.Parsec()) != 8 {
+		t.Errorf("parsec count = %d", len(workloads.Parsec()))
+	}
+	if len(workloads.SpecOMP()) != 5 {
+		t.Errorf("specomp count = %d", len(workloads.SpecOMP()))
+	}
+	if len(workloads.Bugs()) != 3 {
+		t.Errorf("bug count = %d", len(workloads.Bugs()))
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := workloads.ByName("blackscholes"); err != nil {
+		t.Error(err)
+	}
+	if _, err := workloads.ByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// TestBenchWorkloadsRunDeterministically runs each non-bug workload twice
+// with the same seed and checks identical output, and once with a
+// different seed to ensure they terminate cleanly.
+func TestBenchWorkloadsRunDeterministically(t *testing.T) {
+	for _, w := range append(workloads.Parsec(), workloads.SpecOMP()...) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(seed int64) []int64 {
+				m := vm.New(prog, vm.Config{
+					Sched:    vm.NewRandomScheduler(seed, 200),
+					Env:      vm.NewNativeEnv(w.Input(4, 300), seed),
+					MaxSteps: 50_000_000,
+				})
+				if got := m.Run(); got != vm.StopExit {
+					t.Fatalf("stop = %v (failure: %v)", got, m.Failure())
+				}
+				return m.Output()
+			}
+			o1 := run(7)
+			o2 := run(7)
+			if len(o1) != 1 || len(o2) != 1 || o1[0] != o2[0] {
+				t.Errorf("outputs differ: %v vs %v", o1, o2)
+			}
+			run(8)
+		})
+	}
+}
+
+// TestWorkloadsUseAllThreads checks the harness actually runs the
+// requested thread count.
+func TestWorkloadsUseAllThreads(t *testing.T) {
+	w, _ := workloads.ByName("blackscholes")
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(prog, vm.Config{
+		Sched:    vm.NewRandomScheduler(1, 100),
+		Env:      vm.NewNativeEnv(w.Input(4, 100), 1),
+		MaxSteps: 10_000_000,
+	})
+	m.Run()
+	if len(m.Threads) != 4 {
+		t.Errorf("thread count = %d, want 4", len(m.Threads))
+	}
+	for _, th := range m.Threads {
+		if th.Count == 0 {
+			t.Errorf("thread %d executed nothing", th.ID)
+		}
+	}
+}
+
+// exposeBug finds a failing execution of a bug workload, first by seed
+// search, then via Maple if needed.
+func exposeBug(t *testing.T, name string, threads, size int64) *core.Session {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := w.Input(threads, size)
+	for seed := int64(1); seed < 100; seed++ {
+		cfg := pinplay.LogConfig{Seed: seed, MeanQuantum: 20, Input: input, MaxSteps: 50_000_000}
+		s, err := core.RecordFailure(prog, cfg, 0)
+		if err == nil {
+			return s
+		}
+	}
+	res, err := maple.FindBug(prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 20, Input: input, MaxSteps: 50_000_000}, maple.Options{})
+	if err == nil && res.Exposed {
+		return core.Open(prog, res.Pinball)
+	}
+	t.Fatalf("%s: bug not exposed by seed search or maple", name)
+	return nil
+}
+
+// TestTable1BugsReproduce exposes each Table 1 bug, replays it, and
+// slices the failure — the full DrDebug workflow on each case study.
+func TestTable1BugsReproduce(t *testing.T) {
+	cases := []struct {
+		name          string
+		threads, size int64
+	}{
+		{"pbzip2", 3, 40},
+		{"aget", 3, 30},
+		{"mozilla", 2, 30},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := exposeBug(t, tc.name, tc.threads, tc.size)
+			if s.Pinball.Failure == nil {
+				t.Fatal("no failure captured")
+			}
+			// Deterministic reproduction.
+			m, err := s.Replay(nil)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if m.Stopped() != vm.StopFailure {
+				t.Fatalf("replay stop = %v", m.Stopped())
+			}
+			if m.Failure().PC != s.Pinball.Failure.PC {
+				t.Errorf("replayed failure at pc %d, logged %d", m.Failure().PC, s.Pinball.Failure.PC)
+			}
+			// The failure slice must be non-trivial and smaller than the
+			// whole region.
+			sl, err := s.SliceAtFailure()
+			if err != nil {
+				t.Fatalf("slice: %v", err)
+			}
+			if sl.Stats.Members == 0 {
+				t.Error("empty failure slice")
+			}
+			if sl.Stats.Members >= sl.Stats.TraceLen {
+				t.Errorf("slice (%d) not smaller than region (%d)", sl.Stats.Members, sl.Stats.TraceLen)
+			}
+			// And it must be convertible into a replayable slice pinball.
+			spb, _, err := s.ExecutionSlice(sl)
+			if err != nil {
+				t.Fatalf("execution slice: %v", err)
+			}
+			m2, err := pinplay.Replay(s.Prog, spb, nil)
+			if err != nil {
+				t.Fatalf("slice replay: %v", err)
+			}
+			if m2.Stopped() != vm.StopFailure {
+				t.Errorf("slice replay should reproduce the failure, got %v", m2.Stopped())
+			}
+		})
+	}
+}
