@@ -35,19 +35,19 @@ func main() {
 		toNth    = flag.Int64("to-nth", 1, "dynamic instance of the end point")
 		untilF   = flag.Bool("until-failure", false, "search seeds until the program fails, then capture")
 		maxSeed  = flag.Int64("maxseed", 100, "seed search bound for -until-failure")
+		ckEvery  = flag.Int64("checkpoint-every", 0, "divergence-checkpoint cadence in per-thread instructions (0 = default, negative = disable)")
 		out      = flag.String("o", "out.pinball", "output pinball path")
 	)
 	flag.Parse()
 
 	if err := run(*file, *workload, *seed, *quantum, *input, *skip, *length,
-		*fromLoc, *toLoc, *fromNth, *toNth, *untilF, *maxSeed, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "drrecord:", err)
-		os.Exit(1)
+		*fromLoc, *toLoc, *fromNth, *toNth, *untilF, *maxSeed, *ckEvery, *out); err != nil {
+		os.Exit(cli.Fail("drrecord", err))
 	}
 }
 
 func run(file, workload string, seed, quantum int64, input string, skip, length int64,
-	fromLoc, toLoc string, fromNth, toNth int64, untilFailure bool, maxSeed int64, out string) error {
+	fromLoc, toLoc string, fromNth, toNth int64, untilFailure bool, maxSeed, ckEvery int64, out string) error {
 	prog, _, err := cli.LoadProgram(file, workload)
 	if err != nil {
 		return err
@@ -56,7 +56,8 @@ func run(file, workload string, seed, quantum int64, input string, skip, length 
 	if err != nil {
 		return err
 	}
-	cfg := drdebug.LogConfig{Seed: seed, MeanQuantum: quantum, Input: in, RandSeed: seed}
+	cfg := drdebug.LogConfig{Seed: seed, MeanQuantum: quantum, Input: in, RandSeed: seed,
+		CheckpointEvery: ckEvery}
 
 	var sess *drdebug.Session
 	if fromLoc != "" {
@@ -103,7 +104,7 @@ func run(file, workload string, seed, quantum int64, input string, skip, length 
 		return err
 	}
 	sz, _ := pb.EncodedSize()
-	fmt.Printf("pinball %s: %d instructions (%d main thread), end=%s, %d bytes compressed\n",
-		out, pb.RegionInstrs, pb.MainInstrs, pb.EndReason, sz)
+	fmt.Printf("pinball %s: %d instructions (%d main thread), end=%s, %d checkpoints, %d bytes compressed\n",
+		out, pb.RegionInstrs, pb.MainInstrs, pb.EndReason, len(pb.Checkpoints), sz)
 	return nil
 }

@@ -1,10 +1,15 @@
 // Command drreplay is the PinPlay-style replayer: it deterministically
-// re-executes a pinball and reports the end state, verifying the
-// repeatability guarantee on request.
+// re-executes a pinball and reports the end state, validating the
+// recorded divergence checkpoints along the way.
 //
 // Usage:
 //
-//	drreplay -file bug.c -pinball bug.pinball [-check]
+//	drreplay -file bug.c -pinball bug.pinball [-check] [-budget N]
+//	         [-deadline 2s] [-degraded] [-no-verify]
+//
+// Exit codes: 0 success, 1 usage/tool error, 2 the pinball file failed
+// to load, 3 the pinball loaded but its replay failed (the first
+// divergent window is printed to stderr).
 package main
 
 import (
@@ -24,16 +29,24 @@ func main() {
 		pinballP = flag.String("pinball", "", "pinball to replay (required)")
 		check    = flag.Bool("check", false, "replay twice and verify identical end states")
 		stats    = flag.Bool("stats", false, "print pinball composition before replaying")
+		budget   = flag.Int64("budget", 0, "instruction budget for the replay (0 = unbounded)")
+		deadline = flag.Duration("deadline", 0, "wall-clock limit for the replay (0 = unbounded)")
+		degraded = flag.Bool("degraded", false, "log checkpoint divergences and continue instead of aborting")
+		noVerify = flag.Bool("no-verify", false, "skip divergence-checkpoint validation")
 	)
 	flag.Parse()
 
-	if err := run(*file, *workload, *pinballP, *check, *stats); err != nil {
-		fmt.Fprintln(os.Stderr, "drreplay:", err)
-		os.Exit(1)
+	opts := drdebug.ReplayOptions{
+		Degraded: *degraded,
+		NoVerify: *noVerify,
+		Limits:   cli.Limits(*budget, *deadline),
+	}
+	if err := run(*file, *workload, *pinballP, *check, *stats, opts); err != nil {
+		os.Exit(cli.Fail("drreplay", err))
 	}
 }
 
-func run(file, workload, pinballPath string, check, stats bool) error {
+func run(file, workload, pinballPath string, check, stats bool, opts drdebug.ReplayOptions) error {
 	prog, _, err := cli.LoadProgram(file, workload)
 	if err != nil {
 		return err
@@ -48,8 +61,11 @@ func run(file, workload, pinballPath string, check, stats bool) error {
 	if stats {
 		printStats(pb)
 	}
+	opts.OnDivergence = func(d drdebug.Divergence) {
+		fmt.Fprintf(os.Stderr, "drreplay: divergence: %s\n", d)
+	}
 	start := time.Now()
-	m, err := drdebug.Replay(prog, pb)
+	m, rep, err := drdebug.ReplayWithOptions(prog, pb, opts)
 	if err != nil {
 		return err
 	}
@@ -59,6 +75,13 @@ func run(file, workload, pinballPath string, check, stats bool) error {
 	}
 	fmt.Printf("replayed %d instructions in %.3fs (stop: %s)\n",
 		pb.RegionInstrs, time.Since(start).Seconds(), stop)
+	switch {
+	case rep.Checked > 0 && len(rep.Divergences) == 0:
+		fmt.Printf("verified %d divergence checkpoints\n", rep.Checked)
+	case len(rep.Divergences) > 0:
+		fmt.Printf("checked %d divergence checkpoints: %d divergent windows (degraded mode)\n",
+			rep.Checked, len(rep.Divergences))
+	}
 	if f := m.Failure(); f != nil {
 		fmt.Printf("reproduced failure: %v\n", f)
 	}
@@ -91,6 +114,10 @@ func printStats(pb *drdebug.Pinball) {
 		len(pb.Quanta), avgQuantum(pb))
 	fmt.Printf("  syscalls:       %d logged\n", len(pb.Syscalls))
 	fmt.Printf("  order edges:    %d shared-memory constraints\n", len(pb.OrderEdges))
+	if pb.CheckpointEvery > 0 {
+		fmt.Printf("  checkpoints:    %d (every %d per-thread instructions)\n",
+			len(pb.Checkpoints), pb.CheckpointEvery)
+	}
 	if pb.Kind == "slice" {
 		fmt.Printf("  exclusions:     %d regions, %d injections\n", len(pb.Exclusions), len(pb.Injections))
 	}

@@ -10,6 +10,10 @@
 //	drslice -file bug.c -pinball bug.pinball -tid 1 -line 12
 //	drslice ... -o bug.slice -exec -opinball bug-slice.pinball
 //	drslice ... -no-prune -no-refine                           # precision ablations
+//
+// Exit codes: 0 success, 1 usage/tool error, 2 the pinball file failed
+// to load, 3 the pinball loaded but a replay of it failed (divergence
+// checkpoint, schedule mismatch, or an execution limit hit).
 package main
 
 import (
@@ -38,18 +42,21 @@ func main() {
 		htmlOut  = flag.String("html", "", "write an HTML slice report here")
 		execSl   = flag.Bool("exec", false, "relog into a slice pinball")
 		outPB    = flag.String("opinball", "slice.pinball", "slice pinball path (with -exec)")
+		budget   = flag.Int64("budget", 0, "instruction budget per replay (0 = unbounded)")
+		deadline = flag.Duration("deadline", 0, "wall-clock limit per replay (0 = unbounded)")
 	)
 	flag.Parse()
 
 	if err := run(*file, *workload, *pinballP, *varName, *tid, *line, *nth,
-		*noPrune, *noRefine, *maxSave, *out, *htmlOut, *execSl, *outPB); err != nil {
-		fmt.Fprintln(os.Stderr, "drslice:", err)
-		os.Exit(1)
+		*noPrune, *noRefine, *maxSave, *out, *htmlOut, *execSl, *outPB,
+		cli.Limits(*budget, *deadline)); err != nil {
+		os.Exit(cli.Fail("drslice", err))
 	}
 }
 
 func run(file, workload, pinballPath, varName string, tid, line, nth int,
-	noPrune, noRefine bool, maxSave int, out, htmlOut string, execSl bool, outPB string) error {
+	noPrune, noRefine bool, maxSave int, out, htmlOut string, execSl bool, outPB string,
+	limits drdebug.Limits) error {
 	prog, _, err := cli.LoadProgram(file, workload)
 	if err != nil {
 		return err
@@ -61,6 +68,7 @@ func run(file, workload, pinballPath, varName string, tid, line, nth int,
 	if err != nil {
 		return err
 	}
+	sess.SetLimits(limits)
 	opts := drdebug.DefaultSliceOptions()
 	opts.MaxSave = maxSave
 	opts.PruneSaveRestore = !noPrune

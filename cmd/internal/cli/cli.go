@@ -4,12 +4,63 @@
 package cli
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	drdebug "repro"
 )
+
+// Exit codes shared by the DrDebug tools, so scripts can distinguish
+// failure classes:
+//
+//	1 — usage errors and everything else
+//	2 — the pinball file failed to load (corrupt, truncated, wrong
+//	    version, not a pinball)
+//	3 — the pinball loaded, but its replay failed (divergence
+//	    checkpoint fired, schedule mismatch, or an execution limit hit)
+const (
+	ExitUsage      = 1
+	ExitBadPinball = 2
+	ExitDiverged   = 3
+)
+
+// ExitCode classifies err into the shared exit codes.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, drdebug.ErrReplay):
+		return ExitDiverged
+	case errors.Is(err, drdebug.ErrNotPinball),
+		errors.Is(err, drdebug.ErrVersionSkew),
+		errors.Is(err, drdebug.ErrTruncated),
+		errors.Is(err, drdebug.ErrCorrupt):
+		return ExitBadPinball
+	default:
+		return ExitUsage
+	}
+}
+
+// Fail reports err on stderr — including the first divergent window when
+// the failure is a replay divergence — and returns the exit code for it.
+func Fail(tool string, err error) int {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	var de *drdebug.DivergenceError
+	if errors.As(err, &de) {
+		fmt.Fprintf(os.Stderr, "%s: first divergent window: %s\n", tool, de.Div.Window())
+	}
+	return ExitCode(err)
+}
+
+// Limits builds execution limits from the shared -budget / -deadline
+// flag values (0 means unbounded).
+func Limits(budget int64, deadline time.Duration) drdebug.Limits {
+	return drdebug.Timeout(budget, deadline)
+}
 
 // LoadProgram resolves -file / -workload into a program. Exactly one must
 // be set.

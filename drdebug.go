@@ -22,6 +22,7 @@ package drdebug
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/cc"
@@ -61,6 +62,16 @@ type (
 	LogConfig = pinplay.LogConfig
 	// RegionSpec selects an execution region in skip/length form.
 	RegionSpec = pinplay.RegionSpec
+	// ReplayOptions controls checkpoint validation, limits and observers.
+	ReplayOptions = pinplay.ReplayOptions
+	// ReplayReport summarises what a replay verified.
+	ReplayReport = pinplay.ReplayReport
+	// Divergence pins a replay divergence to its first bad window.
+	Divergence = pinplay.Divergence
+	// DivergenceError is the typed replay-divergence failure.
+	DivergenceError = pinplay.DivergenceError
+	// Limits bounds an execution: instruction budget, deadline, memory.
+	Limits = vm.Limits
 	// Machine is the VM executing a program.
 	Machine = vm.Machine
 	// Debugger is the interactive gdb-style front-end.
@@ -72,6 +83,23 @@ type (
 	// Workload is a registered benchmark program.
 	Workload = workloads.Workload
 )
+
+// Typed failure classes, re-exported so tools can classify errors with
+// errors.Is: the pinball.Err* family means "the pinball file is bad"
+// (unreadable, corrupt, truncated, wrong version); ErrReplay means "the
+// pinball loaded but its replay failed" (checkpoint divergence, schedule
+// mismatch, or an execution limit hit).
+var (
+	ErrNotPinball  = pinball.ErrNotPinball
+	ErrVersionSkew = pinball.ErrVersionSkew
+	ErrTruncated   = pinball.ErrTruncated
+	ErrCorrupt     = pinball.ErrCorrupt
+	ErrReplay      = pinplay.ErrReplay
+)
+
+// Timeout builds Limits bounding an execution by an instruction budget
+// and a wall-clock duration (either may be zero for unbounded).
+func Timeout(steps int64, d time.Duration) Limits { return vm.Timeout(steps, d) }
 
 // Compile builds a mini-C source string into a program.
 func Compile(name, src string) (*Program, error) {
@@ -124,9 +152,18 @@ func LoadPinball(path string) (*Pinball, error) { return pinball.Load(path) }
 func LoadSliceFile(path string) (*SliceFile, error) { return slice.LoadFile(path) }
 
 // Replay deterministically re-executes a pinball and returns the machine
-// at the end of the region (or at the reproduced failure).
+// at the end of the region (or at the reproduced failure). Divergence
+// checkpoints recorded in the pinball are verified along the way.
 func Replay(prog *Program, pb *Pinball) (*Machine, error) {
 	return pinplay.Replay(prog, pb, nil)
+}
+
+// ReplayWithOptions is Replay with full control over checkpoint
+// validation policy, execution limits and observers, returning the
+// verification report. It dispatches on the pinball kind, so slice
+// pinballs replay correctly too.
+func ReplayWithOptions(prog *Program, pb *Pinball, opts ReplayOptions) (*Machine, *ReplayReport, error) {
+	return pinplay.ReplayWith(prog, pb, opts)
 }
 
 // NewDebugger creates the interactive debugger for a program.

@@ -31,7 +31,13 @@ type Session struct {
 	trace  *tracer.Trace
 	slicer *slice.Slicer
 	opts   slice.Options
+	limits vm.Limits
 }
+
+// SetLimits bounds every replay the session performs (trace collection,
+// relogging, Replay): instruction budget, wall-clock deadline, memory
+// cap, cancellation. The zero value imposes no bounds.
+func (s *Session) SetLimits(l vm.Limits) { s.limits = l }
 
 // RecordRegion captures an execution region into a pinball (fast-forward
 // SkipMain, record LengthMain main-thread instructions) and opens a
@@ -81,8 +87,10 @@ func (s *Session) SetSliceOptions(opts slice.Options) {
 
 // Replay deterministically re-executes the session's pinball, with an
 // optional observer, and returns the machine at the end of the region.
+// Divergence checkpoints recorded in the pinball are verified.
 func (s *Session) Replay(t vm.Tracer) (*vm.Machine, error) {
-	return pinplay.Replay(s.Prog, s.Pinball, t)
+	m, _, err := pinplay.ReplayWith(s.Prog, s.Pinball, pinplay.ReplayOptions{Tracer: t, Limits: s.limits})
+	return m, err
 }
 
 // ReplayMachine returns an un-run machine positioned at region entry; the
@@ -98,16 +106,20 @@ func (s *Session) Trace() (*tracer.Trace, error) {
 	if s.trace != nil {
 		return s.trace, nil
 	}
-	m := pinplay.NewReplayMachine(s.Prog, s.Pinball, nil)
-	col := tracer.NewCollector(m)
-	m.SetTracer(col)
-	total := s.Pinball.TotalQuantumInstrs()
-	var executed int64
-	for executed < total && m.StepOne() {
-		executed++
-	}
-	if executed < total && !(m.Stopped() == vm.StopFailure && s.Pinball.Failure != nil) {
-		return nil, fmt.Errorf("core: trace collection diverged at %d of %d (stop %v)", executed, total, m.Stopped())
+	// The collector needs the replay machine to construct itself, so it is
+	// patched in through the OnMachine hook (the replay owns machine
+	// construction now that it also wires in checkpoint validation).
+	var col *tracer.Collector
+	hook := &lateTracer{}
+	_, _, err := pinplay.ReplayWith(s.Prog, s.Pinball, pinplay.ReplayOptions{
+		Tracer: hook, Limits: s.limits,
+		OnMachine: func(m *vm.Machine) {
+			col = tracer.NewCollector(m)
+			hook.t = col
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: trace collection: %w", err)
 	}
 	tr := col.Trace()
 	if err := tr.BuildGlobal(); err != nil {
@@ -116,6 +128,14 @@ func (s *Session) Trace() (*tracer.Trace, error) {
 	s.trace = tr
 	return tr, nil
 }
+
+// lateTracer delegates to a tracer chosen after construction — the
+// OnMachine indirection Trace uses.
+type lateTracer struct{ t vm.Tracer }
+
+func (h *lateTracer) OnInstr(ev *vm.InstrEvent)    { h.t.OnInstr(ev) }
+func (h *lateTracer) OnOrderEdge(e vm.OrderEdge)   { h.t.OnOrderEdge(e) }
+func (h *lateTracer) OnSyscall(r vm.SyscallRecord) { h.t.OnSyscall(r) }
 
 // Slicer returns the session's slicer (forward analysis run once, then
 // reused across slice requests).
@@ -201,7 +221,7 @@ func (s *Session) ExecutionSlice(sl *slice.Slice) (*pinball.Pinball, []pinball.E
 		return nil, nil, err
 	}
 	ex := slice.BuildExclusions(tr, sl)
-	spb, err := pinplay.Relog(s.Prog, s.Pinball, ex)
+	spb, err := pinplay.RelogWith(s.Prog, s.Pinball, ex, pinplay.ReplayOptions{Limits: s.limits})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,305 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/isa"
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+	"repro/internal/vm"
+)
+
+// The detection workload keeps all three tamper surfaces live throughout
+// the region: a shared counter guarded by a lock (so schedule tampering
+// changes observed values), a read() in every loop iteration (so syscall
+// tampering changes program input), and stack-held locals (so initial
+// state tampering shifts effective addresses).
+const detectSrc = `
+int counter;
+int mtx;
+int results[4];
+int worker(int id) {
+	int i;
+	int v;
+	int local = 0;
+	for (i = 0; i < 40; i++) {
+		v = read();
+		lock(&mtx);
+		counter = counter + v + 1;
+		unlock(&mtx);
+		local = local + counter;
+	}
+	results[id] = local;
+	return 0;
+}
+int main() {
+	int t1 = spawn(worker, 1);
+	int t2 = spawn(worker, 2);
+	worker(0);
+	join(t1);
+	join(t2);
+	write(counter);
+	write(results[0]);
+	write(results[1]);
+	write(results[2]);
+	return 0;
+}`
+
+func compileT(t testing.TB) *isa.Program {
+	t.Helper()
+	p, err := cc.CompileSource("detect.c", detectSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func logConfig() pinplay.LogConfig {
+	input := make([]int64, 130)
+	for i := range input {
+		input[i] = int64(i*3 + 1)
+	}
+	return pinplay.LogConfig{
+		Seed:            7,
+		MeanQuantum:     23,
+		Input:           input,
+		CheckpointEvery: 8,
+	}
+}
+
+// boundedOpts caps every replay in the matrix: a tampered pinball must
+// terminate with an error, never hang.
+func boundedOpts() pinplay.ReplayOptions {
+	return pinplay.ReplayOptions{Limits: vm.Timeout(5_000_000, 2*time.Second)}
+}
+
+// idxRange finds the per-thread dynamic-index range a thread covers in a
+// region replay, for building exclusions.
+type idxRange struct {
+	vm.NopTracer
+	tid      int
+	min, max int64
+	seen     bool
+}
+
+func (r *idxRange) OnInstr(ev *vm.InstrEvent) {
+	if ev.Tid != r.tid {
+		return
+	}
+	if !r.seen || ev.Idx < r.min {
+		r.min = ev.Idx
+	}
+	if !r.seen || ev.Idx > r.max {
+		r.max = ev.Idx
+	}
+	r.seen = true
+}
+
+// makePinballs logs one pinball of each kind: whole, region, and a slice
+// relogged from the region.
+func makePinballs(t *testing.T) map[pinball.Kind]*pinball.Pinball {
+	t.Helper()
+	prog := compileT(t)
+	cfg := logConfig()
+
+	whole, err := pinplay.Log(prog, cfg, pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatalf("log whole: %v", err)
+	}
+	region, err := pinplay.Log(prog, cfg, pinplay.RegionSpec{SkipMain: 150, LengthMain: 600})
+	if err != nil {
+		t.Fatalf("log region: %v", err)
+	}
+
+	r := &idxRange{tid: 1}
+	if _, _, err := pinplay.ReplayWith(prog, region, pinplay.ReplayOptions{Tracer: r}); err != nil {
+		t.Fatalf("scout replay: %v", err)
+	}
+	if !r.seen || r.max-r.min < 64 {
+		t.Fatalf("thread 1 range too small for an exclusion: [%d, %d]", r.min, r.max)
+	}
+	excl := []pinball.Exclusion{{Tid: 1, FromIdx: r.min + 8, ToIdx: r.min + 24}}
+	slice, err := pinplay.RelogWith(prog, region, excl, pinplay.ReplayOptions{})
+	if err != nil {
+		t.Fatalf("relog: %v", err)
+	}
+	if len(slice.Injections) == 0 {
+		t.Fatal("slice pinball has no injections")
+	}
+
+	pbs := map[pinball.Kind]*pinball.Pinball{
+		pinball.KindWhole:  whole,
+		pinball.KindRegion: region,
+		pinball.KindSlice:  slice,
+	}
+	for kind, pb := range pbs {
+		if len(pb.Checkpoints) == 0 {
+			t.Fatalf("%v pinball recorded no checkpoints", kind)
+		}
+		if _, rep, err := pinplay.ReplayWith(prog, pb, boundedOpts()); err != nil {
+			t.Fatalf("clean %v replay failed: %v", kind, err)
+		} else if rep.Checked == 0 {
+			t.Fatalf("clean %v replay verified no checkpoints", kind)
+		}
+	}
+	return pbs
+}
+
+// TestFileCorruptorsDetected proves every byte-level corruptor, applied
+// to every pinball kind, is rejected by Decode with its declared typed
+// error — no corrupted file survives loading.
+func TestFileCorruptorsDetected(t *testing.T) {
+	pbs := makePinballs(t)
+	for kind, pb := range pbs {
+		data, err := pb.EncodeBytes()
+		if err != nil {
+			t.Fatalf("encode %v: %v", kind, err)
+		}
+		for _, c := range FileCorruptors() {
+			bad, ok := c.Apply(data)
+			if !ok {
+				t.Errorf("%v/%s: corruptor not applicable", kind, c.Name)
+				continue
+			}
+			_, err := pinball.Decode(bad)
+			if err == nil {
+				t.Errorf("%v/%s: corrupted pinball decoded cleanly", kind, c.Name)
+				continue
+			}
+			if !errors.Is(err, c.Want) {
+				t.Errorf("%v/%s: error %v, want %v", kind, c.Name, err, c.Want)
+			}
+		}
+	}
+}
+
+// TestPinballCorruptorsDetected proves every semantic corruptor, applied
+// to every applicable pinball kind, is caught: either Validate rejects
+// the tampered pinball at load time, or the replay fails (divergence
+// checkpoint, schedule mismatch or machine fault) — and always within
+// the execution bounds. Zero silent garbage replays.
+func TestPinballCorruptorsDetected(t *testing.T) {
+	prog := compileT(t)
+	pbs := makePinballs(t)
+	for kind, pb := range pbs {
+		for _, c := range PinballCorruptors() {
+			if c.SliceOnly && kind != pinball.KindSlice {
+				continue
+			}
+			bad, err := Clone(pb)
+			if err != nil {
+				t.Fatalf("%v/%s: clone: %v", kind, c.Name, err)
+			}
+			if !c.Apply(bad) {
+				t.Errorf("%v/%s: corruptor not applicable", kind, c.Name)
+				continue
+			}
+			if err := bad.Validate(); err != nil {
+				// Layer 1: structural validation at load time.
+				if !errors.Is(err, pinball.ErrCorrupt) {
+					t.Errorf("%v/%s: Validate error %v, want ErrCorrupt", kind, c.Name, err)
+				}
+				continue
+			}
+			// Layer 2: replay-time detection, bounded so tampering can
+			// never hang the replayer.
+			start := time.Now()
+			_, _, err = pinplay.ReplayWith(prog, bad, boundedOpts())
+			if err == nil {
+				t.Errorf("%v/%s: tampered pinball replayed cleanly", kind, c.Name)
+				continue
+			}
+			if !errors.Is(err, pinplay.ErrReplay) {
+				t.Errorf("%v/%s: error %v does not wrap ErrReplay", kind, c.Name, err)
+			}
+			if el := time.Since(start); el > 10*time.Second {
+				t.Errorf("%v/%s: detection took %v", kind, c.Name, el)
+			}
+		}
+	}
+}
+
+// TestDegradedModeSurveysAllWindows checks the log-and-continue policy:
+// with two tampered checkpoint hashes, a degraded replay runs to the end
+// of the region and reports both divergent windows instead of aborting
+// at the first.
+func TestDegradedModeSurveysAllWindows(t *testing.T) {
+	prog := compileT(t)
+	pbs := makePinballs(t)
+	pb, err := Clone(pbs[pinball.KindRegion])
+	if err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+	if len(pb.Checkpoints) < 4 {
+		t.Fatalf("need >=4 checkpoints, have %d", len(pb.Checkpoints))
+	}
+	pb.Checkpoints[1].Hash ^= 0xBAD
+	pb.Checkpoints[len(pb.Checkpoints)-1].Hash ^= 0xBAD
+
+	var seen int
+	opts := boundedOpts()
+	opts.Degraded = true
+	opts.OnDivergence = func(pinplay.Divergence) { seen++ }
+	_, rep, err := pinplay.ReplayWith(prog, pb, opts)
+	if err != nil {
+		t.Fatalf("degraded replay aborted: %v", err)
+	}
+	if len(rep.Divergences) != 2 || seen != 2 {
+		t.Fatalf("divergences = %d (callback %d), want 2", len(rep.Divergences), seen)
+	}
+	if rep.Executed != pb.TotalQuantumInstrs() {
+		t.Fatalf("degraded replay stopped early: %d of %d", rep.Executed, pb.TotalQuantumInstrs())
+	}
+
+	// The same tampering under the default policy aborts with the window.
+	_, _, err = pinplay.ReplayWith(prog, pb, boundedOpts())
+	var de *pinplay.DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("fail-fast replay error = %v, want DivergenceError", err)
+	}
+	if de.Div.Window() == "" {
+		t.Fatal("divergence has no window")
+	}
+}
+
+// TestNoVerifySkipsCheckpoints checks the escape hatch: a tampered
+// checkpoint is ignored when verification is disabled.
+func TestNoVerifySkipsCheckpoints(t *testing.T) {
+	prog := compileT(t)
+	pbs := makePinballs(t)
+	pb, err := Clone(pbs[pinball.KindWhole])
+	if err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+	pb.Checkpoints[0].Hash ^= 1
+	opts := boundedOpts()
+	opts.NoVerify = true
+	if _, rep, err := pinplay.ReplayWith(prog, pb, opts); err != nil {
+		t.Fatalf("no-verify replay: %v", err)
+	} else if rep.Checked != 0 {
+		t.Fatalf("no-verify replay checked %d checkpoints", rep.Checked)
+	}
+}
+
+// TestLimitsBoundReplay checks that execution limits convert a
+// too-long replay into a typed, classifiable error.
+func TestLimitsBoundReplay(t *testing.T) {
+	prog := compileT(t)
+	pbs := makePinballs(t)
+	pb := pbs[pinball.KindWhole]
+
+	opts := pinplay.ReplayOptions{Limits: vm.Limits{Steps: 100}}
+	_, _, err := pinplay.ReplayWith(prog, pb, opts)
+	if !errors.Is(err, pinplay.ErrReplay) {
+		t.Fatalf("budgeted replay error = %v, want ErrReplay", err)
+	}
+
+	opts = pinplay.ReplayOptions{Limits: vm.Limits{Deadline: time.Now().Add(-time.Second)}}
+	_, _, err = pinplay.ReplayWith(prog, pb, opts)
+	if !errors.Is(err, pinplay.ErrReplay) {
+		t.Fatalf("expired-deadline replay error = %v, want ErrReplay", err)
+	}
+}

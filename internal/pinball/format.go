@@ -1,0 +1,413 @@
+package pinball
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/vm"
+)
+
+// On-disk framing. Every pinball starts with the magic and a format
+// version byte:
+//
+//	version 1 ("legacy v0"): one gzip stream holding the gob of the whole
+//	Pinball struct — no checksums, no bounds. Still readable.
+//	version 2 ("format v1"): kind byte, section count, then framed
+//	sections: id (1B), payload length (8B big-endian), CRC32-IEEE of the
+//	compressed payload (4B), payload (gzip-compressed gob). Truncation,
+//	bit flips and dropped sections are all detected before decoding.
+const (
+	fileMagic     = "DRPB"
+	versionLegacy = byte(1) // pre-framing format, kept readable
+	versionFramed = byte(2) // current format ("pinball format v1")
+)
+
+// Section ids of the framed format. Meta, state and schedule are
+// mandatory; the rest are written only when non-empty. Unknown ids are
+// checksum-verified and skipped, leaving room for additive extensions.
+const (
+	secMeta        = byte(1)
+	secState       = byte(2)
+	secSchedule    = byte(3)
+	secSyscalls    = byte(4)
+	secOrder       = byte(5)
+	secSlice       = byte(6)
+	secCheckpoints = byte(7)
+)
+
+// sectionHeaderLen is id + length + crc.
+const sectionHeaderLen = 1 + 8 + 4
+
+// maxSectionLen bounds a single section payload (1 GiB compressed) so a
+// tampered length field cannot drive a huge allocation.
+const maxSectionLen = int64(1) << 30
+
+// metaV1 is the meta section payload: everything about the pinball that
+// is not bulk data.
+type metaV1 struct {
+	ProgramName     string
+	Kind            Kind
+	RegionInstrs    int64
+	MainInstrs      int64
+	SkipMain        int64
+	EndReason       string
+	Failure         *vm.Failure
+	CheckpointEvery int64
+}
+
+// sliceV1 is the slice section payload.
+type sliceV1 struct {
+	Exclusions []Exclusion
+	Injections []Injection
+}
+
+// kindByte maps a pinball kind to its header triage byte.
+func kindByte(k Kind) byte {
+	switch k {
+	case KindWhole:
+		return 'W'
+	case KindSlice:
+		return 'S'
+	default:
+		return 'R'
+	}
+}
+
+// Save writes the pinball to path in the framed v1 format (the paper uses
+// bzip2 pinball compression; gzip is the stdlib equivalent).
+func (p *Pinball) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pinball: %w", err)
+	}
+	defer f.Close()
+	if err := p.encode(f); err != nil {
+		return fmt.Errorf("pinball: save %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// EncodeBytes returns the framed on-disk representation of the pinball,
+// exactly as Save would write it. The fault-injection harness corrupts
+// these bytes in memory instead of going through temporary files.
+func (p *Pinball) EncodeBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// encode writes the framed representation to w.
+func (p *Pinball) encode(w io.Writer) error {
+	type section struct {
+		id      byte
+		payload []byte
+	}
+	pack := func(id byte, v any) (section, error) {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if err := gob.NewEncoder(zw).Encode(v); err != nil {
+			return section{}, fmt.Errorf("encode section %d: %w", id, err)
+		}
+		if err := zw.Close(); err != nil {
+			return section{}, fmt.Errorf("compress section %d: %w", id, err)
+		}
+		return section{id, buf.Bytes()}, nil
+	}
+
+	sections := []struct {
+		id    byte
+		v     any
+		empty bool
+	}{
+		{secMeta, metaV1{
+			ProgramName: p.ProgramName, Kind: p.Kind,
+			RegionInstrs: p.RegionInstrs, MainInstrs: p.MainInstrs, SkipMain: p.SkipMain,
+			EndReason: p.EndReason, Failure: p.Failure, CheckpointEvery: p.CheckpointEvery,
+		}, false},
+		{secState, p.State, false},
+		{secSchedule, p.Quanta, false},
+		{secSyscalls, p.Syscalls, len(p.Syscalls) == 0},
+		{secOrder, p.OrderEdges, len(p.OrderEdges) == 0},
+		{secSlice, sliceV1{p.Exclusions, p.Injections}, len(p.Exclusions) == 0 && len(p.Injections) == 0},
+		{secCheckpoints, p.Checkpoints, len(p.Checkpoints) == 0},
+	}
+	var packed []section
+	for _, s := range sections {
+		if s.empty {
+			continue
+		}
+		ps, err := pack(s.id, s.v)
+		if err != nil {
+			return err
+		}
+		packed = append(packed, ps)
+	}
+
+	header := append([]byte(fileMagic), versionFramed, kindByte(p.Kind), byte(len(packed)))
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	var frame [sectionHeaderLen]byte
+	for _, s := range packed {
+		frame[0] = s.id
+		binary.BigEndian.PutUint64(frame[1:9], uint64(len(s.payload)))
+		binary.BigEndian.PutUint32(frame[9:13], crc32.ChecksumIEEE(s.payload))
+		if _, err := w.Write(frame[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(s.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads, checksum-verifies and structurally validates a pinball.
+// Every error is wrapped with the file path and one of the typed
+// sentinels (ErrNotPinball, ErrVersionSkew, ErrTruncated, ErrCorrupt).
+func Load(path string) (*Pinball, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pinball: %w", err)
+	}
+	p, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("pinball: load %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Decode parses pinball file bytes (both format versions), verifying
+// checksums and structural invariants.
+func Decode(data []byte) (*Pinball, error) {
+	if len(data) < len(fileMagic)+1 {
+		return nil, fmt.Errorf("%w: %d-byte file", ErrNotPinball, len(data))
+	}
+	if string(data[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrNotPinball)
+	}
+	var p *Pinball
+	var err error
+	switch v := data[len(fileMagic)]; v {
+	case versionLegacy:
+		p, err = decodeLegacy(data[len(fileMagic)+1:])
+	case versionFramed:
+		p, err = decodeFramed(data[len(fileMagic)+1:])
+	default:
+		return nil, fmt.Errorf("%w: file has version %d, this build reads up to %d", ErrVersionSkew, v, versionFramed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// decodeLegacy reads the pre-framing format: gzip over the gob of the
+// whole struct.
+func decodeLegacy(body []byte) (*Pinball, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: legacy decompress: %v", ErrCorrupt, err)
+	}
+	defer zr.Close()
+	var p Pinball
+	if err := gobDecode(zr, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// decodeFramed reads the v1 section framing.
+func decodeFramed(body []byte) (*Pinball, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: header ends after version byte", ErrTruncated)
+	}
+	kindB, count := body[0], int(body[1])
+	body = body[2:]
+
+	p := &Pinball{}
+	meta := metaV1{}
+	seen := map[byte]bool{}
+	for i := 0; i < count; i++ {
+		if len(body) < sectionHeaderLen {
+			return nil, fmt.Errorf("%w: file ends inside the header of section %d of %d", ErrTruncated, i+1, count)
+		}
+		id := body[0]
+		n := int64(binary.BigEndian.Uint64(body[1:9]))
+		sum := binary.BigEndian.Uint32(body[9:13])
+		body = body[sectionHeaderLen:]
+		if n < 0 || n > maxSectionLen {
+			return nil, fmt.Errorf("%w: section %d claims %d bytes", ErrCorrupt, id, n)
+		}
+		if int64(len(body)) < n {
+			return nil, fmt.Errorf("%w: section %d claims %d bytes, %d remain", ErrTruncated, id, n, len(body))
+		}
+		payload := body[:n]
+		body = body[n:]
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, fmt.Errorf("%w: section %d checksum mismatch (want %08x, got %08x)", ErrCorrupt, id, sum, got)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrCorrupt, id)
+		}
+		seen[id] = true
+
+		var dst any
+		var sl sliceV1
+		switch id {
+		case secMeta:
+			dst = &meta
+		case secState:
+			dst = &p.State
+		case secSchedule:
+			dst = &p.Quanta
+		case secSyscalls:
+			dst = &p.Syscalls
+		case secOrder:
+			dst = &p.OrderEdges
+		case secSlice:
+			dst = &sl
+		case secCheckpoints:
+			dst = &p.Checkpoints
+		default:
+			continue // checksum-verified unknown section: skip
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("%w: section %d decompress: %v", ErrCorrupt, id, err)
+		}
+		if err := gobDecode(zr, dst); err != nil {
+			zr.Close()
+			return nil, fmt.Errorf("section %d: %w", id, err)
+		}
+		zr.Close()
+		if id == secSlice {
+			p.Exclusions, p.Injections = sl.Exclusions, sl.Injections
+		}
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the last section", ErrCorrupt, len(body))
+	}
+	for _, req := range []byte{secMeta, secState, secSchedule} {
+		if !seen[req] {
+			return nil, fmt.Errorf("%w: mandatory section %d missing", ErrCorrupt, req)
+		}
+	}
+	p.ProgramName, p.Kind = meta.ProgramName, meta.Kind
+	p.RegionInstrs, p.MainInstrs, p.SkipMain = meta.RegionInstrs, meta.MainInstrs, meta.SkipMain
+	p.EndReason, p.Failure, p.CheckpointEvery = meta.EndReason, meta.Failure, meta.CheckpointEvery
+	if kindByte(p.Kind) != kindB {
+		return nil, fmt.Errorf("%w: header kind %q does not match meta kind %q", ErrCorrupt, kindB, p.Kind)
+	}
+	return p, nil
+}
+
+// gobDecode decodes into v, converting both gob errors and gob panics
+// (which malformed streams can trigger deep inside the decoder) into
+// typed errors.
+func gobDecode(r io.Reader, v any) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: decode panic: %v", ErrCorrupt, p)
+		}
+	}()
+	if err := gob.NewDecoder(r).Decode(v); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: stream ends mid-value", ErrTruncated)
+		}
+		return fmt.Errorf("%w: decode: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// SectionInfo locates one framed section inside a v1 pinball file; Off is
+// the frame start and Len the full frame length (header + payload). The
+// fault-injection harness uses it to drop or damage precise sections.
+type SectionInfo struct {
+	ID  byte
+	Off int64
+	Len int64
+}
+
+// SectionOffsets walks the framing of v1 pinball file bytes without
+// decoding payloads. It fails with the same typed errors as Decode.
+func SectionOffsets(data []byte) ([]SectionInfo, error) {
+	headerLen := len(fileMagic) + 3
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d-byte file", ErrTruncated, len(data))
+	}
+	if string(data[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrNotPinball)
+	}
+	if v := data[len(fileMagic)]; v != versionFramed {
+		return nil, fmt.Errorf("%w: version %d has no section framing", ErrVersionSkew, v)
+	}
+	count := int(data[headerLen-1])
+	off := int64(headerLen)
+	var out []SectionInfo
+	for i := 0; i < count; i++ {
+		if int64(len(data)) < off+sectionHeaderLen {
+			return nil, fmt.Errorf("%w: file ends inside section header %d", ErrTruncated, i+1)
+		}
+		n := int64(binary.BigEndian.Uint64(data[off+1 : off+9]))
+		if n < 0 || n > maxSectionLen || int64(len(data)) < off+sectionHeaderLen+n {
+			return nil, fmt.Errorf("%w: section %d overruns the file", ErrTruncated, i+1)
+		}
+		out = append(out, SectionInfo{ID: data[off], Off: off, Len: sectionHeaderLen + n})
+		off += sectionHeaderLen + n
+	}
+	return out, nil
+}
+
+// SaveLegacy writes the pinball in the pre-framing v0 format (magic,
+// version byte 1, one gzip+gob stream) — kept only so compatibility
+// tests and the fault-injection harness can produce legacy files.
+func (p *Pinball) SaveLegacy(path string) error {
+	cp := *p
+	cp.CheckpointEvery, cp.Checkpoints = 0, nil // fields v0 never had
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pinball: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append([]byte(fileMagic), versionLegacy)); err != nil {
+		return fmt.Errorf("pinball: %w", err)
+	}
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(&cp); err != nil {
+		return fmt.Errorf("pinball: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("pinball: compress: %w", err)
+	}
+	return f.Close()
+}
+
+// EncodedSize returns the on-disk size of the pinball in bytes by
+// encoding it to a counting sink; the evaluation tables report this as
+// the pinball's space overhead.
+func (p *Pinball) EncodedSize() (int64, error) {
+	var cw countingWriter
+	if err := p.encode(&cw); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	c.n += int64(len(b))
+	return len(b), nil
+}

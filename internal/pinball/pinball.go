@@ -8,11 +8,7 @@
 package pinball
 
 import (
-	"compress/gzip"
-	"encoding/gob"
 	"fmt"
-	"io"
-	"os"
 
 	"repro/internal/isa"
 	"repro/internal/vm"
@@ -98,6 +94,33 @@ type Pinball struct {
 	// Slice pinballs only.
 	Exclusions []Exclusion
 	Injections []Injection
+
+	// Divergence checkpoints: per-thread rolling-hash snapshots taken
+	// every CheckpointEvery instructions while logging, validated during
+	// replay so a divergent replay fails fast inside the first bad
+	// window instead of at the terminal instruction-count mismatch.
+	// Empty for legacy pinballs and when checkpointing was disabled.
+	CheckpointEvery int64
+	Checkpoints     []Checkpoint
+}
+
+// DefaultCheckpointEvery is the default per-thread checkpoint cadence in
+// instructions.
+const DefaultCheckpointEvery = 1024
+
+// Checkpoint is one divergence checkpoint: after thread Tid's Seq'th
+// instruction of the region, the rolling hash of its instruction stream
+// (pc, effective address, value, control target per instruction) was
+// Hash, and the thread sat at PC with register file Regs. Replay
+// recomputes the same hash and compares when the thread reaches Seq.
+type Checkpoint struct {
+	Tid  int
+	Seq  int64 // region instructions executed by Tid when taken (k*CheckpointEvery)
+	Idx  int64 // per-thread dynamic index of the last hashed instruction
+	Step int64 // global executed-instruction ordinal within the region
+	Hash uint64
+	PC   int64
+	Regs [isa.NumRegs]int64
 }
 
 // TotalQuantumInstrs returns the number of instructions the pinball's
@@ -110,82 +133,99 @@ func (p *Pinball) TotalQuantumInstrs() int64 {
 	return n
 }
 
-// File format framing: a magic string and a format version precede the
-// gzip stream so stale or foreign files fail fast with a clear error
-// instead of a gob panic deep inside decoding.
-const (
-	fileMagic     = "DRPB"
-	formatVersion = byte(1)
-)
-
-// Save writes the pinball to path, gob-encoded and gzip-compressed (the
-// paper uses bzip2 pinball compression; gzip is the stdlib equivalent).
-func (p *Pinball) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("pinball: %w", err)
+// Validate checks the pinball's structural invariants — the properties
+// every pinball produced by the logger/relogger holds and the replayer
+// relies on. Load runs it so that a tampered-but-well-framed file is
+// rejected before it can send a replay spinning. All failures wrap
+// ErrCorrupt.
+func (p *Pinball) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 	}
-	defer f.Close()
-	if _, err := f.Write(append([]byte(fileMagic), formatVersion)); err != nil {
-		return fmt.Errorf("pinball: %w", err)
+	switch p.Kind {
+	case KindRegion, KindWhole, KindSlice:
+	default:
+		return bad("unknown pinball kind %q", p.Kind)
 	}
-	zw := gzip.NewWriter(f)
-	if err := gob.NewEncoder(zw).Encode(p); err != nil {
-		return fmt.Errorf("pinball: encode: %w", err)
+	if p.State == nil {
+		return bad("no machine state")
 	}
-	if err := zw.Close(); err != nil {
-		return fmt.Errorf("pinball: compress: %w", err)
+	if len(p.State.Threads) == 0 {
+		return bad("machine state has no threads")
 	}
-	return f.Close()
-}
-
-// Load reads a pinball from path.
-func Load(path string) (*Pinball, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("pinball: %w", err)
+	for i, ts := range p.State.Threads {
+		if ts.ID != i {
+			return bad("thread state %d has id %d", i, ts.ID)
+		}
 	}
-	defer f.Close()
-	header := make([]byte, len(fileMagic)+1)
-	if _, err := io.ReadFull(f, header); err != nil {
-		return nil, fmt.Errorf("pinball: %s is not a pinball file", path)
+	if p.RegionInstrs < 0 || p.MainInstrs < 0 || p.SkipMain < 0 {
+		return bad("negative region accounting")
 	}
-	if string(header[:len(fileMagic)]) != fileMagic {
-		return nil, fmt.Errorf("pinball: %s is not a pinball file (bad magic)", path)
+	if p.MainInstrs > p.RegionInstrs {
+		return bad("main-thread instructions %d exceed region total %d", p.MainInstrs, p.RegionInstrs)
 	}
-	if v := header[len(fileMagic)]; v != formatVersion {
-		return nil, fmt.Errorf("pinball: %s has format version %d; this build reads %d", path, v, formatVersion)
+	var total int64
+	for i, q := range p.Quanta {
+		if q.Tid < 0 || q.Tid >= vm.MaxThreads {
+			return bad("quantum %d has thread id %d", i, q.Tid)
+		}
+		if q.Count <= 0 {
+			return bad("quantum %d has count %d", i, q.Count)
+		}
+		total += q.Count
 	}
-	zr, err := gzip.NewReader(f)
-	if err != nil {
-		return nil, fmt.Errorf("pinball: decompress: %w", err)
+	if total != p.RegionInstrs {
+		return bad("schedule covers %d instructions but region claims %d", total, p.RegionInstrs)
 	}
-	defer zr.Close()
-	var p Pinball
-	if err := gob.NewDecoder(zr).Decode(&p); err != nil {
-		return nil, fmt.Errorf("pinball: decode: %w", err)
+	for i, s := range p.Syscalls {
+		if s.Tid < 0 || s.Tid >= vm.MaxThreads {
+			return bad("syscall %d has thread id %d", i, s.Tid)
+		}
 	}
-	return &p, nil
-}
-
-// EncodedSize returns the compressed size of the pinball in bytes by
-// encoding it to a counting sink; the evaluation tables report this as
-// the pinball's space overhead.
-func (p *Pinball) EncodedSize() (int64, error) {
-	var cw countingWriter
-	zw := gzip.NewWriter(&cw)
-	if err := gob.NewEncoder(zw).Encode(p); err != nil {
-		return 0, err
+	for i, e := range p.Exclusions {
+		if e.Tid < 0 || e.Tid >= vm.MaxThreads {
+			return bad("exclusion %d has thread id %d", i, e.Tid)
+		}
+		if e.FromIdx >= e.ToIdx {
+			return bad("exclusion %d has empty index range [%d, %d)", i, e.FromIdx, e.ToIdx)
+		}
 	}
-	if err := zw.Close(); err != nil {
-		return 0, err
+	var lastStep int64
+	for i, in := range p.Injections {
+		if in.Tid < 0 || in.Tid >= vm.MaxThreads {
+			return bad("injection %d has thread id %d", i, in.Tid)
+		}
+		if in.AtStep < lastStep || in.AtStep > total {
+			return bad("injection %d at step %d out of order or past region end %d", i, in.AtStep, total)
+		}
+		lastStep = in.AtStep
 	}
-	return cw.n, nil
-}
-
-type countingWriter struct{ n int64 }
-
-func (c *countingWriter) Write(b []byte) (int, error) {
-	c.n += int64(len(b))
-	return len(b), nil
+	if p.CheckpointEvery < 0 {
+		return bad("negative checkpoint cadence %d", p.CheckpointEvery)
+	}
+	if len(p.Checkpoints) > 0 && p.CheckpointEvery == 0 {
+		return bad("checkpoints present without a cadence")
+	}
+	lastSeq := map[int]int64{}
+	for i, cp := range p.Checkpoints {
+		if cp.Tid < 0 || cp.Tid >= vm.MaxThreads {
+			return bad("checkpoint %d has thread id %d", i, cp.Tid)
+		}
+		if cp.Seq <= lastSeq[cp.Tid] {
+			return bad("checkpoint %d for thread %d out of order (seq %d)", i, cp.Tid, cp.Seq)
+		}
+		if cp.Step < 1 || cp.Step > total {
+			return bad("checkpoint %d at step %d outside region of %d", i, cp.Step, total)
+		}
+		lastSeq[cp.Tid] = cp.Seq
+	}
+	if f := p.Failure; f != nil {
+		if f.Tid < 0 || f.Tid >= vm.MaxThreads {
+			return bad("failure has thread id %d", f.Tid)
+		}
+		if f.Reason == "" {
+			return bad("failure without a reason")
+		}
+	}
+	return nil
 }

@@ -1,8 +1,10 @@
 package pinball_test
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -145,20 +147,75 @@ func TestLoadRejectsWrongVersionAndMagic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	version := data[4]
 	data[4] = 99 // version byte
 	bad := filepath.Join(dir, "badver.pinball")
 	if err := os.WriteFile(bad, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pinball.Load(bad); err == nil {
-		t.Error("wrong version accepted")
+	if _, err := pinball.Load(bad); !errors.Is(err, pinball.ErrVersionSkew) {
+		t.Errorf("wrong version: err = %v, want ErrVersionSkew", err)
 	}
-	// Truncated header.
+	// Too short to even hold the magic.
 	tiny := filepath.Join(dir, "tiny")
 	if err := os.WriteFile(tiny, []byte("DR"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pinball.Load(tiny); err == nil {
-		t.Error("truncated file accepted")
+	if _, err := pinball.Load(tiny); !errors.Is(err, pinball.ErrNotPinball) {
+		t.Errorf("2-byte file: err = %v, want ErrNotPinball", err)
+	}
+	// Valid header, body cut mid-section.
+	data[4] = version
+	cut := filepath.Join(dir, "cut.pinball")
+	if err := os.WriteFile(cut, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pinball.Load(cut); !errors.Is(err, pinball.ErrTruncated) {
+		t.Errorf("half file: err = %v, want ErrTruncated", err)
+	}
+	// Wrong magic.
+	data[0] = 'X'
+	mag := filepath.Join(dir, "badmagic.pinball")
+	if err := os.WriteFile(mag, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pinball.Load(mag); !errors.Is(err, pinball.ErrNotPinball) {
+		t.Errorf("wrong magic: err = %v, want ErrNotPinball", err)
+	}
+}
+
+func TestLoadErrorsNameTheFile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "garbage.pinball")
+	if err := os.WriteFile(bad, []byte("definitely not a pinball"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := pinball.Load(bad)
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if !strings.Contains(err.Error(), "garbage.pinball") {
+		t.Errorf("Load error %q does not name the file", err)
+	}
+}
+
+func TestCheckpointsRoundTrip(t *testing.T) {
+	pb := samplePinball()
+	pb.CheckpointEvery = 64
+	pb.Checkpoints = []pinball.Checkpoint{
+		{Tid: 0, Seq: 64, Idx: 64, Step: 64, Hash: 0xfeedface, PC: 10},
+		{Tid: 1, Seq: 64, Idx: 64, Step: 70, Hash: 0xdeadbeef, PC: 20},
+	}
+	path := filepath.Join(t.TempDir(), "ck.pinball")
+	if err := pb.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pinball.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CheckpointEvery != 64 || len(got.Checkpoints) != 2 ||
+		got.Checkpoints[1] != pb.Checkpoints[1] {
+		t.Errorf("checkpoints lost in round trip: every=%d %v",
+			got.CheckpointEvery, got.Checkpoints)
 	}
 }

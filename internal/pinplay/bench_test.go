@@ -1,0 +1,82 @@
+package pinplay
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// benchSrc is a longer workload (~100k region instructions) so the
+// per-instruction checkpoint overhead dominates fixed costs.
+const benchSrc = `
+int counter;
+int mtx;
+int worker(int id) {
+	int i;
+	int local = 0;
+	for (i = 0; i < 2000; i++) {
+		local = local + i;
+		lock(&mtx);
+		counter = counter + 1;
+		unlock(&mtx);
+	}
+	return local;
+}
+int main() {
+	int t1 = spawn(worker, 1);
+	int t2 = spawn(worker, 2);
+	worker(0);
+	join(t1);
+	join(t2);
+	write(counter);
+	return 0;
+}`
+
+func benchProgram(b *testing.B) *isa.Program {
+	b.Helper()
+	return compileT(b, benchSrc)
+}
+
+// benchmarkLog measures recording cost at a given checkpoint cadence
+// (negative disables checkpointing — the baseline).
+func benchmarkLog(b *testing.B, every int64) {
+	prog := benchProgram(b)
+	cfg := LogConfig{Seed: 3, MeanQuantum: 41, CheckpointEvery: every}
+	pb, err := Log(prog, cfg, RegionSpec{})
+	if err != nil {
+		b.Fatalf("log: %v", err)
+	}
+	b.SetBytes(pb.RegionInstrs) // "bytes" = instructions: ns/instr falls out
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Log(prog, cfg, RegionSpec{}); err != nil {
+			b.Fatalf("log: %v", err)
+		}
+	}
+}
+
+func BenchmarkLogNoCheckpoints(b *testing.B)      { benchmarkLog(b, -1) }
+func BenchmarkLogCheckpointEvery1k(b *testing.B)  { benchmarkLog(b, 1_000) }
+func BenchmarkLogCheckpointEvery10k(b *testing.B) { benchmarkLog(b, 10_000) }
+
+// benchmarkReplay measures validated replay cost at a given cadence.
+func benchmarkReplay(b *testing.B, every int64, noVerify bool) {
+	prog := benchProgram(b)
+	pb, err := Log(prog, LogConfig{Seed: 3, MeanQuantum: 41, CheckpointEvery: every}, RegionSpec{})
+	if err != nil {
+		b.Fatalf("log: %v", err)
+	}
+	opts := ReplayOptions{NoVerify: noVerify}
+	b.SetBytes(pb.RegionInstrs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReplayWith(prog, pb, opts); err != nil {
+			b.Fatalf("replay: %v", err)
+		}
+	}
+}
+
+func BenchmarkReplayNoCheckpoints(b *testing.B)      { benchmarkReplay(b, -1, false) }
+func BenchmarkReplayCheckpointEvery1k(b *testing.B)  { benchmarkReplay(b, 1_000, false) }
+func BenchmarkReplayCheckpointEvery10k(b *testing.B) { benchmarkReplay(b, 10_000, false) }
+func BenchmarkReplayVerifyDisabled(b *testing.B)     { benchmarkReplay(b, 1_000, true) }

@@ -35,6 +35,21 @@ type LogConfig struct {
 	RandSeed int64
 	// MaxSteps bounds total execution (0 = default guard).
 	MaxSteps int64
+	// CheckpointEvery is the per-thread divergence-checkpoint cadence
+	// recorded into the pinball (0 = pinball.DefaultCheckpointEvery,
+	// negative = disable checkpointing).
+	CheckpointEvery int64
+}
+
+// every resolves the configured checkpoint cadence.
+func (c LogConfig) every() int64 {
+	switch {
+	case c.CheckpointEvery < 0:
+		return 0
+	case c.CheckpointEvery == 0:
+		return pinball.DefaultCheckpointEvery
+	}
+	return c.CheckpointEvery
 }
 
 func (c LogConfig) env() *vm.NativeEnv { return vm.NewNativeEnv(c.Input, c.RandSeed) }
@@ -47,15 +62,22 @@ func (c LogConfig) sched() vm.Scheduler {
 	return vm.NewRandomScheduler(c.Seed, mq)
 }
 
-// recordTracer accumulates the nondeterministic events a pinball stores.
+// recordTracer accumulates the nondeterministic events a pinball stores,
+// plus the divergence checkpoints replay will verify.
 type recordTracer struct {
 	vm.NopTracer
 	syscalls []vm.SyscallRecord
 	edges    []vm.OrderEdge
+	ck       *checkpointer // nil when checkpointing is disabled
 }
 
 func (r *recordTracer) OnSyscall(rec vm.SyscallRecord) { r.syscalls = append(r.syscalls, rec) }
 func (r *recordTracer) OnOrderEdge(e vm.OrderEdge)     { r.edges = append(r.edges, e) }
+func (r *recordTracer) OnInstr(ev *vm.InstrEvent) {
+	if r.ck != nil {
+		r.ck.observe(ev)
+	}
+}
 
 // Log executes prog natively, fast-forwards SkipMain main-thread
 // instructions at uninstrumented speed, then records the region into a
@@ -76,7 +98,7 @@ func Log(prog *isa.Program, cfg LogConfig, spec RegionSpec) (*pinball.Pinball, e
 		return nil, fmt.Errorf("pinplay: program stopped (%v) before skip %d", m.Stopped(), spec.SkipMain)
 	}
 
-	rec := StartRecording(m)
+	rec := startRecording(m, cfg.every())
 	var endReason string
 	if spec.LengthMain > 0 {
 		target := m.Threads[0].Count + spec.LengthMain
@@ -117,19 +139,30 @@ func LogUntilFailure(prog *isa.Program, cfg LogConfig, skipMain int64) (*pinball
 type Recorder struct {
 	state      *vm.MachineState
 	tracer     *recordTracer
+	every      int64
 	startMain  int64
 	startSteps int64
 }
 
 // StartRecording snapshots the machine state and begins capturing
-// nondeterministic events. The machine's existing tracer keeps receiving
-// events.
+// nondeterministic events (with divergence checkpoints at the default
+// cadence). The machine's existing tracer keeps receiving events.
 func StartRecording(m *vm.Machine) *Recorder {
+	return startRecording(m, pinball.DefaultCheckpointEvery)
+}
+
+// startRecording is StartRecording with an explicit checkpoint cadence
+// (0 disables checkpointing).
+func startRecording(m *vm.Machine, every int64) *Recorder {
 	r := &Recorder{
 		state:      m.Snapshot(),
 		tracer:     &recordTracer{},
+		every:      every,
 		startMain:  m.Threads[0].Count,
 		startSteps: m.Steps(),
+	}
+	if every > 0 {
+		r.tracer.ck = newCheckpointer(m, every)
 	}
 	m.ResetQuanta()
 	m.ResetSharedTracking()
@@ -163,6 +196,10 @@ func (r *Recorder) Finish(m *vm.Machine, endReason string) *pinball.Pinball {
 		MainInstrs:   m.Threads[0].Count - r.startMain,
 		EndReason:    endReason,
 		Failure:      m.Failure(),
+	}
+	if r.tracer.ck != nil {
+		pb.CheckpointEvery = r.every
+		pb.Checkpoints = r.tracer.ck.cps
 	}
 	m.SetTracer(nil)
 	return pb
@@ -230,7 +267,7 @@ func LogBetween(prog *isa.Program, cfg LogConfig, spec PointSpec) (*pinball.Pinb
 		}
 	}
 
-	rec := StartRecording(m)
+	rec := startRecording(m, cfg.every())
 	endReason := "end-point"
 	if spec.EndPC >= 0 {
 		var endSeen int64

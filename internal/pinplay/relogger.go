@@ -20,6 +20,14 @@ import (
 // The exclusion list must be sorted by (Tid, FromIdx) and non-overlapping
 // per thread; slice.BuildExclusions produces it in that form.
 func Relog(prog *isa.Program, pb *pinball.Pinball, exclusions []pinball.Exclusion) (*pinball.Pinball, error) {
+	return RelogWith(prog, pb, exclusions, ReplayOptions{})
+}
+
+// RelogWith is Relog with checkpoint policy and execution limits applied
+// to the underlying region replay. The produced slice pinball carries
+// fresh divergence checkpoints (over included instructions only, at the
+// source pinball's cadence), so slice replays are verified too.
+func RelogWith(prog *isa.Program, pb *pinball.Pinball, exclusions []pinball.Exclusion, opts ReplayOptions) (*pinball.Pinball, error) {
 	if pb.Kind == pinball.KindSlice {
 		return nil, fmt.Errorf("pinplay: cannot relog a slice pinball")
 	}
@@ -40,16 +48,33 @@ func Relog(prog *isa.Program, pb *pinball.Pinball, exclusions []pinball.Exclusio
 		pos:       make(map[int]int),
 		mem:       make(map[int]map[int64]int64),
 	}
-	m := NewReplayMachine(prog, pb, rt)
+	opts.Tracer = rt
+	m, v := newValidatedMachine(prog, pb, opts)
 	rt.m = m
+	if pb.CheckpointEvery > 0 {
+		rt.ck = newCheckpointer(m, pb.CheckpointEvery)
+	}
 
 	total := pb.TotalQuantumInstrs()
 	var executed int64
 	for executed < total && m.StepOne() {
 		executed++
+		if d := v.failed(); d != nil {
+			return nil, &DivergenceError{Div: *d}
+		}
 	}
-	if executed < total && !(m.Stopped() == vm.StopFailure && pb.Failure != nil) {
-		return nil, fmt.Errorf("pinplay: relog replay diverged at %d of %d (stop: %v)", executed, total, m.Stopped())
+	earlyFailure := executed < total && m.Stopped() == vm.StopFailure && pb.Failure != nil
+	if !m.Stopped().LimitStop() {
+		v.finish(earlyFailure)
+	}
+	if d := v.failed(); d != nil {
+		return nil, &DivergenceError{Div: *d}
+	}
+	if executed < total && !earlyFailure {
+		if m.Stopped().LimitStop() {
+			return nil, limitErr(m, executed, total)
+		}
+		return nil, fmt.Errorf("%w: relog replay diverged at %d of %d (stop: %v)", ErrReplay, executed, total, m.Stopped())
 	}
 
 	out := &pinball.Pinball{
@@ -65,6 +90,10 @@ func Relog(prog *isa.Program, pb *pinball.Pinball, exclusions []pinball.Exclusio
 		Failure:      pb.Failure,
 		Exclusions:   exclusions,
 		Injections:   rt.injections,
+	}
+	if rt.ck != nil {
+		out.CheckpointEvery = pb.CheckpointEvery
+		out.Checkpoints = rt.ck.cps
 	}
 	return out, nil
 }
@@ -86,6 +115,10 @@ type relogTracer struct {
 	quanta       []vm.Quantum
 	syscalls     []vm.SyscallRecord
 	injections   []pinball.Injection
+
+	// ck hashes the included instructions into fresh checkpoints for the
+	// slice pinball (slice replays see exactly this stream).
+	ck *checkpointer
 
 	pendingSys []vm.SyscallRecord
 }
@@ -118,6 +151,9 @@ func (r *relogTracer) OnInstr(ev *vm.InstrEvent) {
 		r.included++
 		if ev.Tid == 0 {
 			r.includedMain++
+		}
+		if r.ck != nil {
+			r.ck.observe(ev)
 		}
 		if n := len(r.quanta); n > 0 && r.quanta[n-1].Tid == ev.Tid {
 			r.quanta[n-1].Count++

@@ -1,0 +1,89 @@
+package vm
+
+import (
+	"context"
+	"time"
+)
+
+// Limits bounds an execution so that a malformed or tampered pinball can
+// never wedge a tool: an instruction budget, a wall-clock deadline, a
+// resident-memory cap and an optional cancellation context. The zero
+// value imposes no bounds. Limits are checked from the stepping loop; the
+// budget every instruction, the clock/context/memory ones every
+// slowCheckStride instructions to keep the hot path cheap.
+type Limits struct {
+	// Steps is the instruction budget, counted from the moment the
+	// limits are applied (0 = unlimited).
+	Steps int64
+	// Deadline is the wall-clock cutoff (zero = none).
+	Deadline time.Time
+	// MaxPages caps the machine's resident memory in pages (0 = none).
+	MaxPages int
+	// Ctx cancels the execution when done (nil = none).
+	Ctx context.Context
+}
+
+// Timeout is a convenience constructor: an instruction budget plus a
+// deadline d from now. Either argument may be zero for "unbounded".
+func Timeout(steps int64, d time.Duration) Limits {
+	l := Limits{Steps: steps}
+	if d > 0 {
+		l.Deadline = time.Now().Add(d)
+	}
+	return l
+}
+
+// active reports whether any bound is set.
+func (l Limits) active() bool {
+	return l.Steps > 0 || !l.Deadline.IsZero() || l.MaxPages > 0 || l.Ctx != nil
+}
+
+// slowCheckStride is how many instructions run between wall-clock,
+// context and memory-cap checks.
+const slowCheckStride = 4096
+
+// SetLimits applies (or, with the zero value, clears) execution bounds.
+// The instruction budget is relative to the machine's current step count,
+// so replay tools can bound just the replayed region.
+func (m *Machine) SetLimits(l Limits) {
+	m.limits = l
+	m.limitsOn = l.active()
+	m.budgetEnd = 0
+	if l.Steps > 0 {
+		m.budgetEnd = m.steps + l.Steps
+	}
+	// First executed instruction performs a slow check, so an
+	// already-expired deadline or cancelled context stops immediately.
+	m.nextSlowCheck = m.steps
+}
+
+// Limits returns the currently applied execution bounds.
+func (m *Machine) Limits() Limits { return m.limits }
+
+// checkLimits enforces the applied bounds; called once per executed
+// instruction while any bound is set.
+func (m *Machine) checkLimits() {
+	if m.budgetEnd > 0 && m.steps >= m.budgetEnd {
+		m.stopped = StopBudget
+		return
+	}
+	if m.steps < m.nextSlowCheck {
+		return
+	}
+	m.nextSlowCheck = m.steps + slowCheckStride
+	if !m.limits.Deadline.IsZero() && time.Now().After(m.limits.Deadline) {
+		m.stopped = StopDeadline
+		return
+	}
+	if m.limits.Ctx != nil {
+		select {
+		case <-m.limits.Ctx.Done():
+			m.stopped = StopCancelled
+			return
+		default:
+		}
+	}
+	if m.limits.MaxPages > 0 && m.Mem.Pages() > m.limits.MaxPages {
+		m.stopped = StopMemLimit
+	}
+}

@@ -1,0 +1,165 @@
+package vm_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/vm"
+)
+
+const spinSrc = `
+int main() {
+	int i;
+	int acc = 0;
+	for (i = 0; i < 1000000; i++) {
+		acc = acc + i;
+	}
+	write(acc);
+	return 0;
+}`
+
+func TestInstructionBudgetStops(t *testing.T) {
+	prog := compile(t, spinSrc)
+	m := vm.New(prog, vm.Config{MaxSteps: 100_000_000})
+	m.SetLimits(vm.Limits{Steps: 500})
+	m.Run()
+	if m.Stopped() != vm.StopBudget {
+		t.Fatalf("stop = %v, want budget", m.Stopped())
+	}
+	if !m.Stopped().LimitStop() {
+		t.Error("StopBudget.LimitStop() = false")
+	}
+	// Limits are checked after each executed instruction, so the machine
+	// runs exactly the budget.
+	if m.Steps() != 500 {
+		t.Errorf("steps = %d, want 500", m.Steps())
+	}
+}
+
+func TestBudgetIsRelative(t *testing.T) {
+	prog := compile(t, spinSrc)
+	m := vm.New(prog, vm.Config{MaxSteps: 100_000_000})
+	for i := 0; i < 300; i++ {
+		if !m.StepOne() {
+			t.Fatal("program stopped during warm-up")
+		}
+	}
+	m.SetLimits(vm.Limits{Steps: 200})
+	m.Run()
+	if m.Stopped() != vm.StopBudget {
+		t.Fatalf("stop = %v, want budget", m.Stopped())
+	}
+	if m.Steps() != 500 {
+		t.Errorf("steps = %d, want 300 warm-up + 200 budget", m.Steps())
+	}
+}
+
+func TestExpiredDeadlineStops(t *testing.T) {
+	prog := compile(t, spinSrc)
+	m := vm.New(prog, vm.Config{MaxSteps: 100_000_000})
+	m.SetLimits(vm.Limits{Deadline: time.Now().Add(-time.Second)})
+	m.Run()
+	if m.Stopped() != vm.StopDeadline {
+		t.Fatalf("stop = %v, want deadline", m.Stopped())
+	}
+	if m.Steps() != 1 {
+		t.Errorf("steps = %d, want 1 (deadline checked after the first instruction)", m.Steps())
+	}
+}
+
+func TestCancelledContextStops(t *testing.T) {
+	prog := compile(t, spinSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := vm.New(prog, vm.Config{MaxSteps: 100_000_000})
+	m.SetLimits(vm.Limits{Ctx: ctx})
+	m.Run()
+	if m.Stopped() != vm.StopCancelled {
+		t.Fatalf("stop = %v, want cancelled", m.Stopped())
+	}
+}
+
+const pageHogSrc = `
+int big[131072];
+int main() {
+	int i;
+	for (i = 0; i < 8000; i++) {
+		big[i * 16] = i;
+	}
+	write(big[0]);
+	return 0;
+}`
+
+func TestMemoryCapStops(t *testing.T) {
+	prog := compile(t, pageHogSrc)
+	m := vm.New(prog, vm.Config{MaxSteps: 100_000_000})
+	m.SetLimits(vm.Limits{MaxPages: 4})
+	m.Run()
+	if m.Stopped() != vm.StopMemLimit {
+		t.Fatalf("stop = %v, want memory limit (pages = %d)", m.Stopped(), m.Mem.Pages())
+	}
+}
+
+func TestZeroLimitsAreUnbounded(t *testing.T) {
+	prog := compile(t, `int main() { write(7); return 0; }`)
+	m := vm.New(prog, vm.Config{MaxSteps: 1_000_000})
+	m.SetLimits(vm.Timeout(0, 0)) // both zero: no bounds
+	m.Run()
+	if m.Stopped() != vm.StopExit {
+		t.Fatalf("stop = %v, want exit", m.Stopped())
+	}
+	if out := m.Output(); len(out) != 1 || out[0] != 7 {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestLimitStopClassification(t *testing.T) {
+	limit := []vm.StopReason{vm.StopBudget, vm.StopDeadline, vm.StopMemLimit, vm.StopCancelled}
+	for _, s := range limit {
+		if !s.LimitStop() {
+			t.Errorf("%v.LimitStop() = false", s)
+		}
+		if s.String() == "" || s.String() == "unknown" {
+			t.Errorf("%v has no String", s)
+		}
+	}
+	for _, s := range []vm.StopReason{vm.StopNone, vm.StopExit, vm.StopFailure, vm.StopMaxSteps, vm.StopDeadlock} {
+		if s.LimitStop() {
+			t.Errorf("%v.LimitStop() = true", s)
+		}
+	}
+}
+
+// edgeCounter counts order edges and instructions.
+type edgeCounter struct {
+	vm.NopTracer
+	instrs int64
+	edges  int64
+}
+
+func (c *edgeCounter) OnInstr(*vm.InstrEvent)   { c.instrs++ }
+func (c *edgeCounter) OnOrderEdge(vm.OrderEdge) { c.edges++ }
+
+func TestSetOrderTrackingGate(t *testing.T) {
+	prog := compile(t, racySrc)
+
+	on := &edgeCounter{}
+	m1 := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(5, 19), Tracer: on, MaxSteps: 10_000_000})
+	m1.Run()
+	if on.edges == 0 {
+		t.Fatal("expected order edges with tracking on")
+	}
+
+	off := &edgeCounter{}
+	m2 := vm.New(prog, vm.Config{Sched: vm.NewRandomScheduler(5, 19), Tracer: off, MaxSteps: 10_000_000})
+	m2.SetOrderTracking(false)
+	m2.Run()
+	if off.edges != 0 {
+		t.Fatalf("got %d order edges with tracking off", off.edges)
+	}
+	// The execution itself is unaffected: same instruction stream.
+	if on.instrs != off.instrs {
+		t.Fatalf("instruction counts differ: %d vs %d", on.instrs, off.instrs)
+	}
+}

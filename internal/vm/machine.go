@@ -107,6 +107,10 @@ const (
 	StopFailure
 	StopDeadlock
 	StopMaxSteps
+	StopBudget    // Limits.Steps instruction budget exhausted
+	StopDeadline  // Limits.Deadline wall-clock cutoff passed
+	StopMemLimit  // Limits.MaxPages resident-memory cap exceeded
+	StopCancelled // Limits.Ctx cancelled
 )
 
 func (s StopReason) String() string {
@@ -123,8 +127,26 @@ func (s StopReason) String() string {
 		return "deadlock"
 	case StopMaxSteps:
 		return "max-steps"
+	case StopBudget:
+		return "budget"
+	case StopDeadline:
+		return "deadline"
+	case StopMemLimit:
+		return "mem-limit"
+	case StopCancelled:
+		return "cancelled"
 	}
 	return "?"
+}
+
+// LimitStop reports whether s was caused by an execution bound (budget,
+// deadline, memory cap or cancellation) rather than by the program.
+func (s StopReason) LimitStop() bool {
+	switch s {
+	case StopBudget, StopDeadline, StopMemLimit, StopCancelled:
+		return true
+	}
+	return false
 }
 
 // SyscallSource supplies results for the nondeterministic system calls
@@ -153,6 +175,13 @@ type Machine struct {
 	tracer   Tracer
 	tracing  bool
 	maxSteps int64
+
+	// Execution bounds (SetLimits) and shared-access order gating.
+	limits        Limits
+	limitsOn      bool
+	budgetEnd     int64
+	nextSlowCheck int64
+	noOrderTrack  bool
 
 	heapNext int64
 	output   []int64
@@ -239,6 +268,12 @@ func (m *Machine) SetScheduler(s Scheduler) {
 
 // SetEnv replaces the syscall source.
 func (m *Machine) SetEnv(e SyscallSource) { m.env = e }
+
+// SetOrderTracking enables or disables shared-memory access-order
+// tracking while a tracer is attached. Replay-time observers that do not
+// consume order edges (e.g. the checkpoint validator) disable it to avoid
+// the per-access map bookkeeping; it is on by default.
+func (m *Machine) SetOrderTracking(on bool) { m.noOrderTrack = !on }
 
 // newThread creates a thread running the function at entry with arg in
 // Arg0 and returns it.
@@ -386,6 +421,9 @@ func (m *Machine) StepOne() bool {
 		if m.maxSteps > 0 && m.steps >= m.maxSteps {
 			m.stopped = StopMaxSteps
 		}
+		if m.limitsOn && m.stopped == StopNone {
+			m.checkLimits()
+		}
 		return true
 	}
 }
@@ -444,6 +482,9 @@ func (m *Machine) exitThread(t *Thread) {
 func (m *Machine) trackAccess(tid int, idx int64, addr int64, isWrite bool) {
 	if addr >= StackBase {
 		return // stacks are thread-private
+	}
+	if m.noOrderTrack {
+		return
 	}
 	st := m.lastAccess[addr]
 	if st == nil {

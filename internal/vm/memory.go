@@ -31,6 +31,10 @@ func (m *Memory) Read(addr int64) int64 {
 	return p[addr&pageMask]
 }
 
+// Pages returns the number of resident (touched) pages; Limits.MaxPages
+// is enforced against this count.
+func (m *Memory) Pages() int { return len(m.pages) }
+
 // Write stores v at addr, materialising the page if needed.
 func (m *Memory) Write(addr int64, v int64) {
 	pn := addr >> pageShift
