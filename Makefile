@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the subsystems with real concurrency: replay/logging,
+# the VM, and the parallel slicing engine (plus its dual-slice consumer).
+race:
+	$(GO) test -race ./internal/pinplay/... ./internal/vm/... ./internal/slice/... ./internal/dualslice/...
+
+# Tier-1 verify (see ROADMAP.md).
+verify: build vet test race
+
+# Regenerate BENCH_slice.json (parallel slicing engine benchmark).
+bench:
+	$(GO) run ./cmd/drbench -experiment slicebench -workers 4

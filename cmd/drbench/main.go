@@ -6,6 +6,7 @@
 //	drbench -experiment all
 //	drbench -experiment table2
 //	drbench -experiment fig11 -scale 10     # 10x longer regions
+//	drbench -experiment slicebench -workers 8 -json BENCH_slice.json
 package main
 
 import (
@@ -20,11 +21,13 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: table1, table2, table3, fig11, fig12, fig13, fig14, slicing, ablation, all")
-		scale   = flag.Int64("scale", 1, "multiply all region lengths by this factor")
-		threads = flag.Int64("threads", 4, "worker thread count")
-		slices  = flag.Int("slices", 10, "slicing criteria per region")
-		seed    = flag.Int64("seed", 1, "scheduling seed")
+			"one of: table1, table2, table3, fig11, fig12, fig13, fig14, slicing, slicebench, ablation, all")
+		scale    = flag.Int64("scale", 1, "multiply all region lengths by this factor")
+		threads  = flag.Int64("threads", 4, "worker thread count")
+		slices   = flag.Int("slices", 10, "slicing criteria per region")
+		seed     = flag.Int64("seed", 1, "scheduling seed")
+		workers  = flag.Int("workers", 0, "parallel slicing workers for slicebench (0 = GOMAXPROCS)")
+		jsonPath = flag.String("json", "BENCH_slice.json", "where slicebench writes its JSON report")
 	)
 	flag.Parse()
 
@@ -38,13 +41,13 @@ func main() {
 	cfg.RegionLen *= *scale
 	cfg.RegionLenLarge *= *scale
 
-	if err := run(*experiment, cfg); err != nil {
+	if err := run(*experiment, cfg, *workers, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "drbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, cfg bench.Config) error {
+func run(experiment string, cfg bench.Config, workers int, jsonPath string) error {
 	type exp struct {
 		name string
 		fn   func(bench.Config) error
@@ -61,6 +64,19 @@ func run(experiment string, cfg bench.Config) error {
 		{"fig13", wrap(func(c bench.Config) (any, error) { return bench.Figure13(c) })},
 		{"fig14", wrap(func(c bench.Config) (any, error) { return bench.Figure14(c) })},
 		{"slicing", wrap(func(c bench.Config) (any, error) { return bench.SlicingOverhead(c) })},
+		{"slicebench", func(c bench.Config) error {
+			report, err := bench.SliceBench(c, workers)
+			if err != nil {
+				return err
+			}
+			if jsonPath != "" {
+				if err := bench.WriteSliceBenchJSON(report, jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("JSON report written to %s\n", jsonPath)
+			}
+			return nil
+		}},
 		{"ablation", wrap(func(c bench.Config) (any, error) { return bench.Ablation(c) })},
 	}
 	ran := false

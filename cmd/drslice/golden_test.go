@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	drdebug "repro"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenSrc is a deterministic single-threaded program exercising the
+// renderer's full surface: a data chain into a failing assert, a pruned
+// save/restore pair (the guarded call), and excluded noise.
+const goldenSrc = `
+int sink;
+int noise;
+int q(int n) {
+	sink = sink + n;
+	return 0;
+}
+int p(int c, int d) {
+	int e = d + d;
+	if (c == 5) {
+		q(1);
+	}
+	return e + 1;
+}
+int main() {
+	int i;
+	int c = read();
+	for (i = 0; i < 8; i++) { noise = noise + i; }
+	int w = p(c, 7);
+	assert(w == 999);
+	return 0;
+}`
+
+// goldenSession records the program and computes the failure slice with
+// the given engine configuration.
+func goldenSession(t *testing.T, workers int) (*drdebug.Session, *drdebug.Slice) {
+	t.Helper()
+	prog, err := drdebug.Compile("golden.c", goldenSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	sess, err := drdebug.RecordFailure(prog, drdebug.LogConfig{Seed: 1, Input: []int64{5}}, 0)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	sess.SetParallelWorkers(workers)
+	sl, err := sess.SliceAtFailure()
+	if err != nil {
+		t.Fatalf("slice: %v", err)
+	}
+	return sess, sl
+}
+
+// compareGolden checks got against testdata/<name>, rewriting it under
+// -update.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden file (re-run with -update after reviewing)\n--- got ---\n%s", name, got)
+	}
+}
+
+// TestGoldenTextReport locks the text renderer's output, for both
+// engines: the byte-identical-slices guarantee must survive all the way
+// through the CLI's rendering path.
+func TestGoldenTextReport(t *testing.T) {
+	var outputs [][]byte
+	for _, workers := range []int{0, 4} {
+		sess, sl := goldenSession(t, workers)
+		var buf bytes.Buffer
+		if err := writeSliceText(sess, sl, &buf); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		outputs = append(outputs, buf.Bytes())
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Fatalf("sequential and parallel text reports differ:\n--- sequential ---\n%s--- parallel ---\n%s",
+			outputs[0], outputs[1])
+	}
+	compareGolden(t, "failure_slice.txt", outputs[0])
+}
+
+// TestGoldenHTMLReport locks the HTML renderer's output (source listing
+// highlighted in place), again for both engines.
+func TestGoldenHTMLReport(t *testing.T) {
+	sources := map[string]string{"golden.c": goldenSrc}
+	var outputs [][]byte
+	for _, workers := range []int{0, 4} {
+		sess, sl := goldenSession(t, workers)
+		var buf bytes.Buffer
+		if err := renderSliceHTML(sess, sl, sources, &buf); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		outputs = append(outputs, buf.Bytes())
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Fatal("sequential and parallel HTML reports differ")
+	}
+	compareGolden(t, "failure_slice.html", outputs[0])
+}

@@ -10,6 +10,7 @@
 //	drslice -file bug.c -pinball bug.pinball -tid 1 -line 12
 //	drslice ... -o bug.slice -exec -opinball bug-slice.pinball
 //	drslice ... -no-prune -no-refine                           # precision ablations
+//	drslice ... -workers 8 -cache-stats                        # parallel engine
 //
 // Exit codes: 0 success, 1 usage/tool error, 2 the pinball file failed
 // to load, 3 the pinball loaded but a replay of it failed (divergence
@@ -19,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -44,19 +46,21 @@ func main() {
 		outPB    = flag.String("opinball", "slice.pinball", "slice pinball path (with -exec)")
 		budget   = flag.Int64("budget", 0, "instruction budget per replay (0 = unbounded)")
 		deadline = flag.Duration("deadline", 0, "wall-clock limit per replay (0 = unbounded)")
+		workers  = flag.Int("workers", 0, "slice with the sharded parallel engine on this many workers (0 = sequential)")
+		cacheSt  = flag.Bool("cache-stats", false, "print dependence-graph cache statistics")
 	)
 	flag.Parse()
 
 	if err := run(*file, *workload, *pinballP, *varName, *tid, *line, *nth,
 		*noPrune, *noRefine, *maxSave, *out, *htmlOut, *execSl, *outPB,
-		cli.Limits(*budget, *deadline)); err != nil {
+		*workers, *cacheSt, cli.Limits(*budget, *deadline)); err != nil {
 		os.Exit(cli.Fail("drslice", err))
 	}
 }
 
 func run(file, workload, pinballPath, varName string, tid, line, nth int,
 	noPrune, noRefine bool, maxSave int, out, htmlOut string, execSl bool, outPB string,
-	limits drdebug.Limits) error {
+	workers int, cacheSt bool, limits drdebug.Limits) error {
 	prog, _, err := cli.LoadProgram(file, workload)
 	if err != nil {
 		return err
@@ -74,6 +78,7 @@ func run(file, workload, pinballPath, varName string, tid, line, nth int,
 	opts.PruneSaveRestore = !noPrune
 	opts.DisableRefinement = noRefine
 	sess.SetSliceOptions(opts)
+	sess.SetParallelWorkers(workers)
 
 	start := time.Now()
 	var sl *drdebug.Slice
@@ -93,8 +98,23 @@ func run(file, workload, pinballPath, varName string, tid, line, nth int,
 	fmt.Printf("precision: %d CFG refinements, %d save/restore pairs, %d bypasses, LP %d/%d blocks skipped\n",
 		sl.Stats.CFGRefinements, sl.Stats.VerifiedPairs, sl.Stats.PrunedBypasses,
 		sl.Stats.LPBlocksSkip, sl.Stats.LPBlocksSkip+sl.Stats.LPBlocksVisit)
+	if workers > 0 {
+		eng, err := sess.ParallelSlicer()
+		if err != nil {
+			return err
+		}
+		es := eng.Stats()
+		fmt.Printf("engine: %d workers, %d shards, %d indexed defs\n",
+			es.Workers, es.Shards, es.IndexDefs)
+	}
+	if cacheSt {
+		gs := drdebug.CFGCacheStats()
+		engs := drdebug.SliceEngineCacheStats()
+		fmt.Printf("cfg cache: %d graphs, %d hits, %d misses\n", gs.Entries, gs.Hits, gs.Misses)
+		fmt.Printf("engine cache: %d engines, %d hits, %d misses\n", engs.Entries, engs.Hits, engs.Misses)
+	}
 
-	if err := writeSliceText(sess, sl); err != nil {
+	if err := writeSliceText(sess, sl, os.Stdout); err != nil {
 		return err
 	}
 	if out != "" {
@@ -126,10 +146,6 @@ func run(file, workload, pinballPath, varName string, tid, line, nth int,
 // writeSliceHTML renders the KDbg-style HTML report; when the program
 // came from a source file, the listing is highlighted in place.
 func writeSliceHTML(sess *drdebug.Session, sl *drdebug.Slice, srcPath, htmlOut string) error {
-	f, err := sliceFileOf(sess, sl)
-	if err != nil {
-		return err
-	}
 	sources := map[string]string{}
 	if srcPath != "" {
 		if data, err := os.ReadFile(srcPath); err == nil {
@@ -141,10 +157,19 @@ func writeSliceHTML(sess *drdebug.Session, sl *drdebug.Slice, srcPath, htmlOut s
 		return err
 	}
 	defer w.Close()
-	if err := f.WriteHTML(w, sources); err != nil {
+	if err := renderSliceHTML(sess, sl, sources, w); err != nil {
 		return err
 	}
 	return w.Close()
+}
+
+// renderSliceHTML writes the HTML report for a computed slice.
+func renderSliceHTML(sess *drdebug.Session, sl *drdebug.Slice, sources map[string]string, w io.Writer) error {
+	f, err := sliceFileOf(sess, sl)
+	if err != nil {
+		return err
+	}
+	return f.WriteHTML(w, sources)
 }
 
 // sliceFileOf converts a computed slice into its persistable form via a
@@ -164,10 +189,10 @@ func sliceFileOf(sess *drdebug.Session, sl *drdebug.Slice) (*drdebug.SliceFile, 
 }
 
 // writeSliceText renders the slice in the human-readable slice-file form.
-func writeSliceText(sess *drdebug.Session, sl *drdebug.Slice) error {
+func writeSliceText(sess *drdebug.Session, sl *drdebug.Slice, w io.Writer) error {
 	f, err := sliceFileOf(sess, sl)
 	if err != nil {
 		return err
 	}
-	return f.WriteText(os.Stdout)
+	return f.WriteText(w)
 }

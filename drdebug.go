@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cc"
+	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/debugger"
 	"repro/internal/isa"
@@ -54,6 +55,12 @@ type (
 	Slice = slice.Slice
 	// SliceOptions controls slicer precision features.
 	SliceOptions = slice.Options
+	// ParallelSlicer is the sharded parallel slicing engine.
+	ParallelSlicer = slice.ParallelSlicer
+	// ParallelSliceOptions configures the parallel engine's build phase.
+	ParallelSliceOptions = slice.ParallelOptions
+	// SliceEngineStats reports the parallel engine's accounting.
+	SliceEngineStats = slice.EngineStats
 	// SliceFile is the persisted, session-independent form of a slice.
 	SliceFile = slice.File
 	// Trace is the dynamic def/use information collected from a replay.
@@ -189,3 +196,18 @@ func Workloads() []*Workload { return workloads.All() }
 // control dependences on, CFG refinement on, save/restore pruning on with
 // MaxSave=10.
 func DefaultSliceOptions() SliceOptions { return slice.DefaultOptions() }
+
+// NewParallelSlicer builds the sharded parallel slicing engine over a
+// collected trace. Slice results are bit-identical to the sequential
+// slicer for every criterion and worker count.
+func NewParallelSlicer(prog *Program, tr *Trace, opts SliceOptions, popts ParallelSliceOptions) (*ParallelSlicer, error) {
+	return slice.NewParallel(prog, tr, opts, popts)
+}
+
+// CFGCacheStats reports the process-lifetime CFG/post-dominator cache
+// counters.
+func CFGCacheStats() cfg.CacheStats { return cfg.GraphCacheStats() }
+
+// SliceEngineCacheStats reports the process-lifetime parallel-engine
+// cache counters (engines keyed by pinball identity and slice options).
+func SliceEngineCacheStats() slice.EngineCacheStats { return slice.GetEngineCacheStats() }

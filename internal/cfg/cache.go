@@ -1,0 +1,155 @@
+package cfg
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/isa"
+)
+
+// Process-lifetime CFG cache. Building a function's CFG and its
+// post-dominator tree is a pure function of (code, function range,
+// indirect-target sets), so graphs can be shared across analyzers,
+// sessions and repeated slice queries of a cyclic-debugging session.
+// The cache key folds a fingerprint of the program code, the function
+// entry and a digest of the observed indirect targets inside the
+// function; a refinement that adds a target simply keys a new entry, so
+// stale graphs are never returned (no invalidation protocol needed —
+// superseded entries just stop being requested).
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fold(h uint64, v int64) uint64 { return (h ^ uint64(v)) * fnvPrime }
+
+// Fingerprint digests a program's code so cache keys distinguish
+// programs beyond their name. Computed once per program (cached behind
+// a lock, keyed by pointer identity — Program values are immutable
+// once built).
+func Fingerprint(prog *isa.Program) uint64 {
+	fingerMu.Lock()
+	if h, ok := fingerprints[prog]; ok {
+		fingerMu.Unlock()
+		return h
+	}
+	fingerMu.Unlock()
+
+	h := fnvOffset
+	for _, b := range []byte(prog.Name) {
+		h = fold(h, int64(b))
+	}
+	for _, in := range prog.Code {
+		h = fold(h, int64(in.Op))
+		h = fold(h, int64(in.Rd))
+		h = fold(h, int64(in.Rs1))
+		h = fold(h, int64(in.Rs2))
+		h = fold(h, in.Imm)
+	}
+
+	fingerMu.Lock()
+	fingerprints[prog] = h
+	fingerMu.Unlock()
+	return h
+}
+
+var (
+	fingerMu     sync.Mutex
+	fingerprints = make(map[*isa.Program]uint64)
+)
+
+// graphKey identifies one cached FuncGraph.
+type graphKey struct {
+	prog    uint64 // program fingerprint
+	entry   int64  // function entry pc
+	targets uint64 // digest of the indirect-target sets inside the function
+}
+
+// targetsDigest folds the (sorted) indirect-target map an analyzer
+// passes to Build.
+func targetsDigest(targets map[int64][]int64) uint64 {
+	h := fnvOffset
+	// Fold order must be deterministic: iterate jump pcs in sorted order.
+	// The per-pc target lists are already sorted by the analyzer.
+	pcs := make([]int64, 0, len(targets))
+	for pc := range targets {
+		pcs = append(pcs, pc)
+	}
+	for i := 1; i < len(pcs); i++ { // insertion sort; sets are tiny
+		for j := i; j > 0 && pcs[j] < pcs[j-1]; j-- {
+			pcs[j], pcs[j-1] = pcs[j-1], pcs[j]
+		}
+	}
+	for _, pc := range pcs {
+		h = fold(h, pc)
+		for _, t := range targets[pc] {
+			h = fold(h, t)
+		}
+	}
+	return h
+}
+
+// cacheMaxEntries bounds the graph cache; when full, the cache is
+// dropped wholesale (simple, and refills in one forward pass).
+const cacheMaxEntries = 8192
+
+// graphCache is the process-lifetime store.
+type graphCache struct {
+	mu     sync.RWMutex
+	graphs map[graphKey]*FuncGraph
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+var sharedGraphs = &graphCache{graphs: make(map[graphKey]*FuncGraph)}
+
+func (c *graphCache) get(k graphKey) (*FuncGraph, bool) {
+	c.mu.RLock()
+	g, ok := c.graphs[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return g, ok
+}
+
+func (c *graphCache) put(k graphKey, g *FuncGraph) {
+	c.mu.Lock()
+	if len(c.graphs) >= cacheMaxEntries {
+		c.graphs = make(map[graphKey]*FuncGraph)
+	}
+	c.graphs[k] = g
+	c.mu.Unlock()
+}
+
+// CacheStats reports the process-lifetime CFG cache counters.
+type CacheStats struct {
+	Entries int
+	Hits    int64
+	Misses  int64
+}
+
+// GraphCacheStats returns the shared cache's current counters.
+func GraphCacheStats() CacheStats {
+	sharedGraphs.mu.RLock()
+	n := len(sharedGraphs.graphs)
+	sharedGraphs.mu.RUnlock()
+	return CacheStats{
+		Entries: n,
+		Hits:    sharedGraphs.hits.Load(),
+		Misses:  sharedGraphs.misses.Load(),
+	}
+}
+
+// ResetGraphCache empties the shared cache and counters (tests).
+func ResetGraphCache() {
+	sharedGraphs.mu.Lock()
+	sharedGraphs.graphs = make(map[graphKey]*FuncGraph)
+	sharedGraphs.mu.Unlock()
+	sharedGraphs.hits.Store(0)
+	sharedGraphs.misses.Store(0)
+}

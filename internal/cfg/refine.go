@@ -3,6 +3,7 @@ package cfg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/isa"
 )
@@ -12,8 +13,17 @@ import (
 // unresolved), record dynamically observed indirect-jump targets, and
 // rebuild the affected function's CFG and post-dominator tree when a new
 // target appears.
+//
+// Graph construction consults the process-lifetime cache (cache.go), so
+// a second analyzer over the same program — a later slice query in the
+// same cyclic-debugging session, or a parallel engine rebuilt after an
+// option change — reuses CFGs and post-dominator trees instead of
+// recomputing them. All methods are safe for concurrent use; the
+// parallel forward pass queries IPDPc from every worker.
 type Analyzer struct {
-	prog   *isa.Program
+	prog *isa.Program
+
+	mu     sync.RWMutex
 	graphs map[int64]*FuncGraph // keyed by function entry pc
 
 	// indirect maps a JMPI/CALLI pc to its observed target set.
@@ -67,6 +77,8 @@ func NewAnalyzerWithTables(prog *isa.Program) *Analyzer {
 // observe records a target without invalidating caches; returns true when
 // the target is new.
 func (a *Analyzer) observe(jmpPC, target int64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	set := a.indirect[jmpPC]
 	if set == nil {
 		set = make(map[int64]bool)
@@ -88,7 +100,9 @@ func (a *Analyzer) ObserveIndirect(jmpPC, target int64) bool {
 		return false
 	}
 	if fn := a.prog.FuncAt(jmpPC); fn != nil {
+		a.mu.Lock()
 		delete(a.graphs, fn.Entry)
+		a.mu.Unlock()
 	}
 	return true
 }
@@ -100,7 +114,16 @@ func (a *Analyzer) Graph(pc int64) (*FuncGraph, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("cfg: pc %d not in any function", pc)
 	}
-	if g, ok := a.graphs[fn.Entry]; ok {
+	a.mu.RLock()
+	g, ok := a.graphs[fn.Entry]
+	a.mu.RUnlock()
+	if ok {
+		return g, nil
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if g, ok := a.graphs[fn.Entry]; ok { // raced with another builder
 		return g, nil
 	}
 	targets := make(map[int64][]int64)
@@ -115,9 +138,15 @@ func (a *Analyzer) Graph(pc int64) (*FuncGraph, error) {
 		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
 		targets[jpc] = ts
 	}
-	g, err := Build(a.prog, *fn, targets)
-	if err != nil {
-		return nil, err
+	key := graphKey{prog: Fingerprint(a.prog), entry: fn.Entry, targets: targetsDigest(targets)}
+	g, ok = sharedGraphs.get(key)
+	if !ok {
+		var err error
+		g, err = Build(a.prog, *fn, targets)
+		if err != nil {
+			return nil, err
+		}
+		sharedGraphs.put(key, g)
 	}
 	a.graphs[fn.Entry] = g
 	a.rebuilds++
@@ -137,10 +166,16 @@ func (a *Analyzer) IPDPc(branchPC int64) (int64, error) {
 
 // Rebuilds returns how many CFG constructions the analyzer has performed
 // (initial builds plus refinements).
-func (a *Analyzer) Rebuilds() int { return a.rebuilds }
+func (a *Analyzer) Rebuilds() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.rebuilds
+}
 
 // TargetsOf returns the observed targets of the indirect jump at pc.
 func (a *Analyzer) TargetsOf(pc int64) []int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	set := a.indirect[pc]
 	ts := make([]int64, 0, len(set))
 	for t := range set {

@@ -28,10 +28,12 @@ type Session struct {
 	Prog    *isa.Program
 	Pinball *pinball.Pinball
 
-	trace  *tracer.Trace
-	slicer *slice.Slicer
-	opts   slice.Options
-	limits vm.Limits
+	trace    *tracer.Trace
+	slicer   *slice.Slicer
+	parallel *slice.ParallelSlicer
+	workers  int
+	opts     slice.Options
+	limits   vm.Limits
 }
 
 // SetLimits bounds every replay the session performs (trace collection,
@@ -83,6 +85,21 @@ func LoadSession(prog *isa.Program, pinballPath string) (*Session, error) {
 func (s *Session) SetSliceOptions(opts slice.Options) {
 	s.opts = opts
 	s.slicer = nil
+	s.parallel = nil
+}
+
+// SetParallelWorkers routes subsequent slice requests through the
+// sharded parallel engine with the given worker count (0 restores the
+// sequential slicer). Slice results are bit-identical either way; only
+// the build cost changes.
+func (s *Session) SetParallelWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n != s.workers {
+		s.workers = n
+		s.parallel = nil
+	}
 }
 
 // Replay deterministically re-executes the session's pinball, with an
@@ -155,6 +172,38 @@ func (s *Session) Slicer() (*slice.Slicer, error) {
 	return sl, nil
 }
 
+// ParallelSlicer returns the session's sharded parallel engine,
+// building it (or fetching it from the process-lifetime engine cache,
+// keyed by the pinball's content identity) on first use.
+func (s *Session) ParallelSlicer() (*slice.ParallelSlicer, error) {
+	if s.parallel != nil {
+		return s.parallel, nil
+	}
+	tr, err := s.Trace()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := slice.CachedParallel(s.Pinball.ID(), s.Prog, tr, s.opts, slice.ParallelOptions{
+		Workers:    s.workers,
+		WindowSize: pinplay.WindowSize(s.Pinball),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.parallel = eng
+	return eng, nil
+}
+
+// Querier returns the engine answering the session's slice requests:
+// the parallel engine when SetParallelWorkers enabled it, the
+// sequential slicer otherwise.
+func (s *Session) Querier() (slice.Querier, error) {
+	if s.workers > 0 {
+		return s.ParallelSlicer()
+	}
+	return s.Slicer()
+}
+
 // SliceAtFailure computes the backward slice of the failure point (the
 // failing thread's last instruction, e.g. the assert).
 func (s *Session) SliceAtFailure() (*slice.Slice, error) {
@@ -174,7 +223,7 @@ func (s *Session) SliceAtFailure() (*slice.Slice, error) {
 
 // SliceFor computes the backward slice for an arbitrary criterion.
 func (s *Session) SliceFor(crit tracer.Ref) (*slice.Slice, error) {
-	sl, err := s.Slicer()
+	sl, err := s.Querier()
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +319,7 @@ func DualSlice(failing, passing *Session, varName string) (*dualslice.Diff, erro
 		if !found {
 			crit = tr.Global[len(tr.Global)-1]
 		}
-		slicer, err := s.Slicer()
+		slicer, err := s.Querier()
 		if err != nil {
 			return nil, nil, err
 		}

@@ -141,3 +141,32 @@ func (d *Diff) WriteText(w io.Writer) {
 		return fmt.Sprintf("fail x%d / pass x%d", s.FailCount, s.PassCount)
 	})
 }
+
+// Equal reports whether two diffs are identical — same statements, same
+// counts, same thread sets, in the same order. The differential tests
+// use it to check that the sequential and parallel slicing engines
+// produce indistinguishable dual-slice results.
+func (d *Diff) Equal(o *Diff) bool {
+	sameStmts := func(a, b []Stmt) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Src != b[i].Src || a[i].FailCount != b[i].FailCount || a[i].PassCount != b[i].PassCount {
+				return false
+			}
+			if len(a[i].Threads) != len(b[i].Threads) {
+				return false
+			}
+			for j := range a[i].Threads {
+				if a[i].Threads[j] != b[i].Threads[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return sameStmts(d.OnlyFailing, o.OnlyFailing) &&
+		sameStmts(d.OnlyPassing, o.OnlyPassing) &&
+		sameStmts(d.Common, o.Common)
+}

@@ -229,3 +229,60 @@ func (p *Pinball) Validate() error {
 	}
 	return nil
 }
+
+// ID returns a stable content digest of the pinball, used as the cache
+// key for process-lifetime slicing artefacts (dependence shards, CFGs,
+// forward-pass metadata): two loads of the same pinball file share one
+// cache entry, and a different recording — even of the same program —
+// gets a different key. The digest folds the structural identity of the
+// capture (program, kind, region accounting, schedule, syscalls, order
+// edges) plus every divergence-checkpoint hash, which pins down the
+// recorded instruction stream itself.
+func (p *Pinball) ID() string {
+	const (
+		offset uint64 = 14695981039346656037
+		prime  uint64 = 1099511628211
+	)
+	h := offset
+	fold := func(v int64) {
+		h = (h ^ uint64(v)) * prime
+	}
+	for _, b := range []byte(p.ProgramName) {
+		fold(int64(b))
+	}
+	for _, b := range []byte(p.Kind) {
+		fold(int64(b))
+	}
+	fold(p.RegionInstrs)
+	fold(p.MainInstrs)
+	fold(p.SkipMain)
+	fold(p.CheckpointEvery)
+	for _, q := range p.Quanta {
+		fold(int64(q.Tid))
+		fold(q.Count)
+	}
+	for _, s := range p.Syscalls {
+		fold(int64(s.Tid))
+		fold(s.Num)
+		fold(s.Arg)
+		fold(s.Ret)
+	}
+	for _, e := range p.OrderEdges {
+		fold(int64(e.FromTid))
+		fold(e.FromIdx)
+		fold(int64(e.ToTid))
+		fold(e.ToIdx)
+	}
+	for _, cp := range p.Checkpoints {
+		fold(int64(cp.Tid))
+		fold(cp.Seq)
+		fold(int64(cp.Hash))
+		fold(cp.PC)
+	}
+	for _, ex := range p.Exclusions {
+		fold(int64(ex.Tid))
+		fold(ex.FromIdx)
+		fold(ex.ToIdx)
+	}
+	return fmt.Sprintf("%016x", h)
+}

@@ -1,0 +1,129 @@
+package slice
+
+import (
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/tracer"
+)
+
+// Process-lifetime engine cache. A cyclic-debugging session replays the
+// same pinball region many times, and every replay yields a bit-identical
+// trace (that is the point of deterministic replay) — so the parallel
+// engine built over one replay, i.e. the forward-pass metadata plus the
+// stitched dependence shards, is reusable for every later slice query on
+// the same recording. The cache keys on the pinball's content identity
+// (pinball.ID) plus a fingerprint of the slicing options, because the
+// options change the forward pass (refinement, jump tables, save/restore
+// candidates) and hence the engine.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func foldCache(h, v uint64) uint64 { return (h ^ v) * fnvPrime }
+
+// optionsFingerprint digests the option fields that shape the engine.
+func optionsFingerprint(opts Options, popts ParallelOptions) uint64 {
+	h := fnvOffset
+	h = foldCache(h, uint64(opts.MaxSave))
+	b := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	h = foldCache(h, b(opts.PruneSaveRestore))
+	h = foldCache(h, b(opts.ControlDeps))
+	h = foldCache(h, b(opts.UseJumpTables))
+	h = foldCache(h, b(opts.DisableRefinement))
+	h = foldCache(h, uint64(opts.LPBlock))
+	h = foldCache(h, uint64(popts.WindowSize))
+	return h
+}
+
+type engineKey struct {
+	pinballID string
+	opts      uint64
+}
+
+// engineCacheMax bounds the cache; a debugging session touches a handful
+// of (recording, options) pairs, so overflow just drops everything.
+const engineCacheMax = 64
+
+type engineCache struct {
+	mu      sync.Mutex
+	engines map[engineKey]*ParallelSlicer
+	hits    int64
+	misses  int64
+}
+
+var sharedEngines = &engineCache{engines: make(map[engineKey]*ParallelSlicer)}
+
+// CachedParallel returns the parallel engine for (pinballID, opts),
+// building and caching it on first use. pinballID must identify the
+// recording's content (pinball.Pinball.ID); callers replaying the same
+// pinball get the already-built engine, paying the forward pass and the
+// shard build once per process. An empty pinballID disables caching (the
+// trace has no durable identity to key on).
+func CachedParallel(pinballID string, prog *isa.Program, tr *tracer.Trace, opts Options, popts ParallelOptions) (*ParallelSlicer, error) {
+	if pinballID == "" {
+		return NewParallel(prog, tr, opts, popts)
+	}
+	key := engineKey{pinballID: pinballID, opts: optionsFingerprint(opts, popts)}
+	sharedEngines.mu.Lock()
+	if eng, ok := sharedEngines.engines[key]; ok {
+		sharedEngines.hits++
+		sharedEngines.mu.Unlock()
+		return eng, nil
+	}
+	sharedEngines.misses++
+	sharedEngines.mu.Unlock()
+
+	eng, err := NewParallel(prog, tr, opts, popts)
+	if err != nil {
+		return nil, err
+	}
+
+	sharedEngines.mu.Lock()
+	if cached, ok := sharedEngines.engines[key]; ok {
+		// Raced with a concurrent builder; keep the first engine so every
+		// caller shares one instance.
+		sharedEngines.mu.Unlock()
+		return cached, nil
+	}
+	if len(sharedEngines.engines) >= engineCacheMax {
+		sharedEngines.engines = make(map[engineKey]*ParallelSlicer)
+	}
+	sharedEngines.engines[key] = eng
+	sharedEngines.mu.Unlock()
+	return eng, nil
+}
+
+// EngineCacheStats reports the engine cache counters.
+type EngineCacheStats struct {
+	Entries int
+	Hits    int64
+	Misses  int64
+}
+
+// GetEngineCacheStats returns the shared engine cache's counters.
+func GetEngineCacheStats() EngineCacheStats {
+	sharedEngines.mu.Lock()
+	defer sharedEngines.mu.Unlock()
+	return EngineCacheStats{
+		Entries: len(sharedEngines.engines),
+		Hits:    sharedEngines.hits,
+		Misses:  sharedEngines.misses,
+	}
+}
+
+// ResetEngineCache empties the shared engine cache and counters (tests).
+func ResetEngineCache() {
+	sharedEngines.mu.Lock()
+	sharedEngines.engines = make(map[engineKey]*ParallelSlicer)
+	sharedEngines.hits = 0
+	sharedEngines.misses = 0
+	sharedEngines.mu.Unlock()
+}

@@ -1,0 +1,270 @@
+package slice
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/isa"
+	"repro/internal/pinplay"
+	"repro/internal/progfuzz"
+	"repro/internal/tracer"
+)
+
+// Property-based closure tests (in the internal package, so they can see
+// the forward-pass metadata and the member set). The defining property
+// of a backward dynamic slice is closure: for every member, the dynamic
+// sources of its used values are in the slice too, except where a
+// verified save/restore pair explicitly bypasses the dependence (§5.2).
+// These properties hold for ANY correct slicer, so they are checked on
+// both engines over a population of generated programs.
+
+// propTrace builds, logs and traces one seeded progfuzz program.
+func propTrace(t *testing.T, seed int64) (*isa.Program, *tracer.Trace, int) {
+	t.Helper()
+	src := progfuzz.Generate(progfuzz.Config{
+		Seed:    seed,
+		Stmts:   5 + int(seed%6),
+		Funcs:   int(seed % 3),
+		Threads: seed%3 == 0,
+	})
+	prog, err := cc.CompileSource(fmt.Sprintf("prop%d.c", seed), src)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v", seed, err)
+	}
+	pb, err := pinplay.Log(prog, pinplay.LogConfig{Seed: seed, MeanQuantum: 4}, pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatalf("seed %d: log: %v", seed, err)
+	}
+	m := pinplay.NewReplayMachine(prog, pb, nil)
+	col := tracer.NewCollector(m)
+	m.SetTracer(col)
+	for i, total := int64(0), pb.TotalQuantumInstrs(); i < total && m.StepOne(); i++ {
+	}
+	tr := col.Trace()
+	if err := tr.BuildGlobal(); err != nil {
+		t.Fatalf("seed %d: global: %v", seed, err)
+	}
+	return prog, tr, pinplay.WindowSize(pb)
+}
+
+// checkDataClosure walks every member's uses backward to their dynamic
+// definition: the definition must be a slice member, or a verified
+// save/restore instruction whose bypass redirects the demand (in which
+// case the redirected location's definition chain is followed), or not
+// exist at all (region-live-in value).
+func checkDataClosure(t *testing.T, label string, tr *tracer.Trace, sl *Slice, opts Options, fwd *forward) {
+	t.Helper()
+	var buf [8]tracer.Loc
+	definesAt := func(g int, l tracer.Loc) bool {
+		e := tr.Entry(tr.Global[g])
+		for _, d := range tracer.Defs(e, buf[:0]) {
+			if d == l {
+				return true
+			}
+		}
+		return false
+	}
+	type dk struct {
+		l tracer.Loc
+		g int
+	}
+	checked := make(map[dk]bool)
+	var walk func(l tracer.Loc, g int)
+	walk = func(l tracer.Loc, g int) {
+		if checked[dk{l, g}] {
+			return
+		}
+		checked[dk{l, g}] = true
+		for d := g - 1; d >= 0; d-- {
+			if !definesAt(d, l) {
+				continue
+			}
+			ref := tr.Global[d]
+			if sl.Contains(ref) {
+				return // closure holds: the source is in the slice
+			}
+			if opts.PruneSaveRestore {
+				if bp, ok := fwd.bypass[ref]; ok {
+					switch {
+					case bp.role == bypassRestore && bp.reg == l:
+						walk(bp.slot, d)
+						return
+					case bp.role == bypassSave && bp.slot == l:
+						walk(bp.reg, d)
+						return
+					}
+				}
+			}
+			t.Fatalf("%s: closure violated: member demand for loc %v resolves to non-member %+v (global %d)",
+				label, l, ref, d)
+		}
+		// No preceding definition: the value is live-in to the region.
+	}
+	for _, m := range sl.Members {
+		g, ok := tr.GlobalPosOf(m)
+		if !ok {
+			t.Fatalf("%s: member %+v outside global trace", label, m)
+		}
+		for _, l := range tracer.Uses(tr.Entry(m), buf[:0]) {
+			walk(l, g)
+		}
+	}
+}
+
+// checkControlClosure: every member's dynamic control parent (when
+// inside the sliced region) is a member.
+func checkControlClosure(t *testing.T, label string, tr *tracer.Trace, sl *Slice, fwd *forward) {
+	t.Helper()
+	critPos, _ := tr.GlobalPosOf(sl.Criterion)
+	for _, m := range sl.Members {
+		if p, ok := fwd.parentOf(m); ok {
+			if pg, ok := tr.GlobalPosOf(p); ok && pg <= critPos && !sl.Contains(p) {
+				t.Fatalf("%s: control parent %+v of member %+v not in slice", label, p, m)
+			}
+		}
+	}
+}
+
+// checkSliceWellFormed: members ascend in global order and end at the
+// criterion; every dependence edge connects members, and data edges name
+// a location their target actually defines.
+func checkSliceWellFormed(t *testing.T, label string, tr *tracer.Trace, sl *Slice) {
+	t.Helper()
+	if len(sl.Members) == 0 {
+		t.Fatalf("%s: empty slice", label)
+	}
+	prev := -1
+	for _, m := range sl.Members {
+		g, ok := tr.GlobalPosOf(m)
+		if !ok {
+			t.Fatalf("%s: member %+v outside trace", label, m)
+		}
+		if g <= prev {
+			t.Fatalf("%s: members not in ascending global order at %+v", label, m)
+		}
+		prev = g
+	}
+	if last := sl.Members[len(sl.Members)-1]; last != sl.Criterion {
+		t.Fatalf("%s: last member %+v is not the criterion %+v", label, last, sl.Criterion)
+	}
+	var buf [8]tracer.Loc
+	for i, d := range sl.Deps {
+		if !sl.Contains(d.From) || !sl.Contains(d.To) {
+			t.Fatalf("%s: dep %d %+v has non-member endpoint", label, i, d)
+		}
+		gf, _ := tr.GlobalPosOf(d.From)
+		gt, _ := tr.GlobalPosOf(d.To)
+		if gt >= gf && d.From != d.To {
+			t.Fatalf("%s: dep %d %+v does not point backward (%d -> %d)", label, i, d, gf, gt)
+		}
+		if d.Kind == DepData {
+			defines := false
+			for _, l := range tracer.Defs(tr.Entry(d.To), buf[:0]) {
+				if l == d.Loc {
+					defines = true
+				}
+			}
+			if !defines {
+				t.Fatalf("%s: data dep %d %+v names loc %v its target does not define", label, i, d, d.Loc)
+			}
+		}
+	}
+}
+
+// TestSliceClosureProperties checks the closure properties on both
+// engines across a population of generated programs and option sets.
+func TestSliceClosureProperties(t *testing.T) {
+	programs := int64(40)
+	if testing.Short() {
+		programs = 10
+	}
+	for seed := int64(1); seed <= programs; seed++ {
+		prog, tr, window := propTrace(t, seed)
+		opts := DefaultOptions()
+		switch seed % 3 {
+		case 1:
+			opts.PruneSaveRestore = false
+		case 2:
+			opts.ControlDeps = false
+		}
+
+		crit, err := LastEventOf(tr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		seqEng, err := New(prog, tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parEng, err := NewParallel(prog, tr, opts, ParallelOptions{Workers: 3, WindowSize: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, eng := range []struct {
+			name string
+			q    Querier
+			fwd  *forward
+		}{
+			{"sequential", seqEng, seqEng.fwd},
+			{"parallel", parEng, parEng.fwd},
+		} {
+			label := fmt.Sprintf("seed %d %s (opts %+v)", seed, eng.name, opts)
+			sl, err := eng.q.Slice(crit)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			checkSliceWellFormed(t, label, tr, sl)
+			checkDataClosure(t, label, tr, sl, opts, eng.fwd)
+			if opts.ControlDeps {
+				checkControlClosure(t, label, tr, sl, eng.fwd)
+			}
+		}
+	}
+}
+
+// TestDefIndexMatchesTrace cross-checks the stitched definition index
+// against a direct trace scan, for several window sizes and worker
+// counts (including windows much smaller and much larger than the
+// trace).
+func TestDefIndexMatchesTrace(t *testing.T) {
+	_, tr, _ := propTrace(t, 9)
+	n := len(tr.Global)
+	var buf [8]tracer.Loc
+
+	// Reference: per-location def positions from one forward scan.
+	want := make(map[tracer.Loc][]int)
+	for g := 0; g < n; g++ {
+		for _, l := range tracer.Defs(tr.Entry(tr.Global[g]), buf[:0]) {
+			want[l] = append(want[l], g)
+		}
+	}
+
+	for _, window := range []int{1, 7, 64, n, 10 * n} {
+		for _, workers := range []int{1, 4} {
+			idx := tracer.BuildDefIndex(tr, tracer.SplitWindows(n, window), workers)
+			for l, ps := range want {
+				// NearestDefBefore at each def position must return the
+				// previous def; past-the-end returns the last.
+				for i, p := range ps {
+					got, ok := idx.NearestDefBefore(l, p)
+					if i == 0 {
+						if ok {
+							t.Fatalf("window %d: loc %v has no def before %d, index returned %d", window, l, p, got)
+						}
+					} else if !ok || got != ps[i-1] {
+						t.Fatalf("window %d: loc %v nearest def before %d = %d, want %d", window, l, p, got, ps[i-1])
+					}
+				}
+				if got, ok := idx.NearestDefBefore(l, n); !ok || got != ps[len(ps)-1] {
+					t.Fatalf("window %d: loc %v last def = %d,%v want %d", window, l, got, ok, ps[len(ps)-1])
+				}
+			}
+			if idx.Locations() != len(want) {
+				t.Fatalf("window %d: index covers %d locations, want %d", window, idx.Locations(), len(want))
+			}
+		}
+	}
+}

@@ -81,14 +81,7 @@ func runForward(prog *isa.Program, tr *tracer.Trace, an *cfg.Analyzer, cand *srC
 	var refs int64
 	if refine {
 		for _, local := range tr.Locals {
-			for i := range local {
-				e := &local[i]
-				if e.Instr.Op == isa.JMPI && e.NextPC >= 0 {
-					if an.ObserveIndirect(e.PC, e.NextPC) {
-						refs++
-					}
-				}
-			}
+			refs += observeIndirects(an, local)
 		}
 	}
 
@@ -99,101 +92,144 @@ func runForward(prog *isa.Program, tr *tracer.Trace, an *cfg.Analyzer, cand *srC
 	}
 
 	for tid, local := range tr.Locals {
-		parents := make([]tracer.Ref, len(local))
-		var stack []cdEntry
-		var saves []frameSave
-		var nextFrameID int64 = 1
-		var frameIDs = []int64{0} // current frame id stack (root = 0)
+		res, err := forwardThread(tr, an, cand, tid, local)
+		if err != nil {
+			return nil, err
+		}
+		f.parent[tid] = res.parents
+		for ref, bp := range res.bypass {
+			f.bypass[ref] = bp
+		}
+		f.pairs += res.pairs
+	}
+	return f, nil
+}
 
-		spawnParent := noParent
-		if sp, ok := tr.SpawnEvent[tid]; ok {
-			spawnParent = sp
+// observeIndirects feeds one thread's dynamically taken indirect-jump
+// targets into the analyzer, returning how many were new.
+func observeIndirects(an *cfg.Analyzer, local []tracer.Entry) int64 {
+	var refs int64
+	for i := range local {
+		e := &local[i]
+		if e.Instr.Op == isa.JMPI && e.NextPC >= 0 {
+			if an.ObserveIndirect(e.PC, e.NextPC) {
+				refs++
+			}
+		}
+	}
+	return refs
+}
+
+// threadForward is one thread's forward-pass result.
+type threadForward struct {
+	parents []tracer.Ref
+	bypass  map[tracer.Ref]bypassInfo
+	pairs   int64
+}
+
+// forwardThread runs the Xin-Zhang control-dependence stack and the
+// save/restore verifier over one thread's local trace. Threads are
+// independent — the parallel engine runs one forwardThread per worker —
+// and the analyzer must already hold every indirect target (phase 1)
+// so the refined CFGs are complete when post-dominators are queried.
+func forwardThread(tr *tracer.Trace, an *cfg.Analyzer, cand *srCandidates, tid int, local []tracer.Entry) (threadForward, error) {
+	res := threadForward{
+		parents: make([]tracer.Ref, len(local)),
+		bypass:  make(map[tracer.Ref]bypassInfo),
+	}
+	parents := res.parents
+	var stack []cdEntry
+	var saves []frameSave
+	var nextFrameID int64 = 1
+	var frameIDs = []int64{0} // current frame id stack (root = 0)
+
+	spawnParent := noParent
+	if sp, ok := tr.SpawnEvent[tid]; ok {
+		spawnParent = sp
+	}
+
+	for pos := range local {
+		e := &local[pos]
+		here := tracer.Ref{Tid: int32(tid), Pos: int32(pos)}
+		pc := e.PC
+
+		// Close branch regions whose immediate post-dominator has
+		// been reached (same frame only).
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if !top.isFrame && top.ipdPC == pc && top.frameID == frameIDs[len(frameIDs)-1] {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			break
 		}
 
-		for pos := range local {
-			e := &local[pos]
-			here := tracer.Ref{Tid: int32(tid), Pos: int32(pos)}
-			pc := e.PC
+		// Control parent.
+		if len(stack) > 0 {
+			parents[pos] = stack[len(stack)-1].ref
+		} else {
+			parents[pos] = spawnParent
+		}
 
-			// Close branch regions whose immediate post-dominator has
-			// been reached (same frame only).
+		switch {
+		case e.Instr.Op == isa.CALL || e.Instr.Op == isa.CALLI:
+			stack = append(stack, cdEntry{isFrame: true, ref: here, frameID: frameIDs[len(frameIDs)-1]})
+			frameIDs = append(frameIDs, nextFrameID)
+			nextFrameID++
+
+		case e.Instr.Op == isa.RET:
+			// Pop everything belonging to the returning frame,
+			// including the frame marker itself.
 			for len(stack) > 0 {
-				top := &stack[len(stack)-1]
-				if !top.isFrame && top.ipdPC == pc && top.frameID == frameIDs[len(frameIDs)-1] {
-					stack = stack[:len(stack)-1]
-					continue
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if top.isFrame {
+					break
 				}
-				break
+			}
+			// Discard unmatched saves of the dead frame.
+			fid := frameIDs[len(frameIDs)-1]
+			for len(saves) > 0 && saves[len(saves)-1].frameID == fid {
+				saves = saves[:len(saves)-1]
+			}
+			if len(frameIDs) > 1 {
+				frameIDs = frameIDs[:len(frameIDs)-1]
 			}
 
-			// Control parent.
-			if len(stack) > 0 {
-				parents[pos] = stack[len(stack)-1].ref
-			} else {
-				parents[pos] = spawnParent
+		case e.Instr.IsBranch():
+			ipd, err := an.IPDPc(pc)
+			if err != nil {
+				return res, fmt.Errorf("slice: control deps at pc %d: %w", pc, err)
 			}
+			stack = append(stack, cdEntry{ref: here, ipdPC: ipd, frameID: frameIDs[len(frameIDs)-1]})
+		}
 
-			switch {
-			case e.Instr.Op == isa.CALL || e.Instr.Op == isa.CALLI:
-				stack = append(stack, cdEntry{isFrame: true, ref: here, frameID: frameIDs[len(frameIDs)-1]})
-				frameIDs = append(frameIDs, nextFrameID)
-				nextFrameID++
-
-			case e.Instr.Op == isa.RET:
-				// Pop everything belonging to the returning frame,
-				// including the frame marker itself.
-				for len(stack) > 0 {
-					top := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					if top.isFrame {
+		// Save/restore verification.
+		if cand != nil {
+			fid := frameIDs[len(frameIDs)-1]
+			if e.Instr.Op == isa.PUSH && cand.saves[pc] {
+				saves = append(saves, frameSave{
+					frameID: fid, reg: e.Instr.Rs1, addr: e.EffAddr, val: e.MemVal, ref: here,
+				})
+			} else if e.Instr.Op == isa.POP && cand.restores[pc] {
+				// Match the most recent save of the same frame with
+				// the same register, slot and value.
+				for i := len(saves) - 1; i >= 0 && saves[i].frameID == fid; i-- {
+					s := saves[i]
+					if s.reg == e.Instr.Rd && s.addr == e.EffAddr && s.val == e.MemVal {
+						reg := tracer.RegLoc(tid, s.reg)
+						slot := tracer.MemLoc(s.addr)
+						res.bypass[s.ref] = bypassInfo{role: bypassSave, reg: reg, slot: slot}
+						res.bypass[here] = bypassInfo{role: bypassRestore, reg: reg, slot: slot}
+						res.pairs++
+						saves = append(saves[:i], saves[i+1:]...)
 						break
 					}
 				}
-				// Discard unmatched saves of the dead frame.
-				fid := frameIDs[len(frameIDs)-1]
-				for len(saves) > 0 && saves[len(saves)-1].frameID == fid {
-					saves = saves[:len(saves)-1]
-				}
-				if len(frameIDs) > 1 {
-					frameIDs = frameIDs[:len(frameIDs)-1]
-				}
-
-			case e.Instr.IsBranch():
-				ipd, err := an.IPDPc(pc)
-				if err != nil {
-					return nil, fmt.Errorf("slice: control deps at pc %d: %w", pc, err)
-				}
-				stack = append(stack, cdEntry{ref: here, ipdPC: ipd, frameID: frameIDs[len(frameIDs)-1]})
-			}
-
-			// Save/restore verification.
-			if cand != nil {
-				fid := frameIDs[len(frameIDs)-1]
-				if e.Instr.Op == isa.PUSH && cand.saves[pc] {
-					saves = append(saves, frameSave{
-						frameID: fid, reg: e.Instr.Rs1, addr: e.EffAddr, val: e.MemVal, ref: here,
-					})
-				} else if e.Instr.Op == isa.POP && cand.restores[pc] {
-					// Match the most recent save of the same frame with
-					// the same register, slot and value.
-					for i := len(saves) - 1; i >= 0 && saves[i].frameID == fid; i-- {
-						s := saves[i]
-						if s.reg == e.Instr.Rd && s.addr == e.EffAddr && s.val == e.MemVal {
-							reg := tracer.RegLoc(tid, s.reg)
-							slot := tracer.MemLoc(s.addr)
-							f.bypass[s.ref] = bypassInfo{role: bypassSave, reg: reg, slot: slot}
-							f.bypass[here] = bypassInfo{role: bypassRestore, reg: reg, slot: slot}
-							f.pairs++
-							saves = append(saves[:i], saves[i+1:]...)
-							break
-						}
-					}
-				}
 			}
 		}
-		f.parent[tid] = parents
 	}
-	return f, nil
+	return res, nil
 }
 
 // parentOf returns the control parent of ref, or ok=false.

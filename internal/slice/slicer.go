@@ -3,6 +3,7 @@ package slice
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cfg"
 	"repro/internal/isa"
@@ -86,11 +87,22 @@ type Slice struct {
 	Deps  []DepEdge
 	Stats Stats
 
-	memberSet map[tracer.Ref]struct{}
+	memberSet     map[tracer.Ref]struct{}
+	memberSetOnce sync.Once
 }
 
-// Contains reports whether ref is in the slice.
+// Contains reports whether ref is in the slice. The membership map is
+// built on first use when the producer did not fill it (the parallel
+// engine leaves it to the consumer, keeping the query loop map-free).
 func (s *Slice) Contains(r tracer.Ref) bool {
+	s.memberSetOnce.Do(func() {
+		if s.memberSet == nil {
+			s.memberSet = make(map[tracer.Ref]struct{}, len(s.Members))
+			for _, m := range s.Members {
+				s.memberSet[m] = struct{}{}
+			}
+		}
+	})
 	_, ok := s.memberSet[r]
 	return ok
 }

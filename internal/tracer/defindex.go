@@ -1,0 +1,254 @@
+package tracer
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/vm"
+)
+
+// Window is one contiguous global-trace range [Lo, Hi). The parallel
+// slicing engine shards the trace into windows (bounded by the pinball's
+// checkpoint cadence, see pinplay.TraceWindows) and computes each
+// window's dependence shard on its own worker.
+type Window struct {
+	Lo, Hi int
+}
+
+// Len returns the number of trace entries in the window.
+func (w Window) Len() int { return w.Hi - w.Lo }
+
+// SplitWindows cuts a trace of n entries into windows of the given size
+// (the last window may be shorter). size <= 0 falls back to
+// DefaultLPBlock. n == 0 yields no windows.
+func SplitWindows(n, size int) []Window {
+	if size <= 0 {
+		size = DefaultLPBlock
+	}
+	out := make([]Window, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Window{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// defShard is one window's contribution to the definition index: for
+// every location defined in the window, the ascending global positions
+// of its definitions, plus the window's location-space extents (used to
+// size the dense lookup tables).
+type defShard struct {
+	defs     map[Loc][]int32
+	maxLow   int64 // highest accessed address below vm.StackBase, -1 if none
+	maxStack int64 // highest accessed address - vm.StackBase, -1 if none
+	maxTid   int32 // highest thread id seen, -1 if none
+}
+
+// buildShard scans one window of the global trace. Positions within a
+// window are visited in ascending order, so each per-location list is
+// already sorted.
+func buildShard(t *Trace, w Window) defShard {
+	sh := defShard{defs: make(map[Loc][]int32, 64), maxLow: -1, maxStack: -1, maxTid: -1}
+	var buf [8]Loc
+	for g := w.Lo; g < w.Hi; g++ {
+		e := t.Entry(t.Global[g])
+		for _, l := range Defs(e, buf[:0]) {
+			sh.defs[l] = append(sh.defs[l], int32(g))
+		}
+		if e.Tid > int(sh.maxTid) {
+			sh.maxTid = int32(e.Tid)
+		}
+		if a := e.EffAddr; a >= 0 {
+			if a >= vm.StackBase {
+				if s := a - vm.StackBase; s > sh.maxStack {
+					sh.maxStack = s
+				}
+			} else if a > sh.maxLow {
+				sh.maxLow = a
+			}
+		}
+	}
+	return sh
+}
+
+// LocSpace describes the compact regions of the dependence-location
+// space observed in a trace — globals+heap (below vm.StackBase), the
+// stack area, and per-thread registers — so tables over locations can be
+// direct-indexed instead of hashed. Index maps a location into
+// [0, Total()); locations outside the observed regions (only possible
+// for untouched addresses) report false and must use a map fallback.
+type LocSpace struct {
+	MemSpan   int64 // low addresses [0, MemSpan)
+	StackLo   int64 // base of the stack region (vm.StackBase)
+	StackSpan int64 // stack addresses [StackLo, StackLo+StackSpan)
+	RegSpan   int64 // register ids (tid<<8|reg) in [0, RegSpan)
+}
+
+// Total returns the dense table size the space requires.
+func (ls LocSpace) Total() int64 { return ls.MemSpan + ls.StackSpan + ls.RegSpan }
+
+// Index returns l's dense table index, or false when l lies outside the
+// space's regions.
+func (ls LocSpace) Index(l Loc) (int, bool) {
+	if l&regLocBase != 0 {
+		if r := int64(l &^ regLocBase); r < ls.RegSpan {
+			return int(ls.MemSpan + ls.StackSpan + r), true
+		}
+		return 0, false
+	}
+	a := int64(l)
+	if a < 0 {
+		return 0, false
+	}
+	if a >= ls.StackLo {
+		if s := a - ls.StackLo; s < ls.StackSpan {
+			return int(ls.MemSpan + s), true
+		}
+		return 0, false
+	}
+	if a < ls.MemSpan {
+		return int(a), true
+	}
+	return 0, false
+}
+
+// DefIndex maps every dependence location to the ascending global
+// positions of its dynamic definitions. It is the stitched form of the
+// per-window dependence shards: a demand "who last defined location l
+// before position g" resolves with one binary search instead of a
+// backward trace walk. The index depends only on the trace, never on a
+// slicing criterion, so one build serves every slice query over the
+// region — the cacheable artefact of the parallel engine.
+type DefIndex struct {
+	defs map[Loc][]int32
+	// space and dense form a direct-indexed view of defs over the
+	// trace's compact location regions. They turn the hot per-demand
+	// lookup into an array index instead of a large-map probe; defs
+	// remains the authoritative fallback for out-of-space locations.
+	space LocSpace
+	dense [][]int32
+	// Shards records how many windows the build used, for stats.
+	Shards int
+}
+
+// denseCap bounds each dense region: location ranges wider than this
+// stay on the map fallback rather than allocating huge tables.
+const denseCap = 1 << 21
+
+// buildDense sizes the location space from the shard extents and
+// populates the direct-indexed view (it shares the map's position
+// slices, so this costs only the table headers).
+func (idx *DefIndex) buildDense(maxLow, maxStack int64, maxTid int32) {
+	ls := LocSpace{StackLo: vm.StackBase}
+	if maxLow >= 0 && maxLow < denseCap {
+		ls.MemSpan = maxLow + 1
+	}
+	if maxStack >= 0 && maxStack < denseCap {
+		ls.StackSpan = maxStack + 1
+	}
+	ls.RegSpan = (int64(maxTid) + 1) << 8
+	idx.space = ls
+	idx.dense = make([][]int32, ls.Total())
+	for l, ps := range idx.defs {
+		if i, ok := ls.Index(l); ok {
+			idx.dense[i] = ps
+		}
+	}
+}
+
+// Space returns the trace's dense location space, shared with callers
+// that want direct-indexed tables of their own (the parallel engine's
+// per-query demand set).
+func (idx *DefIndex) Space() LocSpace { return idx.space }
+
+// positionsOf returns loc's ascending definition positions.
+func (idx *DefIndex) positionsOf(l Loc) []int32 {
+	if i, ok := idx.space.Index(l); ok {
+		return idx.dense[i]
+	}
+	return idx.defs[l]
+}
+
+// BuildDefIndex computes the per-window shards on up to workers
+// concurrent goroutines and merges them. The merge concatenates each
+// location's per-window lists in window order, so the result is
+// identical regardless of worker count or completion order. BuildGlobal
+// must have run.
+func BuildDefIndex(t *Trace, windows []Window, workers int) *DefIndex {
+	if workers < 1 {
+		workers = 1
+	}
+	shards := make([]defShard, len(windows))
+	if workers == 1 || len(windows) <= 1 {
+		for i, w := range windows {
+			shards[i] = buildShard(t, w)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int, len(windows))
+		for i := range windows {
+			next <- i
+		}
+		close(next)
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					shards[i] = buildShard(t, windows[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic stitch: window order is position order, and each
+	// shard's lists are internally sorted, so concatenation yields
+	// globally sorted position lists.
+	idx := &DefIndex{defs: make(map[Loc][]int32, 256), Shards: len(windows)}
+	var maxLow, maxStack int64 = -1, -1
+	maxTid := int32(-1)
+	for i := range shards {
+		for l, ps := range shards[i].defs {
+			idx.defs[l] = append(idx.defs[l], ps...)
+		}
+		if shards[i].maxLow > maxLow {
+			maxLow = shards[i].maxLow
+		}
+		if shards[i].maxStack > maxStack {
+			maxStack = shards[i].maxStack
+		}
+		if shards[i].maxTid > maxTid {
+			maxTid = shards[i].maxTid
+		}
+	}
+	idx.buildDense(maxLow, maxStack, maxTid)
+	return idx
+}
+
+// NearestDefBefore returns the greatest global position p < g at which
+// loc is defined, or ok=false when no definition precedes g.
+func (idx *DefIndex) NearestDefBefore(l Loc, g int) (int, bool) {
+	ps := idx.positionsOf(l)
+	// First index with ps[i] >= g; the definition before g is i-1.
+	i := sort.Search(len(ps), func(i int) bool { return int(ps[i]) >= g })
+	if i == 0 {
+		return 0, false
+	}
+	return int(ps[i-1]), true
+}
+
+// DefCount returns the total number of indexed definitions, for stats.
+func (idx *DefIndex) DefCount() int64 {
+	var n int64
+	for _, ps := range idx.defs {
+		n += int64(len(ps))
+	}
+	return n
+}
+
+// Locations returns how many distinct locations the index covers.
+func (idx *DefIndex) Locations() int { return len(idx.defs) }
