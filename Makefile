@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench
+.PHONY: all build vet test race verify bench chaos bench-durability
 
 all: verify
 
@@ -24,3 +24,13 @@ verify: build vet test race
 # Regenerate BENCH_slice.json (parallel slicing engine benchmark).
 bench:
 	$(GO) run ./cmd/drbench -experiment slicebench -workers 4
+
+# Crash-injection suite under the race detector: torn files at every
+# section boundary, injected tracer panics, stalled replays, persistent
+# divergence — every fault must end in recovery or a typed error.
+chaos:
+	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/supervisor/...
+
+# Regenerate BENCH_durability.json (crash-safe write overhead).
+bench-durability:
+	$(GO) run ./cmd/drbench -experiment durbench

@@ -7,6 +7,7 @@
 //	drbench -experiment table2
 //	drbench -experiment fig11 -scale 10     # 10x longer regions
 //	drbench -experiment slicebench -workers 8 -json BENCH_slice.json
+//	drbench -experiment durbench               # durability write overhead
 package main
 
 import (
@@ -21,13 +22,14 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: table1, table2, table3, fig11, fig12, fig13, fig14, slicing, slicebench, ablation, all")
+			"one of: table1, table2, table3, fig11, fig12, fig13, fig14, slicing, slicebench, durbench, ablation, all")
 		scale    = flag.Int64("scale", 1, "multiply all region lengths by this factor")
 		threads  = flag.Int64("threads", 4, "worker thread count")
 		slices   = flag.Int("slices", 10, "slicing criteria per region")
 		seed     = flag.Int64("seed", 1, "scheduling seed")
 		workers  = flag.Int("workers", 0, "parallel slicing workers for slicebench (0 = GOMAXPROCS)")
-		jsonPath = flag.String("json", "BENCH_slice.json", "where slicebench writes its JSON report")
+		jsonPath = flag.String("json", "",
+			"where slicebench/durbench write their JSON report (default BENCH_slice.json / BENCH_durability.json)")
 	)
 	flag.Parse()
 
@@ -69,12 +71,29 @@ func run(experiment string, cfg bench.Config, workers int, jsonPath string) erro
 			if err != nil {
 				return err
 			}
-			if jsonPath != "" {
-				if err := bench.WriteSliceBenchJSON(report, jsonPath); err != nil {
-					return err
-				}
-				fmt.Printf("JSON report written to %s\n", jsonPath)
+			path := jsonPath
+			if path == "" {
+				path = "BENCH_slice.json"
 			}
+			if err := bench.WriteSliceBenchJSON(report, path); err != nil {
+				return err
+			}
+			fmt.Printf("JSON report written to %s\n", path)
+			return nil
+		}},
+		{"durbench", func(c bench.Config) error {
+			report, err := bench.DurBench(c)
+			if err != nil {
+				return err
+			}
+			path := jsonPath
+			if path == "" {
+				path = "BENCH_durability.json"
+			}
+			if err := bench.WriteDurBenchJSON(report, path); err != nil {
+				return err
+			}
+			fmt.Printf("JSON report written to %s\n", path)
 			return nil
 		}},
 		{"ablation", wrap(func(c bench.Config) (any, error) { return bench.Ablation(c) })},

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	drdebug -file bug.c [-seed 7] [-input 4,100]
-//	drdebug -workload pbzip2 -input 3,40 -pinball bug.pinball
+//	drdebug -workload pbzip2 -input 3,40 -pinball bug.pinball [-salvage]
+//
+// Exit codes: 0 success, 1 usage/tool error, 2 the pinball file failed
+// to load (or salvage), 3 a replay of the pinball failed, 4 the session
+// ran but on a salvaged (partial) pinball.
 package main
 
 import (
@@ -27,16 +31,16 @@ func main() {
 		input    = flag.String("input", "", "program input words, comma separated")
 		pinballP = flag.String("pinball", "", "open an existing pinball and start in replay mode")
 		script   = flag.String("x", "", "execute debugger commands from this file, then exit")
+		salvage  = flag.Bool("salvage", false, "salvage a damaged pinball file instead of rejecting it")
 	)
 	flag.Parse()
 
-	if err := run(*file, *workload, *seed, *quantum, *input, *pinballP, *script); err != nil {
-		fmt.Fprintln(os.Stderr, "drdebug:", err)
-		os.Exit(1)
+	if err := run(*file, *workload, *seed, *quantum, *input, *pinballP, *script, *salvage); err != nil {
+		os.Exit(cli.Fail("drdebug", err))
 	}
 }
 
-func run(file, workload string, seed, quantum int64, input, pinballPath, script string) error {
+func run(file, workload string, seed, quantum int64, input, pinballPath, script string, salvage bool) error {
 	prog, _, err := cli.LoadProgram(file, workload)
 	if err != nil {
 		return err
@@ -48,9 +52,21 @@ func run(file, workload string, seed, quantum int64, input, pinballPath, script 
 	d := drdebug.NewDebugger(prog, drdebug.LogConfig{
 		Seed: seed, MeanQuantum: quantum, Input: in, RandSeed: seed,
 	})
+	salvaged := false
 	if pinballPath != "" {
-		sess, err := drdebug.LoadSession(prog, pinballPath)
-		if err != nil {
+		var sess *drdebug.Session
+		if salvage {
+			var rep *drdebug.SalvageReport
+			sess, rep, err = drdebug.LoadSessionSalvage(prog, pinballPath)
+			if err != nil {
+				return err
+			}
+			if rep != nil {
+				salvaged = true
+				fmt.Fprintf(os.Stderr, "drdebug: pinball was damaged; salvaged %d of %d instructions\n",
+					rep.SalvagedInstrs, rep.OriginalInstrs)
+			}
+		} else if sess, err = drdebug.LoadSession(prog, pinballPath); err != nil {
 			return err
 		}
 		d.UseSession(sess)
@@ -69,15 +85,27 @@ func run(file, workload string, seed, quantum int64, input, pinballPath, script 
 				continue
 			}
 			if cmd == "quit" || cmd == "q" {
-				return nil
+				return degradedOK(salvaged)
 			}
 			fmt.Printf("(drdebug) %s\n", cmd)
 			if err := d.Execute(cmd, os.Stdout); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
 		}
-		return nil
+		return degradedOK(salvaged)
 	}
 	fmt.Printf("DrDebug on %s — type help for commands\n", prog.Name)
-	return d.Run(os.Stdin, os.Stdout)
+	if err := d.Run(os.Stdin, os.Stdout); err != nil {
+		return err
+	}
+	return degradedOK(salvaged)
+}
+
+// degradedOK turns a successful run on a salvaged pinball into the
+// degraded-mode exit (code 4) so scripts can tell partial results apart.
+func degradedOK(salvaged bool) error {
+	if salvaged {
+		return fmt.Errorf("session ran on a salvaged pinball: %w", cli.ErrDegraded)
+	}
+	return nil
 }

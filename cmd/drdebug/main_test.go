@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/cmd/internal/cli"
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+
+	drdebug "repro"
+)
+
+const debugSrc = `
+int counter;
+int mtx;
+int worker(int id) {
+	int i;
+	for (i = 0; i < 20; i++) {
+		lock(&mtx);
+		counter = counter + read();
+		unlock(&mtx);
+	}
+	return 0;
+}
+int main() {
+	int t = spawn(worker, 1);
+	worker(0);
+	join(t);
+	write(counter);
+	return 0;
+}`
+
+// TestExitCodes drives run() through the loadable-pinball failure
+// classes the debugger distinguishes for scripts (gdb -x style).
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "debug.c")
+	if err := os.WriteFile(src, []byte(debugSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := drdebug.CompileFile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	input := make([]int64, 64)
+	for i := range input {
+		input[i] = int64(i + 1)
+	}
+	cfg := pinplay.LogConfig{
+		Seed: 5, MeanQuantum: 17, Input: input, CheckpointEvery: 8,
+		JournalPath: filepath.Join(dir, "debug.journal"), JournalEvery: 64, JournalNoSync: true,
+	}
+	pb, err := pinplay.Log(prog, cfg, pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatalf("log: %v", err)
+	}
+	intact := filepath.Join(dir, "intact.pinball")
+	if err := pb.Save(intact); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(intact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halved := filepath.Join(dir, "halved.pinball")
+	if err := os.WriteFile(halved, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// 40 bytes ends inside the meta frame: nothing critical survives.
+	stub := filepath.Join(dir, "stub.pinball")
+	if err := os.WriteFile(stub, data[:40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jdata, err := os.ReadFile(cfg.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := pinball.SectionOffsets(jdata)
+	if err != nil || len(secs) < 3 {
+		t.Fatalf("journal sections: %d, %v", len(secs), err)
+	}
+	torn := filepath.Join(dir, "torn.journal")
+	if err := os.WriteFile(torn, jdata[:secs[len(secs)-1].Off], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(dir, "quit.drdebug")
+	if err := os.WriteFile(script, []byte("quit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		file    string
+		pinball string
+		salvage bool
+		want    int
+	}{
+		{name: "intact", file: src, pinball: intact, want: 0},
+		{name: "no-program", file: "", pinball: "", want: cli.ExitUsage},
+		{name: "corrupt-rejected", file: src, pinball: halved, want: cli.ExitBadPinball},
+		{name: "torn-journal-rejected", file: src, pinball: torn, want: cli.ExitBadPinball},
+		{name: "corrupt-unsalvageable", file: src, pinball: stub, salvage: true, want: cli.ExitBadPinball},
+		{name: "salvaged-framed-degraded", file: src, pinball: halved, salvage: true, want: cli.ExitDegraded},
+		{name: "salvaged-journal-degraded", file: src, pinball: torn, salvage: true, want: cli.ExitDegraded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.file, "", 1, 1000, "", tc.pinball, script, tc.salvage)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Fatalf("exit code = %d (err: %v), want %d", got, err, tc.want)
+			}
+		})
+	}
+}

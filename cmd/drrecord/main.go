@@ -36,18 +36,20 @@ func main() {
 		untilF   = flag.Bool("until-failure", false, "search seeds until the program fails, then capture")
 		maxSeed  = flag.Int64("maxseed", 100, "seed search bound for -until-failure")
 		ckEvery  = flag.Int64("checkpoint-every", 0, "divergence-checkpoint cadence in per-thread instructions (0 = default, negative = disable)")
+		journal  = flag.String("journal", "", "also journal the recording to this path while it runs (crash-safe: a crash leaves a salvageable file for drrepair)")
+		jEvery   = flag.Int64("journal-every", 0, "journal flush cadence in region instructions (0 = default; smaller = finer crash granularity, more fsyncs)")
 		out      = flag.String("o", "out.pinball", "output pinball path")
 	)
 	flag.Parse()
 
 	if err := run(*file, *workload, *seed, *quantum, *input, *skip, *length,
-		*fromLoc, *toLoc, *fromNth, *toNth, *untilF, *maxSeed, *ckEvery, *out); err != nil {
+		*fromLoc, *toLoc, *fromNth, *toNth, *untilF, *maxSeed, *ckEvery, *journal, *jEvery, *out); err != nil {
 		os.Exit(cli.Fail("drrecord", err))
 	}
 }
 
 func run(file, workload string, seed, quantum int64, input string, skip, length int64,
-	fromLoc, toLoc string, fromNth, toNth int64, untilFailure bool, maxSeed, ckEvery int64, out string) error {
+	fromLoc, toLoc string, fromNth, toNth int64, untilFailure bool, maxSeed, ckEvery int64, journal string, jEvery int64, out string) error {
 	prog, _, err := cli.LoadProgram(file, workload)
 	if err != nil {
 		return err
@@ -57,7 +59,7 @@ func run(file, workload string, seed, quantum int64, input string, skip, length 
 		return err
 	}
 	cfg := drdebug.LogConfig{Seed: seed, MeanQuantum: quantum, Input: in, RandSeed: seed,
-		CheckpointEvery: ckEvery}
+		CheckpointEvery: ckEvery, JournalPath: journal, JournalEvery: jEvery}
 
 	var sess *drdebug.Session
 	if fromLoc != "" {

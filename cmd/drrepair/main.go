@@ -1,0 +1,75 @@
+// Command drrepair salvages damaged pinball files: it keeps the longest
+// checksum-valid prefix of sections, truncates an interrupted recording
+// journal to its last intact divergence checkpoint, and writes the
+// recovered pinball back out as a clean framed file.
+//
+// Usage:
+//
+//	drrepair -pinball damaged.pinball [-out repaired.pinball] [-json] [-dry-run]
+//
+// Without -out the repaired pinball is written next to the input as
+// <input>.repaired. An intact input is reported as such and nothing is
+// written. -dry-run diagnoses without writing.
+//
+// Exit codes: 0 the file is intact or was repaired, 1 usage error,
+// 2 the file is unsalvageable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	drdebug "repro"
+	"repro/cmd/internal/cli"
+)
+
+func main() {
+	var (
+		pinballP = flag.String("pinball", "", "damaged pinball file (required)")
+		out      = flag.String("out", "", "where to write the repaired pinball (default <input>.repaired)")
+		jsonOut  = flag.Bool("json", false, "print the salvage report as JSON on stdout")
+		dryRun   = flag.Bool("dry-run", false, "diagnose only, write nothing")
+	)
+	flag.Parse()
+	if err := run(*pinballP, *out, *jsonOut, *dryRun); err != nil {
+		os.Exit(cli.Fail("drrepair", err))
+	}
+}
+
+func run(path, out string, jsonOut, dryRun bool) error {
+	if path == "" {
+		return fmt.Errorf("need -pinball <file>")
+	}
+	pb, rep, err := drdebug.SalvagePinball(path)
+	if rep != nil && jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if jerr := enc.Encode(rep); jerr != nil {
+			return jerr
+		}
+	}
+	if err != nil {
+		if !jsonOut && rep != nil {
+			fmt.Fprintln(os.Stderr, rep.Summary())
+		}
+		return err
+	}
+	if !jsonOut {
+		fmt.Println(rep.Summary())
+	}
+	if rep.Intact || dryRun {
+		return nil
+	}
+	if out == "" {
+		out = path + ".repaired"
+	}
+	if err := pb.Save(out); err != nil {
+		return err
+	}
+	if !jsonOut {
+		fmt.Printf("repaired pinball written to %s\n", out)
+	}
+	return nil
+}

@@ -5,14 +5,24 @@
 // Usage:
 //
 //	drreplay -file bug.c -pinball bug.pinball [-check] [-budget N]
-//	         [-deadline 2s] [-degraded] [-no-verify]
+//	         [-deadline 2s] [-degraded] [-no-verify] [-salvage]
+//	         [-retries N] [-watchdog 30s] [-report out.json]
+//
+// The replay runs under the self-healing supervisor: panics are
+// isolated, -retries enables retry-with-backoff, -watchdog bounds a hung
+// replay, and a replay that keeps diverging is recovered at its last
+// good divergence checkpoint. -salvage additionally repairs a damaged
+// pinball file before replaying it.
 //
 // Exit codes: 0 success, 1 usage/tool error, 2 the pinball file failed
-// to load, 3 the pinball loaded but its replay failed (the first
-// divergent window is printed to stderr).
+// to load (or salvage), 3 the pinball loaded but its replay failed (the
+// first divergent window is printed to stderr), 4 the replay completed
+// only in degraded mode (salvaged pinball or checkpoint-anchored
+// recovery), 5 the replay panicked, 6 the watchdog fired.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +43,10 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "wall-clock limit for the replay (0 = unbounded)")
 		degraded = flag.Bool("degraded", false, "log checkpoint divergences and continue instead of aborting")
 		noVerify = flag.Bool("no-verify", false, "skip divergence-checkpoint validation")
+		salvage  = flag.Bool("salvage", false, "salvage a damaged pinball file instead of rejecting it")
+		retries  = flag.Int("retries", 1, "attempts per supervised phase (1 = no retry)")
+		watchdog = flag.Duration("watchdog", 0, "abort a hung replay after this long (0 = no watchdog)")
+		report   = flag.String("report", "", "write the supervisor's JSON report to this file")
 	)
 	flag.Parse()
 
@@ -41,12 +55,14 @@ func main() {
 		NoVerify: *noVerify,
 		Limits:   cli.Limits(*budget, *deadline),
 	}
-	if err := run(*file, *workload, *pinballP, *check, *stats, opts); err != nil {
+	sup := drdebug.SupervisorOptions{MaxAttempts: *retries, Watchdog: *watchdog}
+	if err := run(*file, *workload, *pinballP, *check, *stats, *salvage, *report, sup, opts); err != nil {
 		os.Exit(cli.Fail("drreplay", err))
 	}
 }
 
-func run(file, workload, pinballPath string, check, stats bool, opts drdebug.ReplayOptions) error {
+func run(file, workload, pinballPath string, check, stats bool, salvage bool, reportPath string,
+	sup drdebug.SupervisorOptions, opts drdebug.ReplayOptions) error {
 	prog, _, err := cli.LoadProgram(file, workload)
 	if err != nil {
 		return err
@@ -54,7 +70,7 @@ func run(file, workload, pinballPath string, check, stats bool, opts drdebug.Rep
 	if pinballPath == "" {
 		return fmt.Errorf("need -pinball")
 	}
-	pb, err := drdebug.LoadPinball(pinballPath)
+	pb, salvaged, err := cli.LoadPinballMaybeSalvage("drreplay", pinballPath, salvage)
 	if err != nil {
 		return err
 	}
@@ -64,17 +80,32 @@ func run(file, workload, pinballPath string, check, stats bool, opts drdebug.Rep
 	opts.OnDivergence = func(d drdebug.Divergence) {
 		fmt.Fprintf(os.Stderr, "drreplay: divergence: %s\n", d)
 	}
+	sup.OnRetry = func(attempt int, err error) {
+		fmt.Fprintf(os.Stderr, "drreplay: attempt %d failed (%v), retrying\n", attempt, err)
+	}
 	start := time.Now()
-	m, rep, err := drdebug.ReplayWithOptions(prog, pb, opts)
+	res, err := drdebug.SupervisedReplay(prog, pb, sup, opts)
+	if res != nil && res.Report != nil {
+		if werr := writeReport(reportPath, res.Report); werr != nil {
+			fmt.Fprintf(os.Stderr, "drreplay: %v\n", werr)
+		}
+	}
 	if err != nil {
 		return err
+	}
+	m, rep := res.Machine, res.Replay
+	executed := pb.RegionInstrs
+	if res.Degraded {
+		executed = res.RecoveredStep
+		fmt.Fprintf(os.Stderr, "drreplay: replay diverged; recovered at last good checkpoint (step %d of %d)\n",
+			res.RecoveredStep, pb.RegionInstrs)
 	}
 	stop := m.Stopped().String()
 	if stop == "running" {
 		stop = "end of region"
 	}
 	fmt.Printf("replayed %d instructions in %.3fs (stop: %s)\n",
-		pb.RegionInstrs, time.Since(start).Seconds(), stop)
+		executed, time.Since(start).Seconds(), stop)
 	switch {
 	case rep.Checked > 0 && len(rep.Divergences) == 0:
 		fmt.Printf("verified %d divergence checkpoints\n", rep.Checked)
@@ -88,7 +119,7 @@ func run(file, workload, pinballPath string, check, stats bool, opts drdebug.Rep
 	if out := m.Output(); len(out) > 0 {
 		fmt.Printf("program output: %v\n", out)
 	}
-	if check { // must come after the replay above so both share the load cost
+	if check && !res.Degraded { // must come after the replay above so both share the load cost
 		m2, err := drdebug.Replay(prog, pb)
 		if err != nil {
 			return err
@@ -98,7 +129,27 @@ func run(file, workload, pinballPath string, check, stats bool, opts drdebug.Rep
 		}
 		fmt.Println("determinism check passed: two replays reached identical memory")
 	}
+	if salvaged || res.Degraded {
+		return fmt.Errorf("replay finished, but %w", cli.ErrDegraded)
+	}
 	return nil
+}
+
+// writeReport writes the supervisor report as JSON ("-" = stderr).
+func writeReport(path string, rep *drdebug.SupervisorReport) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stderr.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // printStats summarises what the pinball contains.

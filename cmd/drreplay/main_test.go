@@ -1,0 +1,177 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	drdebug "repro"
+	"repro/cmd/internal/cli"
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+)
+
+// exitSrc is the recorded workload for the exit-code matrix: two threads
+// on a lock-guarded counter with read() input, so the recording carries
+// syscalls, order constraints and divergence checkpoints.
+const exitSrc = `
+int counter;
+int mtx;
+int worker(int id) {
+	int i;
+	for (i = 0; i < 20; i++) {
+		lock(&mtx);
+		counter = counter + read();
+		unlock(&mtx);
+	}
+	return 0;
+}
+int main() {
+	int t = spawn(worker, 1);
+	worker(0);
+	join(t);
+	write(counter);
+	return 0;
+}`
+
+func exitConfig() pinplay.LogConfig {
+	input := make([]int64, 64)
+	for i := range input {
+		input[i] = int64(i + 1)
+	}
+	return pinplay.LogConfig{Seed: 5, MeanQuantum: 17, Input: input, CheckpointEvery: 8}
+}
+
+// fixture compiles the workload, records it, and lays out the pinball
+// variants the exit-code table loads: intact, truncated, tampered (first
+// and middle checkpoint), and an uncommitted recording journal.
+type fixture struct {
+	src     string
+	intact  string
+	halved  string
+	div0    string
+	divMid  string
+	journal string
+}
+
+func makeFixture(t *testing.T) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	f := &fixture{src: filepath.Join(dir, "exit.c")}
+	if err := os.WriteFile(f.src, []byte(exitSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := drdebug.CompileFile(f.src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := exitConfig()
+	cfg.JournalPath = filepath.Join(dir, "exit.journal")
+	cfg.JournalEvery = 64
+	cfg.JournalNoSync = true
+	pb, err := pinplay.Log(prog, cfg, pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatalf("log: %v", err)
+	}
+	if len(pb.Checkpoints) < 4 {
+		t.Fatalf("recording has only %d checkpoints", len(pb.Checkpoints))
+	}
+
+	f.intact = filepath.Join(dir, "intact.pinball")
+	if err := pb.Save(f.intact); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(f.intact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.halved = filepath.Join(dir, "halved.pinball")
+	if err := os.WriteFile(f.halved, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tamper := func(path string, idx int) {
+		bad, err := pinball.Load(f.intact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad.Checkpoints[idx].Hash ^= 0xBAD
+		if err := bad.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.div0 = filepath.Join(dir, "div0.pinball")
+	tamper(f.div0, 0)
+	f.divMid = filepath.Join(dir, "divmid.pinball")
+	tamper(f.divMid, len(pb.Checkpoints)/2)
+
+	// Cut the commit frame off the recording journal: a crash mid-record.
+	jdata, err := os.ReadFile(cfg.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := pinball.SectionOffsets(jdata)
+	if err != nil || len(secs) < 3 {
+		t.Fatalf("journal sections: %d, %v", len(secs), err)
+	}
+	f.journal = filepath.Join(dir, "torn.journal")
+	if err := os.WriteFile(f.journal, jdata[:secs[len(secs)-1].Off], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestExitCodes drives run() through every failure class a script can
+// see and pins the exit code each maps to.
+func TestExitCodes(t *testing.T) {
+	f := makeFixture(t)
+	one := drdebug.SupervisorOptions{MaxAttempts: 1}
+	for _, tc := range []struct {
+		name    string
+		pinball string
+		salvage bool
+		sup     drdebug.SupervisorOptions
+		opts    drdebug.ReplayOptions
+		want    int
+	}{
+		{name: "intact", pinball: f.intact, sup: one, want: 0},
+		{name: "missing-pinball-flag", pinball: "", sup: one, want: cli.ExitUsage},
+		{name: "corrupt-rejected", pinball: f.halved, sup: one, want: cli.ExitBadPinball},
+		{name: "torn-journal-rejected", pinball: f.journal, sup: one, want: cli.ExitBadPinball},
+		{name: "divergence-unrecoverable", pinball: f.div0, sup: one, want: cli.ExitDiverged},
+		{name: "budget-exhausted", pinball: f.intact, sup: one,
+			opts: drdebug.ReplayOptions{Limits: drdebug.Timeout(50, 0)}, want: cli.ExitDiverged},
+		{name: "divergence-degraded-recovery", pinball: f.divMid,
+			sup: drdebug.SupervisorOptions{MaxAttempts: 2}, want: cli.ExitDegraded},
+		{name: "salvaged-journal-degraded", pinball: f.journal, salvage: true, sup: one, want: cli.ExitDegraded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(f.src, "", tc.pinball, false, false, tc.salvage, "", tc.sup, tc.opts)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Fatalf("exit code = %d (err: %v), want %d", got, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReportWritten checks -report emits the supervisor's JSON document.
+func TestReportWritten(t *testing.T) {
+	f := makeFixture(t)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	err := run(f.src, "", f.divMid, false, false, false, reportPath,
+		drdebug.SupervisorOptions{MaxAttempts: 2}, drdebug.ReplayOptions{})
+	if got := cli.ExitCode(err); got != cli.ExitDegraded {
+		t.Fatalf("exit code = %d (err: %v), want %d", got, err, cli.ExitDegraded)
+	}
+	data, rerr := os.ReadFile(reportPath)
+	if rerr != nil {
+		t.Fatalf("report not written: %v", rerr)
+	}
+	for _, key := range []string{`"phase": "replay"`, `"degraded": true`, `"recovered_step"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("report lacks %s:\n%s", key, data)
+		}
+	}
+}

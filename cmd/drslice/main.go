@@ -13,8 +13,9 @@
 //	drslice ... -workers 8 -cache-stats                        # parallel engine
 //
 // Exit codes: 0 success, 1 usage/tool error, 2 the pinball file failed
-// to load, 3 the pinball loaded but a replay of it failed (divergence
-// checkpoint, schedule mismatch, or an execution limit hit).
+// to load (or salvage), 3 the pinball loaded but a replay of it failed
+// (divergence checkpoint, schedule mismatch, or an execution limit hit),
+// 4 the slice was computed but from a salvaged pinball (-salvage).
 package main
 
 import (
@@ -48,19 +49,20 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "wall-clock limit per replay (0 = unbounded)")
 		workers  = flag.Int("workers", 0, "slice with the sharded parallel engine on this many workers (0 = sequential)")
 		cacheSt  = flag.Bool("cache-stats", false, "print dependence-graph cache statistics")
+		salvage  = flag.Bool("salvage", false, "salvage a damaged pinball file instead of rejecting it")
 	)
 	flag.Parse()
 
 	if err := run(*file, *workload, *pinballP, *varName, *tid, *line, *nth,
 		*noPrune, *noRefine, *maxSave, *out, *htmlOut, *execSl, *outPB,
-		*workers, *cacheSt, cli.Limits(*budget, *deadline)); err != nil {
+		*workers, *cacheSt, *salvage, cli.Limits(*budget, *deadline)); err != nil {
 		os.Exit(cli.Fail("drslice", err))
 	}
 }
 
 func run(file, workload, pinballPath, varName string, tid, line, nth int,
 	noPrune, noRefine bool, maxSave int, out, htmlOut string, execSl bool, outPB string,
-	workers int, cacheSt bool, limits drdebug.Limits) error {
+	workers int, cacheSt, salvage bool, limits drdebug.Limits) error {
 	prog, _, err := cli.LoadProgram(file, workload)
 	if err != nil {
 		return err
@@ -68,10 +70,14 @@ func run(file, workload, pinballPath, varName string, tid, line, nth int,
 	if pinballPath == "" {
 		return fmt.Errorf("need -pinball")
 	}
-	sess, err := drdebug.LoadSession(prog, pinballPath)
+	pb, salvaged, err := cli.LoadPinballMaybeSalvage("drslice", pinballPath, salvage)
 	if err != nil {
 		return err
 	}
+	if pb.ProgramName != prog.Name {
+		return fmt.Errorf("pinball was recorded from %q, not %q", pb.ProgramName, prog.Name)
+	}
+	sess := drdebug.Open(prog, pb)
 	sess.SetLimits(limits)
 	opts := drdebug.DefaultSliceOptions()
 	opts.MaxSave = maxSave
@@ -139,6 +145,9 @@ func run(file, workload, pinballPath, varName string, tid, line, nth int,
 		}
 		fmt.Printf("slice pinball %s: %d instructions (%.1f%% of region), %d exclusion regions\n",
 			outPB, spb.RegionInstrs, 100*float64(spb.RegionInstrs)/float64(sess.Pinball.RegionInstrs), len(ex))
+	}
+	if salvaged {
+		return fmt.Errorf("slice computed from a salvaged pinball: %w", cli.ErrDegraded)
 	}
 	return nil
 }

@@ -19,26 +19,47 @@ import (
 //
 //	1 — usage errors and everything else
 //	2 — the pinball file failed to load (corrupt, truncated, wrong
-//	    version, not a pinball)
+//	    version, not a pinball) or could not be salvaged
 //	3 — the pinball loaded, but its replay failed (divergence
 //	    checkpoint fired, schedule mismatch, or an execution limit hit)
+//	4 — the run completed, but only in degraded mode (a salvaged
+//	    pinball, or a divergence recovered at its last good checkpoint)
+//	5 — a session phase panicked (isolated by the supervisor)
+//	6 — a session phase hung and the watchdog killed it
 const (
 	ExitUsage      = 1
 	ExitBadPinball = 2
 	ExitDiverged   = 3
+	ExitDegraded   = 4
+	ExitPanic      = 5
+	ExitHung       = 6
 )
+
+// ErrDegraded marks runs that finished, but only by degrading: the tool
+// produced results from a salvaged pinball or a checkpoint-anchored
+// partial replay. Wrap it so scripts get exit code 4 instead of 0.
+var ErrDegraded = errors.New("completed in degraded mode")
 
 // ExitCode classifies err into the shared exit codes.
 func ExitCode(err error) int {
+	var pe *drdebug.PanicError
+	var he *drdebug.HangError
 	switch {
 	case err == nil:
 		return 0
+	case errors.Is(err, ErrDegraded):
+		return ExitDegraded
+	case errors.As(err, &pe):
+		return ExitPanic
+	case errors.As(err, &he):
+		return ExitHung
 	case errors.Is(err, drdebug.ErrReplay):
 		return ExitDiverged
 	case errors.Is(err, drdebug.ErrNotPinball),
 		errors.Is(err, drdebug.ErrVersionSkew),
 		errors.Is(err, drdebug.ErrTruncated),
-		errors.Is(err, drdebug.ErrCorrupt):
+		errors.Is(err, drdebug.ErrCorrupt),
+		errors.Is(err, drdebug.ErrUnsalvageable):
 		return ExitBadPinball
 	default:
 		return ExitUsage
@@ -54,6 +75,26 @@ func Fail(tool string, err error) int {
 		fmt.Fprintf(os.Stderr, "%s: first divergent window: %s\n", tool, de.Div.Window())
 	}
 	return ExitCode(err)
+}
+
+// LoadPinballMaybeSalvage loads a pinball file; when loading fails and
+// salvage is allowed, it recovers what it can, reports the repair on
+// stderr, and returns degraded=true. Tools that produce results from a
+// salvaged pinball must wrap their success in ErrDegraded.
+func LoadPinballMaybeSalvage(tool, path string, salvage bool) (pb *drdebug.Pinball, degraded bool, err error) {
+	pb, err = drdebug.LoadPinball(path)
+	if err == nil || !salvage {
+		return pb, false, err
+	}
+	loadErr := err
+	pb, rep, err := drdebug.SalvagePinball(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, loadErr)
+		return nil, false, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: pinball is damaged (%v)\n%s: salvaged: %s\n",
+		tool, loadErr, tool, strings.ReplaceAll(rep.Summary(), "\n", "; "))
+	return pb, true, nil
 }
 
 // Limits builds execution limits from the shared -budget / -deadline

@@ -34,6 +34,7 @@ import (
 	"repro/internal/pinball"
 	"repro/internal/pinplay"
 	"repro/internal/slice"
+	"repro/internal/supervisor"
 	"repro/internal/tracer"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -89,6 +90,20 @@ type (
 	MapleOptions = maple.Options
 	// Workload is a registered benchmark program.
 	Workload = workloads.Workload
+	// SalvageReport describes a pinball salvage attempt.
+	SalvageReport = pinball.SalvageReport
+	// SessionError is the typed failure of a supervised session phase.
+	SessionError = supervisor.SessionError
+	// PanicError is a panic the supervisor recovered and converted.
+	PanicError = supervisor.PanicError
+	// HangError is the supervisor watchdog's verdict on a hung phase.
+	HangError = supervisor.HangError
+	// SupervisorOptions tunes the self-healing supervisor's retry policy.
+	SupervisorOptions = supervisor.Options
+	// SupervisorReport is the structured outcome of a supervised phase.
+	SupervisorReport = supervisor.Report
+	// SupervisedReplayResult is what a supervised replay hands back.
+	SupervisedReplayResult = supervisor.ReplayResult
 )
 
 // Typed failure classes, re-exported so tools can classify errors with
@@ -102,6 +117,11 @@ var (
 	ErrTruncated   = pinball.ErrTruncated
 	ErrCorrupt     = pinball.ErrCorrupt
 	ErrReplay      = pinplay.ErrReplay
+	// ErrLimit marks replays cut off by an execution limit (budget,
+	// deadline, memory cap, cancellation) rather than a divergence.
+	ErrLimit = pinplay.ErrLimit
+	// ErrUnsalvageable marks damaged pinball files Salvage cannot repair.
+	ErrUnsalvageable = pinball.ErrUnsalvageable
 )
 
 // Timeout builds Limits bounding an execution by an instruction budget
@@ -154,6 +174,27 @@ func LoadSession(prog *Program, pinballPath string) (*Session, error) {
 
 // LoadPinball reads a pinball file.
 func LoadPinball(path string) (*Pinball, error) { return pinball.Load(path) }
+
+// SalvagePinball recovers a usable pinball from a damaged file: the
+// longest checksum-valid prefix of sections is kept, and an interrupted
+// recording journal is truncated to its last intact divergence
+// checkpoint. The report is non-nil even when salvage fails.
+func SalvagePinball(path string) (*Pinball, *SalvageReport, error) {
+	return pinball.Salvage(path)
+}
+
+// LoadSessionSalvage is LoadSession with automatic salvage of a damaged
+// pinball file; the report is nil when the file was intact.
+func LoadSessionSalvage(prog *Program, pinballPath string) (*Session, *SalvageReport, error) {
+	return core.LoadSessionSalvage(prog, pinballPath)
+}
+
+// SupervisedReplay replays a pinball under the self-healing supervisor:
+// panic isolation, watchdog, retry-with-backoff, and checkpoint-anchored
+// degraded recovery when the replay keeps diverging.
+func SupervisedReplay(prog *Program, pb *Pinball, opts SupervisorOptions, ropts ReplayOptions) (*SupervisedReplayResult, error) {
+	return supervisor.Replay(prog, pb, opts, ropts)
+}
 
 // LoadSliceFile reads a slice file saved with Session.SaveSlice.
 func LoadSliceFile(path string) (*SliceFile, error) { return slice.LoadFile(path) }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/pinplay"
 	"repro/internal/races"
 	"repro/internal/slice"
+	"repro/internal/supervisor"
 	"repro/internal/tracer"
 	"repro/internal/vm"
 )
@@ -34,7 +35,12 @@ type Session struct {
 	workers  int
 	opts     slice.Options
 	limits   vm.Limits
+	sup      supervisor.Options
 }
+
+// SetSupervisor configures the retry/watchdog policy ReplaySupervised
+// uses. The zero value is the supervisor's default policy.
+func (s *Session) SetSupervisor(o supervisor.Options) { s.sup = o }
 
 // SetLimits bounds every replay the session performs (trace collection,
 // relogging, Replay): instruction budget, wall-clock deadline, memory
@@ -108,6 +114,34 @@ func (s *Session) SetParallelWorkers(n int) {
 func (s *Session) Replay(t vm.Tracer) (*vm.Machine, error) {
 	m, _, err := pinplay.ReplayWith(s.Prog, s.Pinball, pinplay.ReplayOptions{Tracer: t, Limits: s.limits})
 	return m, err
+}
+
+// ReplaySupervised replays the session's pinball under the self-healing
+// supervisor: panics are isolated, retryable failures retried with
+// backoff, and a replay that keeps diverging falls back to a
+// checkpoint-anchored partial replay (result.Degraded). The result's
+// Report is non-nil in every outcome.
+func (s *Session) ReplaySupervised(t vm.Tracer) (*supervisor.ReplayResult, error) {
+	return supervisor.Replay(s.Prog, s.Pinball, s.sup,
+		pinplay.ReplayOptions{Tracer: t, Limits: s.limits})
+}
+
+// LoadSessionSalvage opens a session from a pinball file, salvaging the
+// file when it does not load cleanly. The report is nil when the file
+// was intact and non-nil when salvage ran (successfully or not).
+func LoadSessionSalvage(prog *isa.Program, pinballPath string) (*Session, *pinball.SalvageReport, error) {
+	s, err := LoadSession(prog, pinballPath)
+	if err == nil {
+		return s, nil, nil
+	}
+	pb, rep, serr := pinball.Salvage(pinballPath)
+	if serr != nil {
+		return nil, rep, fmt.Errorf("core: %w (salvage also failed: %v)", err, serr)
+	}
+	if pb.ProgramName != prog.Name {
+		return nil, rep, fmt.Errorf("core: pinball was recorded from %q, not %q", pb.ProgramName, prog.Name)
+	}
+	return Open(prog, pb), rep, nil
 }
 
 // ReplayMachine returns an un-run machine positioned at region entry; the

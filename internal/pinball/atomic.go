@@ -1,0 +1,65 @@
+package pinball
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Crash-safe file replacement. A pinball can take hours to record, so the
+// window where a crash, disk-full or SIGKILL leaves the destination torn
+// must be zero: the payload is written to a temporary file in the target
+// directory, fsynced, and renamed over the destination — the rename is
+// atomic on POSIX filesystems, so readers only ever observe the old
+// complete file or the new complete file. The directory is fsynced after
+// the rename so the new name itself survives a power loss. On any error
+// the temporary file is removed and an existing destination is never
+// clobbered.
+
+// writeFileAtomic writes the output of write to path with the
+// temp+fsync+rename protocol.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".pinball-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// filesystems refuse to fsync directories; that only weakens durability
+// of the name (the file contents are already synced), so it is reported
+// but not treated as fatal by callers that cannot do better.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	return nil
+}

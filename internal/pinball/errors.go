@@ -17,4 +17,9 @@ var (
 	// damaged or inconsistent: a section checksum mismatch, undecodable
 	// gob, or a payload that fails structural validation.
 	ErrCorrupt = errors.New("corrupt pinball")
+	// ErrUnsalvageable marks damaged files Salvage cannot repair: the
+	// surviving prefix is missing data replay cannot do without (initial
+	// state, schedule, syscall results, a slice pinball's injections), or
+	// holds no intact divergence checkpoint to anchor a truncation.
+	ErrUnsalvageable = errors.New("unsalvageable pinball")
 )

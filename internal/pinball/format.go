@@ -9,9 +9,32 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/vm"
 )
+
+// gzWriters recycles gzip writers across section encodes. A fresh
+// deflate state is several hundred KB, and the journal seals dozens of
+// frames per recording.
+var gzWriters = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// packPayload gob-encodes v through a pooled gzip writer and returns
+// the compressed section payload.
+func packPayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzWriters.Get().(*gzip.Writer)
+	zw.Reset(&buf)
+	err := gob.NewEncoder(zw).Encode(v)
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	gzWriters.Put(zw)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
 
 // On-disk framing. Every pinball starts with the magic and a format
 // version byte:
@@ -22,10 +45,16 @@ import (
 //	sections: id (1B), payload length (8B big-endian), CRC32-IEEE of the
 //	compressed payload (4B), payload (gzip-compressed gob). Truncation,
 //	bit flips and dropped sections are all detected before decoding.
+//	version 3 ("journal"): kind byte, then framed sections appended
+//	incrementally while recording, terminated by a commit frame — see
+//	journal.go. A journal without its commit frame is an interrupted
+//	recording: Load rejects it as truncated, Salvage recovers its
+//	longest checkpoint-consistent prefix.
 const (
-	fileMagic     = "DRPB"
-	versionLegacy = byte(1) // pre-framing format, kept readable
-	versionFramed = byte(2) // current format ("pinball format v1")
+	fileMagic      = "DRPB"
+	versionLegacy  = byte(1) // pre-framing format, kept readable
+	versionFramed  = byte(2) // atomic-save format ("pinball format v1")
+	versionJournal = byte(3) // incremental journal written during recording
 )
 
 // Section ids of the framed format. Meta, state and schedule are
@@ -59,12 +88,35 @@ type metaV1 struct {
 	EndReason       string
 	Failure         *vm.Failure
 	CheckpointEvery int64
+	// Sections is the manifest of section ids the writer emitted. Salvage
+	// uses it to tell which sections a torn file actually lost — without
+	// it, a tear at a frame boundary is indistinguishable from a shorter
+	// recording. Empty in files written before the manifest existed (gob
+	// decodes the missing field as nil).
+	Sections []byte
 }
 
 // sliceV1 is the slice section payload.
 type sliceV1 struct {
 	Exclusions []Exclusion
 	Injections []Injection
+}
+
+// meta builds the meta section payload with the given section manifest.
+func (p *Pinball) meta(manifest []byte) metaV1 {
+	return metaV1{
+		ProgramName: p.ProgramName, Kind: p.Kind,
+		RegionInstrs: p.RegionInstrs, MainInstrs: p.MainInstrs, SkipMain: p.SkipMain,
+		EndReason: p.EndReason, Failure: p.Failure, CheckpointEvery: p.CheckpointEvery,
+		Sections: manifest,
+	}
+}
+
+// applyMeta copies the meta payload's fields onto the pinball.
+func (p *Pinball) applyMeta(meta metaV1) {
+	p.ProgramName, p.Kind = meta.ProgramName, meta.Kind
+	p.RegionInstrs, p.MainInstrs, p.SkipMain = meta.RegionInstrs, meta.MainInstrs, meta.SkipMain
+	p.EndReason, p.Failure, p.CheckpointEvery = meta.EndReason, meta.Failure, meta.CheckpointEvery
 }
 
 // kindByte maps a pinball kind to its header triage byte.
@@ -80,17 +132,16 @@ func kindByte(k Kind) byte {
 }
 
 // Save writes the pinball to path in the framed v1 format (the paper uses
-// bzip2 pinball compression; gzip is the stdlib equivalent).
+// bzip2 pinball compression; gzip is the stdlib equivalent). The write is
+// crash-safe: the file is staged in a temporary sibling, fsynced and
+// atomically renamed into place, so a crash or disk-full mid-save leaves
+// either the previous complete file or no file — never a torn pinball,
+// and never a stray temp file.
 func (p *Pinball) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("pinball: %w", err)
-	}
-	defer f.Close()
-	if err := p.encode(f); err != nil {
+	if err := writeFileAtomic(path, p.encode); err != nil {
 		return fmt.Errorf("pinball: save %s: %w", path, err)
 	}
-	return f.Close()
+	return nil
 }
 
 // EncodeBytes returns the framed on-disk representation of the pinball,
@@ -111,15 +162,11 @@ func (p *Pinball) encode(w io.Writer) error {
 		payload []byte
 	}
 	pack := func(id byte, v any) (section, error) {
-		var buf bytes.Buffer
-		zw := gzip.NewWriter(&buf)
-		if err := gob.NewEncoder(zw).Encode(v); err != nil {
+		payload, err := packPayload(v)
+		if err != nil {
 			return section{}, fmt.Errorf("encode section %d: %w", id, err)
 		}
-		if err := zw.Close(); err != nil {
-			return section{}, fmt.Errorf("compress section %d: %w", id, err)
-		}
-		return section{id, buf.Bytes()}, nil
+		return section{id, payload}, nil
 	}
 
 	sections := []struct {
@@ -127,11 +174,7 @@ func (p *Pinball) encode(w io.Writer) error {
 		v     any
 		empty bool
 	}{
-		{secMeta, metaV1{
-			ProgramName: p.ProgramName, Kind: p.Kind,
-			RegionInstrs: p.RegionInstrs, MainInstrs: p.MainInstrs, SkipMain: p.SkipMain,
-			EndReason: p.EndReason, Failure: p.Failure, CheckpointEvery: p.CheckpointEvery,
-		}, false},
+		{secMeta, nil, false}, // meta payload built after the manifest is known
 		{secState, p.State, false},
 		{secSchedule, p.Quanta, false},
 		{secSyscalls, p.Syscalls, len(p.Syscalls) == 0},
@@ -139,6 +182,13 @@ func (p *Pinball) encode(w io.Writer) error {
 		{secSlice, sliceV1{p.Exclusions, p.Injections}, len(p.Exclusions) == 0 && len(p.Injections) == 0},
 		{secCheckpoints, p.Checkpoints, len(p.Checkpoints) == 0},
 	}
+	var manifest []byte
+	for _, s := range sections {
+		if !s.empty {
+			manifest = append(manifest, s.id)
+		}
+	}
+	sections[0].v = p.meta(manifest)
 	var packed []section
 	for _, s := range sections {
 		if s.empty {
@@ -200,9 +250,11 @@ func Decode(data []byte) (*Pinball, error) {
 	case versionLegacy:
 		p, err = decodeLegacy(data[len(fileMagic)+1:])
 	case versionFramed:
-		p, err = decodeFramed(data[len(fileMagic)+1:])
+		p, err = decodeFramed(data)
+	case versionJournal:
+		p, err = decodeJournal(data)
 	default:
-		return nil, fmt.Errorf("%w: file has version %d, this build reads up to %d", ErrVersionSkew, v, versionFramed)
+		return nil, fmt.Errorf("%w: file has version %d, this build reads up to %d", ErrVersionSkew, v, versionJournal)
 	}
 	if err != nil {
 		return nil, err
@@ -228,85 +280,132 @@ func decodeLegacy(body []byte) (*Pinball, error) {
 	return &p, nil
 }
 
-// decodeFramed reads the v1 section framing.
-func decodeFramed(body []byte) (*Pinball, error) {
-	if len(body) < 2 {
+// frame is one parsed section frame: its id, 1-based position in the
+// file, absolute byte offset and checksum-verified payload.
+type frame struct {
+	id      byte
+	index   int
+	off     int64
+	payload []byte
+}
+
+// readFrame parses and checksum-verifies the frame at absolute byte
+// offset off of the file bytes. Every error names the failing section's
+// index and byte offset, so corruption reports (and drrepair diagnostics)
+// point at the damage instead of just declaring it.
+func readFrame(data []byte, off int64, index int) (frame, int64, error) {
+	if int64(len(data)) < off+sectionHeaderLen {
+		return frame{}, 0, fmt.Errorf("%w: file ends inside the header of section #%d at byte offset %d",
+			ErrTruncated, index, off)
+	}
+	id := data[off]
+	n := int64(binary.BigEndian.Uint64(data[off+1 : off+9]))
+	sum := binary.BigEndian.Uint32(data[off+9 : off+13])
+	if n < 0 || n > maxSectionLen {
+		return frame{}, 0, fmt.Errorf("%w: section id %d (#%d) at byte offset %d claims %d bytes",
+			ErrCorrupt, id, index, off, n)
+	}
+	if int64(len(data)) < off+sectionHeaderLen+n {
+		return frame{}, 0, fmt.Errorf("%w: section id %d (#%d) at byte offset %d claims %d payload bytes, %d remain",
+			ErrTruncated, id, index, off, n, int64(len(data))-off-sectionHeaderLen)
+	}
+	payload := data[off+sectionHeaderLen : off+sectionHeaderLen+n]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return frame{}, 0, fmt.Errorf("%w: section id %d (#%d) at byte offset %d checksum mismatch (want %08x, got %08x)",
+			ErrCorrupt, id, index, off, sum, got)
+	}
+	return frame{id: id, index: index, off: off, payload: payload}, off + sectionHeaderLen + n, nil
+}
+
+// decode decompresses and gob-decodes the frame payload into dst,
+// pinning errors to the frame's location.
+func (f frame) decode(dst any) error {
+	zr, err := gzip.NewReader(bytes.NewReader(f.payload))
+	if err != nil {
+		return fmt.Errorf("%w: section id %d (#%d) at byte offset %d: decompress: %v",
+			ErrCorrupt, f.id, f.index, f.off, err)
+	}
+	defer zr.Close()
+	if err := gobDecode(zr, dst); err != nil {
+		return fmt.Errorf("section id %d (#%d) at byte offset %d: %w", f.id, f.index, f.off, err)
+	}
+	return nil
+}
+
+// apply decodes the frame into its slot on p (meta frames into meta).
+// Unknown ids are checksum-verified and skipped.
+func (f frame) apply(p *Pinball, meta *metaV1) error {
+	var dst any
+	var sl sliceV1
+	switch f.id {
+	case secMeta:
+		dst = meta
+	case secState:
+		dst = &p.State
+	case secSchedule:
+		dst = &p.Quanta
+	case secSyscalls:
+		dst = &p.Syscalls
+	case secOrder:
+		dst = &p.OrderEdges
+	case secSlice:
+		dst = &sl
+	case secCheckpoints:
+		dst = &p.Checkpoints
+	default:
+		return nil
+	}
+	if err := f.decode(dst); err != nil {
+		return err
+	}
+	if f.id == secSlice {
+		p.Exclusions, p.Injections = sl.Exclusions, sl.Injections
+	}
+	return nil
+}
+
+// framedHeaderLen is the v2 file header: magic + version + kind + count.
+const framedHeaderLen = int64(len(fileMagic) + 3)
+
+// decodeFramed reads the v1 section framing from the full file bytes.
+func decodeFramed(data []byte) (*Pinball, error) {
+	if int64(len(data)) < framedHeaderLen {
 		return nil, fmt.Errorf("%w: header ends after version byte", ErrTruncated)
 	}
-	kindB, count := body[0], int(body[1])
-	body = body[2:]
+	kindB, count := data[len(fileMagic)+1], int(data[len(fileMagic)+2])
 
 	p := &Pinball{}
 	meta := metaV1{}
 	seen := map[byte]bool{}
-	for i := 0; i < count; i++ {
-		if len(body) < sectionHeaderLen {
-			return nil, fmt.Errorf("%w: file ends inside the header of section %d of %d", ErrTruncated, i+1, count)
-		}
-		id := body[0]
-		n := int64(binary.BigEndian.Uint64(body[1:9]))
-		sum := binary.BigEndian.Uint32(body[9:13])
-		body = body[sectionHeaderLen:]
-		if n < 0 || n > maxSectionLen {
-			return nil, fmt.Errorf("%w: section %d claims %d bytes", ErrCorrupt, id, n)
-		}
-		if int64(len(body)) < n {
-			return nil, fmt.Errorf("%w: section %d claims %d bytes, %d remain", ErrTruncated, id, n, len(body))
-		}
-		payload := body[:n]
-		body = body[n:]
-		if got := crc32.ChecksumIEEE(payload); got != sum {
-			return nil, fmt.Errorf("%w: section %d checksum mismatch (want %08x, got %08x)", ErrCorrupt, id, sum, got)
-		}
-		if seen[id] {
-			return nil, fmt.Errorf("%w: duplicate section %d", ErrCorrupt, id)
-		}
-		seen[id] = true
-
-		var dst any
-		var sl sliceV1
-		switch id {
-		case secMeta:
-			dst = &meta
-		case secState:
-			dst = &p.State
-		case secSchedule:
-			dst = &p.Quanta
-		case secSyscalls:
-			dst = &p.Syscalls
-		case secOrder:
-			dst = &p.OrderEdges
-		case secSlice:
-			dst = &sl
-		case secCheckpoints:
-			dst = &p.Checkpoints
-		default:
-			continue // checksum-verified unknown section: skip
-		}
-		zr, err := gzip.NewReader(bytes.NewReader(payload))
+	off := framedHeaderLen
+	for i := 1; i <= count; i++ {
+		f, next, err := readFrame(data, off, i)
 		if err != nil {
-			return nil, fmt.Errorf("%w: section %d decompress: %v", ErrCorrupt, id, err)
+			return nil, err
 		}
-		if err := gobDecode(zr, dst); err != nil {
-			zr.Close()
-			return nil, fmt.Errorf("section %d: %w", id, err)
+		off = next
+		if seen[f.id] {
+			return nil, fmt.Errorf("%w: duplicate section id %d (#%d) at byte offset %d", ErrCorrupt, f.id, i, f.off)
 		}
-		zr.Close()
-		if id == secSlice {
-			p.Exclusions, p.Injections = sl.Exclusions, sl.Injections
+		seen[f.id] = true
+		if err := f.apply(p, &meta); err != nil {
+			return nil, err
 		}
 	}
-	if len(body) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes after the last section", ErrCorrupt, len(body))
+	if rest := int64(len(data)) - off; rest != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the last section at byte offset %d", ErrCorrupt, rest, off)
 	}
 	for _, req := range []byte{secMeta, secState, secSchedule} {
 		if !seen[req] {
 			return nil, fmt.Errorf("%w: mandatory section %d missing", ErrCorrupt, req)
 		}
 	}
-	p.ProgramName, p.Kind = meta.ProgramName, meta.Kind
-	p.RegionInstrs, p.MainInstrs, p.SkipMain = meta.RegionInstrs, meta.MainInstrs, meta.SkipMain
-	p.EndReason, p.Failure, p.CheckpointEvery = meta.EndReason, meta.Failure, meta.CheckpointEvery
+	for _, id := range meta.Sections {
+		if !seen[id] {
+			return nil, fmt.Errorf("%w: section %d is in the manifest but missing from the file", ErrCorrupt, id)
+		}
+	}
+	p.applyMeta(meta)
 	if kindByte(p.Kind) != kindB {
 		return nil, fmt.Errorf("%w: header kind %q does not match meta kind %q", ErrCorrupt, kindB, p.Kind)
 	}
@@ -340,29 +439,41 @@ type SectionInfo struct {
 	Len int64
 }
 
-// SectionOffsets walks the framing of v1 pinball file bytes without
-// decoding payloads. It fails with the same typed errors as Decode.
+// SectionOffsets walks the framing of v1 (framed) or journal pinball
+// file bytes without decoding payloads. It fails with the same typed
+// errors as Decode.
 func SectionOffsets(data []byte) ([]SectionInfo, error) {
-	headerLen := len(fileMagic) + 3
+	headerLen := len(fileMagic) + 2
 	if len(data) < headerLen {
 		return nil, fmt.Errorf("%w: %d-byte file", ErrTruncated, len(data))
 	}
 	if string(data[:len(fileMagic)]) != fileMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrNotPinball)
 	}
-	if v := data[len(fileMagic)]; v != versionFramed {
+	count := -1 // journal: frames run to end of file
+	off := int64(headerLen)
+	switch v := data[len(fileMagic)]; v {
+	case versionFramed:
+		if int64(len(data)) < framedHeaderLen {
+			return nil, fmt.Errorf("%w: %d-byte file", ErrTruncated, len(data))
+		}
+		count = int(data[headerLen])
+		off = framedHeaderLen
+	case versionJournal:
+	default:
 		return nil, fmt.Errorf("%w: version %d has no section framing", ErrVersionSkew, v)
 	}
-	count := int(data[headerLen-1])
-	off := int64(headerLen)
 	var out []SectionInfo
-	for i := 0; i < count; i++ {
+	for i := 1; count < 0 || i <= count; i++ {
+		if count < 0 && off == int64(len(data)) {
+			break
+		}
 		if int64(len(data)) < off+sectionHeaderLen {
-			return nil, fmt.Errorf("%w: file ends inside section header %d", ErrTruncated, i+1)
+			return nil, fmt.Errorf("%w: file ends inside section header %d", ErrTruncated, i)
 		}
 		n := int64(binary.BigEndian.Uint64(data[off+1 : off+9]))
 		if n < 0 || n > maxSectionLen || int64(len(data)) < off+sectionHeaderLen+n {
-			return nil, fmt.Errorf("%w: section %d overruns the file", ErrTruncated, i+1)
+			return nil, fmt.Errorf("%w: section %d overruns the file", ErrTruncated, i)
 		}
 		out = append(out, SectionInfo{ID: data[off], Off: off, Len: sectionHeaderLen + n})
 		off += sectionHeaderLen + n
@@ -372,26 +483,26 @@ func SectionOffsets(data []byte) ([]SectionInfo, error) {
 
 // SaveLegacy writes the pinball in the pre-framing v0 format (magic,
 // version byte 1, one gzip+gob stream) — kept only so compatibility
-// tests and the fault-injection harness can produce legacy files.
+// tests and the fault-injection harness can produce legacy files. Like
+// Save, the write is staged and atomically renamed: a mid-write error
+// removes the staging file and never clobbers an existing good pinball.
 func (p *Pinball) SaveLegacy(path string) error {
 	cp := *p
 	cp.CheckpointEvery, cp.Checkpoints = 0, nil // fields v0 never had
-	f, err := os.Create(path)
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write(append([]byte(fileMagic), versionLegacy)); err != nil {
+			return err
+		}
+		zw := gzip.NewWriter(w)
+		if err := gob.NewEncoder(zw).Encode(&cp); err != nil {
+			return fmt.Errorf("encode: %w", err)
+		}
+		return zw.Close()
+	})
 	if err != nil {
-		return fmt.Errorf("pinball: %w", err)
+		return fmt.Errorf("pinball: save %s: %w", path, err)
 	}
-	defer f.Close()
-	if _, err := f.Write(append([]byte(fileMagic), versionLegacy)); err != nil {
-		return fmt.Errorf("pinball: %w", err)
-	}
-	zw := gzip.NewWriter(f)
-	if err := gob.NewEncoder(zw).Encode(&cp); err != nil {
-		return fmt.Errorf("pinball: encode: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return fmt.Errorf("pinball: compress: %w", err)
-	}
-	return f.Close()
+	return nil
 }
 
 // EncodedSize returns the on-disk size of the pinball in bytes by

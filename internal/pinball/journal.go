@@ -1,0 +1,281 @@
+package pinball
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/vm"
+)
+
+// Incremental journal (format version 3). A pinball written with Save
+// only exists once recording has finished; a crash mid-record loses the
+// whole capture. The journal inverts that: the file starts with the
+// sections known at region entry (provisional meta, initial machine
+// state) and then grows by checksummed chunk frames as the recording
+// runs, each flush covering a window of the region. A final commit frame
+// carries the authoritative meta and marks the recording complete.
+//
+// Chunk frames inside one flush are ordered syscalls, order edges,
+// checkpoints, then quanta LAST. Because frames are appended in order, a
+// torn tail that keeps a flush's quanta chunk necessarily keeps every
+// event chunk of the same window — so the longest valid frame prefix is
+// always consistent up to its last quanta chunk, and Salvage can anchor
+// a replayable truncation at the last divergence checkpoint it covers.
+//
+// Load accepts only committed journals; an uncommitted journal is an
+// interrupted recording and fails with ErrTruncated (pointing the user
+// at drrepair / Salvage).
+
+// Journal chunk section ids (the framed ids 1..7 keep their meaning).
+const (
+	secQuantaChunk     = byte(8)  // []vm.Quantum delta
+	secSyscallChunk    = byte(9)  // []vm.SyscallRecord delta
+	secOrderChunk      = byte(10) // []vm.OrderEdge delta
+	secCheckpointChunk = byte(11) // []Checkpoint delta
+	secCommit          = byte(12) // metaV1, authoritative, terminates the journal
+)
+
+// journalHeaderLen is the v3 file header: magic + version + kind.
+const journalHeaderLen = int64(len(fileMagic) + 2)
+
+// JournalWriter appends a recording to disk as it happens. Methods keep
+// a sticky error: after the first failure every later call is a no-op
+// returning the same error, so the recording loop does not need to check
+// every flush.
+type JournalWriter struct {
+	f    *os.File
+	path string
+	sync bool
+	err  error
+}
+
+// NewJournalWriter creates (truncating) the journal at path and writes
+// the header, the provisional meta and the initial state section from p
+// — which only needs the fields known at region entry: ProgramName,
+// Kind, CheckpointEvery and State. When sync is true every sealed chunk
+// is fsynced, making each flushed window durable immediately.
+func NewJournalWriter(path string, p *Pinball, sync bool) (*JournalWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("pinball: journal: %w", err)
+	}
+	w := &JournalWriter{f: f, path: path, sync: sync}
+	header := append([]byte(fileMagic), versionJournal, kindByte(p.Kind))
+	if _, err := f.Write(header); err != nil {
+		w.fail(err)
+		return nil, w.err
+	}
+	w.appendFrame(secMeta, p.meta(nil))
+	w.appendFrame(secState, p.State)
+	w.maybeSync()
+	if w.err != nil {
+		return nil, w.err
+	}
+	return w, nil
+}
+
+// Path returns where the journal is being written.
+func (w *JournalWriter) Path() string { return w.path }
+
+// Err returns the sticky write error, if any.
+func (w *JournalWriter) Err() error { return w.err }
+
+// fail records the first error and stops further writes.
+func (w *JournalWriter) fail(err error) {
+	if w.err == nil {
+		w.err = fmt.Errorf("pinball: journal %s: %w", w.path, err)
+	}
+}
+
+// appendFrame seals one section frame: gob+gzip payload, length, CRC.
+func (w *JournalWriter) appendFrame(id byte, v any) {
+	if w.err != nil {
+		return
+	}
+	payload, err := packPayload(v)
+	if err != nil {
+		w.fail(fmt.Errorf("encode section %d: %w", id, err))
+		return
+	}
+	var hdr [sectionHeaderLen]byte
+	hdr[0] = id
+	binary.BigEndian.PutUint64(hdr[1:9], uint64(len(payload)))
+	binary.BigEndian.PutUint32(hdr[9:13], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		w.fail(err)
+		return
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		w.fail(err)
+	}
+}
+
+// maybeSync fsyncs the journal when durable flushing is on.
+func (w *JournalWriter) maybeSync() {
+	if w.err != nil || !w.sync {
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.fail(err)
+	}
+}
+
+// AppendChunk seals one flush window: the non-empty deltas since the
+// previous flush, quanta written last so a torn tail can never keep a
+// schedule window whose events were lost.
+func (w *JournalWriter) AppendChunk(quanta []vm.Quantum, syscalls []vm.SyscallRecord, edges []vm.OrderEdge, cps []Checkpoint) error {
+	if len(syscalls) > 0 {
+		w.appendFrame(secSyscallChunk, syscalls)
+	}
+	if len(edges) > 0 {
+		w.appendFrame(secOrderChunk, edges)
+	}
+	if len(cps) > 0 {
+		w.appendFrame(secCheckpointChunk, cps)
+	}
+	if len(quanta) > 0 {
+		w.appendFrame(secQuantaChunk, quanta)
+	}
+	w.maybeSync()
+	return w.err
+}
+
+// Commit writes the authoritative meta from the finished pinball,
+// fsyncs and closes the journal — only then is the file a complete,
+// loadable pinball.
+func (w *JournalWriter) Commit(final *Pinball) error {
+	w.appendFrame(secCommit, final.meta(nil))
+	if w.err == nil {
+		if err := w.f.Sync(); err != nil {
+			w.fail(err)
+		}
+	}
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.fail(err)
+	}
+	return w.err
+}
+
+// Abort closes the journal without committing. The file is left on disk:
+// it is exactly what a crash would have left, and Salvage can recover
+// its checkpoint-consistent prefix.
+func (w *JournalWriter) Abort() error {
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.fail(err)
+	}
+	return w.err
+}
+
+// journalParts is the raw content of a journal's valid frame prefix.
+type journalParts struct {
+	kindB     byte
+	meta      metaV1 // provisional at first, overwritten by the commit frame
+	hasMeta   bool
+	committed bool
+	p         *Pinball
+	frames    int
+	end       int64 // byte offset just past the last good frame
+}
+
+// readJournalFrames walks the journal's frames from the top of file,
+// accumulating chunks in order, until end of file, the commit frame, or
+// the first damaged frame — in which case the error describes the damage
+// and parts holds everything before it (parts.end is the damage offset).
+func readJournalFrames(data []byte) (*journalParts, error) {
+	parts := &journalParts{p: &Pinball{}, end: journalHeaderLen}
+	if int64(len(data)) < journalHeaderLen {
+		parts.end = int64(len(data))
+		return parts, fmt.Errorf("%w: header ends after version byte", ErrTruncated)
+	}
+	parts.kindB = data[len(fileMagic)+1]
+	for off := journalHeaderLen; off < int64(len(data)); {
+		f, next, err := readFrame(data, off, parts.frames+1)
+		if err != nil {
+			return parts, err
+		}
+		if err := parts.applyFrame(f); err != nil {
+			return parts, err
+		}
+		parts.frames++
+		parts.end = next
+		off = next
+		if parts.committed {
+			if rest := int64(len(data)) - off; rest != 0 {
+				return parts, fmt.Errorf("%w: %d trailing bytes after the commit frame at byte offset %d", ErrCorrupt, rest, off)
+			}
+			break
+		}
+	}
+	return parts, nil
+}
+
+// applyFrame merges one valid frame into the accumulated journal state.
+func (j *journalParts) applyFrame(f frame) error {
+	switch f.id {
+	case secMeta:
+		if err := f.decode(&j.meta); err != nil {
+			return err
+		}
+		j.hasMeta = true
+	case secCommit:
+		if err := f.decode(&j.meta); err != nil {
+			return err
+		}
+		j.hasMeta, j.committed = true, true
+	case secState:
+		return f.decode(&j.p.State)
+	case secQuantaChunk:
+		var q []vm.Quantum
+		if err := f.decode(&q); err != nil {
+			return err
+		}
+		// A flush boundary can split a still-open quantum across chunks;
+		// re-merge adjacent same-thread runs so the decoded schedule is the
+		// machine's maximal run-length form, bit-identical to a Save.
+		for _, e := range q {
+			if n := len(j.p.Quanta); n > 0 && j.p.Quanta[n-1].Tid == e.Tid {
+				j.p.Quanta[n-1].Count += e.Count
+				continue
+			}
+			j.p.Quanta = append(j.p.Quanta, e)
+		}
+	case secSyscallChunk:
+		var s []vm.SyscallRecord
+		if err := f.decode(&s); err != nil {
+			return err
+		}
+		j.p.Syscalls = append(j.p.Syscalls, s...)
+	case secOrderChunk:
+		var e []vm.OrderEdge
+		if err := f.decode(&e); err != nil {
+			return err
+		}
+		j.p.OrderEdges = append(j.p.OrderEdges, e...)
+	case secCheckpointChunk:
+		var c []Checkpoint
+		if err := f.decode(&c); err != nil {
+			return err
+		}
+		j.p.Checkpoints = append(j.p.Checkpoints, c...)
+	}
+	return nil // checksum-verified unknown section: skip
+}
+
+// decodeJournal reads a committed journal from the full file bytes.
+func decodeJournal(data []byte) (*Pinball, error) {
+	parts, err := readJournalFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	if !parts.committed {
+		return nil, fmt.Errorf("%w: journal has no commit frame — the recording was interrupted (run drrepair, or load with salvage enabled)", ErrTruncated)
+	}
+	p := parts.p
+	p.applyMeta(parts.meta)
+	if kindByte(p.Kind) != parts.kindB {
+		return nil, fmt.Errorf("%w: header kind %q does not match meta kind %q", ErrCorrupt, parts.kindB, p.Kind)
+	}
+	return p, nil
+}

@@ -1,0 +1,324 @@
+package pinball
+
+import (
+	"fmt"
+	"os"
+)
+
+// Salvage recovers a usable pinball from a damaged file. Where Decode
+// must reject a torn or bit-flipped file outright, Salvage keeps the
+// longest prefix of CRC-valid, decodable sections and reconstitutes a
+// consistent partial pinball from it:
+//
+//   - A framed (v2) file that lost only trailing optional sections
+//     (order edges, divergence checkpoints) is rebuilt whole; the meta
+//     section's manifest proves the lost sections were optional.
+//   - An interrupted journal (v3, no commit frame — a crash or kill mid
+//     recording) is truncated to the last divergence checkpoint covered
+//     by its surviving schedule chunks: the result replays bit-identically
+//     to the original execution up to that checkpoint, and slices like
+//     any other pinball.
+//
+// Damage that costs data replay cannot do without — the initial state,
+// the schedule, recorded syscall results, a slice pinball's injections,
+// or (when truncation is needed) every checkpoint — fails with
+// ErrUnsalvageable. The report describes what was kept, what was lost
+// and where the damage sits, whether salvage succeeded or not.
+
+// SalvageReport describes a salvage attempt.
+type SalvageReport struct {
+	Path    string `json:"path,omitempty"`
+	Version byte   `json:"version"`
+
+	// Intact is true when the file decoded cleanly and was returned
+	// unchanged (nothing to salvage).
+	Intact bool `json:"intact"`
+	// Committed reports whether a journal had its commit frame.
+	Committed bool `json:"committed,omitempty"`
+
+	BytesTotal int64 `json:"bytes_total"`
+	BytesKept  int64 `json:"bytes_kept"`
+
+	// DamageOffset is the absolute byte offset of the first damaged
+	// frame (-1 when the framing itself was fine, e.g. an uncommitted but
+	// untorn journal). DamageCause is the typed scan error's text.
+	DamageOffset int64  `json:"damage_offset"`
+	DamageCause  string `json:"damage_cause,omitempty"`
+
+	SectionsKept int    `json:"sections_kept"`
+	LostSections []byte `json:"lost_sections,omitempty"` // known-lost ids (v2 manifest)
+
+	// OriginalInstrs is the recorded region length when known (0 for an
+	// uncommitted journal, whose final length died with the recording).
+	// SalvagedInstrs is the region length of the recovered pinball.
+	OriginalInstrs int64 `json:"original_instrs,omitempty"`
+	SalvagedInstrs int64 `json:"salvaged_instrs"`
+
+	// Truncated is set when the recovery anchored at a divergence
+	// checkpoint; CheckpointStep is that checkpoint's global region step.
+	Truncated      bool  `json:"truncated"`
+	CheckpointStep int64 `json:"checkpoint_step,omitempty"`
+	// Unverified is set when the recovered pinball lost its divergence
+	// checkpoints: it replays, but replay cannot be validated windows-wise.
+	Unverified bool `json:"unverified,omitempty"`
+}
+
+// Summary renders the report as a short human-readable block.
+func (r *SalvageReport) Summary() string {
+	if r.Intact {
+		return fmt.Sprintf("intact pinball (format version %d, %d bytes): nothing to repair", r.Version, r.BytesTotal)
+	}
+	s := fmt.Sprintf("kept %d of %d bytes (%d sections)", r.BytesKept, r.BytesTotal, r.SectionsKept)
+	if r.DamageOffset >= 0 {
+		s += fmt.Sprintf("\nfirst damage at byte offset %d: %s", r.DamageOffset, r.DamageCause)
+	} else if r.DamageCause != "" {
+		s += "\n" + r.DamageCause
+	}
+	if len(r.LostSections) > 0 {
+		s += fmt.Sprintf("\nlost sections: %v", r.LostSections)
+	}
+	if r.Truncated {
+		s += fmt.Sprintf("\ntruncated to the last intact divergence checkpoint: %d instructions (region step %d)",
+			r.SalvagedInstrs, r.CheckpointStep)
+	} else {
+		s += fmt.Sprintf("\nregion recovered whole: %d instructions", r.SalvagedInstrs)
+	}
+	if r.Unverified {
+		s += "\ndivergence checkpoints were lost: replay of the salvaged pinball is unverified"
+	}
+	return s
+}
+
+// Salvage reads the file at path and recovers what it can. On success
+// the returned pinball passes Validate and is replayable; the report is
+// non-nil even on failure, so tools can show diagnostics either way.
+func Salvage(path string) (*Pinball, *SalvageReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &SalvageReport{Path: path, DamageOffset: -1, DamageCause: err.Error()},
+			fmt.Errorf("pinball: %w", err)
+	}
+	p, rep, err := SalvageBytes(data)
+	rep.Path = path
+	if err != nil {
+		return nil, rep, fmt.Errorf("pinball: salvage %s: %w", path, err)
+	}
+	return p, rep, nil
+}
+
+// SalvageBytes is Salvage over in-memory file bytes.
+func SalvageBytes(data []byte) (*Pinball, *SalvageReport, error) {
+	rep := &SalvageReport{BytesTotal: int64(len(data)), DamageOffset: -1}
+
+	// A file that loads cleanly needs no repair.
+	if p, err := Decode(data); err == nil {
+		rep.Intact = true
+		rep.Version = data[len(fileMagic)]
+		rep.BytesKept = rep.BytesTotal
+		rep.OriginalInstrs, rep.SalvagedInstrs = p.RegionInstrs, p.RegionInstrs
+		return p, rep, nil
+	}
+
+	if len(data) < len(fileMagic)+1 || string(data[:len(fileMagic)]) != fileMagic {
+		rep.DamageCause = "no pinball magic"
+		return nil, rep, fmt.Errorf("%w: not a pinball file", ErrUnsalvageable)
+	}
+	rep.Version = data[len(fileMagic)]
+	switch rep.Version {
+	case versionLegacy:
+		// Legacy files are one opaque gzip stream: no frame boundaries to
+		// recover at.
+		rep.DamageCause = "legacy format has no section framing to salvage"
+		return nil, rep, fmt.Errorf("%w: damaged legacy (v0) pinball has no recoverable framing", ErrUnsalvageable)
+	case versionFramed:
+		return salvageFramed(data, rep)
+	case versionJournal:
+		return salvageJournal(data, rep)
+	}
+	rep.DamageCause = fmt.Sprintf("unknown format version %d", rep.Version)
+	return nil, rep, fmt.Errorf("%w: unknown format version %d", ErrUnsalvageable, rep.Version)
+}
+
+// replayCritical are the section ids replay cannot run without. The
+// slice section is critical only for slice pinballs (checked separately).
+var replayCritical = map[byte]string{
+	secMeta:     "meta",
+	secState:    "initial state",
+	secSchedule: "schedule",
+	secSyscalls: "syscall results",
+}
+
+// salvageFramed recovers a framed (v2) file: the valid frame prefix is
+// kept, and the meta manifest decides whether the lost tail mattered.
+func salvageFramed(data []byte, rep *SalvageReport) (*Pinball, *SalvageReport, error) {
+	if int64(len(data)) < framedHeaderLen {
+		rep.DamageCause = "file ends inside the header"
+		return nil, rep, fmt.Errorf("%w: file ends inside the header", ErrUnsalvageable)
+	}
+	count := int(data[len(fileMagic)+2])
+	p := &Pinball{}
+	meta := metaV1{}
+	seen := map[byte]bool{}
+	off := framedHeaderLen
+	for i := 1; i <= count; i++ {
+		f, next, err := readFrame(data, off, i)
+		if err == nil && seen[f.id] {
+			err = fmt.Errorf("%w: duplicate section id %d (#%d) at byte offset %d", ErrCorrupt, f.id, i, f.off)
+		}
+		if err == nil {
+			err = f.apply(p, &meta)
+		}
+		if err != nil {
+			rep.DamageOffset, rep.DamageCause = off, err.Error()
+			break
+		}
+		seen[f.id] = true
+		rep.SectionsKept++
+		off = next
+	}
+	rep.BytesKept = off
+
+	// Which sections did the tear cost? Old files without a manifest
+	// cannot prove the lost tail was optional, so they only salvage when
+	// every declared section survived (i.e. only trailing garbage or a
+	// torn final frame past the declared count — rare, but cheap to keep).
+	if !seen[secMeta] {
+		return nil, rep, fmt.Errorf("%w: the meta section did not survive", ErrUnsalvageable)
+	}
+	if len(meta.Sections) == 0 && rep.SectionsKept < count {
+		return nil, rep, fmt.Errorf("%w: file predates the section manifest; cannot prove the %d lost sections were optional",
+			ErrUnsalvageable, count-rep.SectionsKept)
+	}
+	for _, id := range meta.Sections {
+		if seen[id] {
+			continue
+		}
+		rep.LostSections = append(rep.LostSections, id)
+		if what, critical := replayCritical[id]; critical {
+			return nil, rep, fmt.Errorf("%w: the %s section did not survive", ErrUnsalvageable, what)
+		}
+		if id == secSlice && meta.Kind == KindSlice {
+			return nil, rep, fmt.Errorf("%w: the slice pinball's exclusion/injection section did not survive", ErrUnsalvageable)
+		}
+		if id == secCheckpoints {
+			rep.Unverified = true
+		}
+	}
+	p.applyMeta(meta)
+	rep.OriginalInstrs, rep.SalvagedInstrs = p.RegionInstrs, p.RegionInstrs
+	if err := p.Validate(); err != nil {
+		return nil, rep, fmt.Errorf("%w: salvaged content is inconsistent: %v", ErrUnsalvageable, err)
+	}
+	return p, rep, nil
+}
+
+// salvageJournal recovers an interrupted or damaged journal (v3): the
+// valid frame prefix is truncated to the last divergence checkpoint its
+// schedule chunks cover.
+func salvageJournal(data []byte, rep *SalvageReport) (*Pinball, *SalvageReport, error) {
+	parts, scanErr := readJournalFrames(data)
+	rep.BytesKept = parts.end
+	rep.SectionsKept = parts.frames
+	rep.Committed = parts.committed
+	if scanErr != nil {
+		rep.DamageOffset, rep.DamageCause = parts.end, scanErr.Error()
+	} else if !parts.committed {
+		rep.DamageCause = "journal has no commit frame: the recording was interrupted"
+	}
+
+	p := parts.p
+	switch {
+	case !parts.hasMeta:
+		return nil, rep, fmt.Errorf("%w: the provisional meta frame did not survive", ErrUnsalvageable)
+	case p.State == nil:
+		return nil, rep, fmt.Errorf("%w: the initial state frame did not survive", ErrUnsalvageable)
+	case len(p.Quanta) == 0:
+		return nil, rep, fmt.Errorf("%w: no schedule chunk survived", ErrUnsalvageable)
+	}
+	p.applyMeta(parts.meta)
+	rep.OriginalInstrs = parts.meta.RegionInstrs // 0 unless the commit frame survived
+
+	if parts.committed && scanErr == nil {
+		// Clean committed journal (Decode would have accepted it; only
+		// reachable if validation failed, which truncation cannot fix).
+		if err := p.Validate(); err != nil {
+			return nil, rep, fmt.Errorf("%w: committed journal is inconsistent: %v", ErrUnsalvageable, err)
+		}
+		rep.SalvagedInstrs = p.RegionInstrs
+		return p, rep, nil
+	}
+
+	// The recording was cut mid-flight: anchor at the last checkpoint the
+	// surviving schedule covers. Chunk ordering inside a flush (quanta
+	// last) guarantees every event at or before that step survived too.
+	scheduled := p.TotalQuantumInstrs()
+	anchor := int64(-1)
+	for _, cp := range p.Checkpoints {
+		if cp.Step <= scheduled && cp.Step > anchor {
+			anchor = cp.Step
+		}
+	}
+	if anchor <= 0 {
+		return nil, rep, fmt.Errorf("%w: no intact divergence checkpoint to anchor a truncation (recording covered %d scheduled instructions)",
+			ErrUnsalvageable, scheduled)
+	}
+	p.truncateToStep(anchor)
+	rep.Truncated = true
+	rep.CheckpointStep = anchor
+	rep.SalvagedInstrs = p.RegionInstrs
+	if err := p.Validate(); err != nil {
+		return nil, rep, fmt.Errorf("%w: salvaged content is inconsistent: %v", ErrUnsalvageable, err)
+	}
+	return p, rep, nil
+}
+
+// truncateToStep cuts the pinball's region to exactly step instructions:
+// the schedule is trimmed (splitting the quantum the boundary lands in),
+// region accounting recomputed, and checkpoints/injections past the
+// boundary dropped. Trailing syscall results and order edges are
+// unreachable by the shortened replay and kept harmlessly. The recorded
+// failure sat at the region's (lost) end, so it is cleared.
+func (p *Pinball) truncateToStep(step int64) {
+	var total int64
+	trimmed := p.Quanta[:0:0]
+	for _, q := range p.Quanta {
+		if total+q.Count >= step {
+			if left := step - total; left > 0 {
+				q.Count = left
+				trimmed = append(trimmed, q)
+			}
+			total = step
+			break
+		}
+		total += q.Count
+		trimmed = append(trimmed, q)
+	}
+	p.Quanta = trimmed
+	p.RegionInstrs = step
+	var main int64
+	for _, q := range p.Quanta {
+		if q.Tid == 0 {
+			main += q.Count
+		}
+	}
+	p.MainInstrs = main
+
+	cps := p.Checkpoints[:0:0]
+	for _, cp := range p.Checkpoints {
+		if cp.Step <= step {
+			cps = append(cps, cp)
+		}
+	}
+	p.Checkpoints = cps
+
+	inj := p.Injections[:0:0]
+	for _, in := range p.Injections {
+		if in.AtStep <= step {
+			inj = append(inj, in)
+		}
+	}
+	p.Injections = inj
+
+	p.EndReason = "salvaged"
+	p.Failure = nil
+}

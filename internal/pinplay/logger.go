@@ -39,7 +39,27 @@ type LogConfig struct {
 	// recorded into the pinball (0 = pinball.DefaultCheckpointEvery,
 	// negative = disable checkpointing).
 	CheckpointEvery int64
+	// JournalPath, when set, makes the logger write the capture
+	// incrementally to that path as a format-v3 journal while recording
+	// runs: a crash mid-record leaves a salvageable prefix on disk
+	// instead of nothing. The committed journal IS the output pinball
+	// file — no separate Save is needed.
+	JournalPath string
+	// JournalEvery is the journal flush cadence in executed region
+	// instructions (0 = DefaultJournalFlushEvery).
+	JournalEvery int64
+	// JournalNoSync disables the per-flush fsync (faster, but a flushed
+	// window is only durable against process crashes, not power loss).
+	JournalNoSync bool
 }
+
+// DefaultJournalFlushEvery is the default journal flush cadence in
+// executed region instructions. Each flush seals a window with an fsync
+// (~1ms of fixed cost), so the default is sized for paper-scale regions
+// (millions of instructions): frequent enough that a crash loses at most
+// a modest tail, rare enough that the fsync cost stays in the single
+// percents of recording time.
+const DefaultJournalFlushEvery = 1 << 20
 
 // every resolves the configured checkpoint cadence.
 func (c LogConfig) every() int64 {
@@ -69,6 +89,12 @@ type recordTracer struct {
 	syscalls []vm.SyscallRecord
 	edges    []vm.OrderEdge
 	ck       *checkpointer // nil when checkpointing is disabled
+
+	// Journal flushing: every flushEvery instructions flush() seals the
+	// accumulated deltas to the attached journal. Zero when no journal.
+	flushEvery int64
+	sinceFlush int64
+	flush      func()
 }
 
 func (r *recordTracer) OnSyscall(rec vm.SyscallRecord) { r.syscalls = append(r.syscalls, rec) }
@@ -76,6 +102,13 @@ func (r *recordTracer) OnOrderEdge(e vm.OrderEdge)     { r.edges = append(r.edge
 func (r *recordTracer) OnInstr(ev *vm.InstrEvent) {
 	if r.ck != nil {
 		r.ck.observe(ev)
+	}
+	if r.flush != nil {
+		r.sinceFlush++
+		if r.sinceFlush >= r.flushEvery {
+			r.sinceFlush = 0
+			r.flush()
+		}
 	}
 }
 
@@ -98,7 +131,16 @@ func Log(prog *isa.Program, cfg LogConfig, spec RegionSpec) (*pinball.Pinball, e
 		return nil, fmt.Errorf("pinplay: program stopped (%v) before skip %d", m.Stopped(), spec.SkipMain)
 	}
 
+	kind := pinball.KindRegion
+	if spec.SkipMain == 0 && spec.LengthMain == 0 {
+		kind = pinball.KindWhole
+	}
 	rec := startRecording(m, cfg.every())
+	if cfg.JournalPath != "" {
+		if err := rec.AttachJournal(cfg.JournalPath, kind, cfg.JournalEvery, !cfg.JournalNoSync); err != nil {
+			return nil, err
+		}
+	}
 	var endReason string
 	if spec.LengthMain > 0 {
 		target := m.Threads[0].Count + spec.LengthMain
@@ -113,11 +155,11 @@ func Log(prog *isa.Program, cfg LogConfig, spec RegionSpec) (*pinball.Pinball, e
 		endReason = m.Stopped().String()
 	}
 	pb := rec.Finish(m, endReason)
-	pb.Kind = pinball.KindRegion
-	if spec.SkipMain == 0 && spec.LengthMain == 0 {
-		pb.Kind = pinball.KindWhole
-	}
+	pb.Kind = kind
 	pb.SkipMain = spec.SkipMain
+	if err := rec.CommitJournal(pb); err != nil {
+		return nil, err
+	}
 	return pb, nil
 }
 
@@ -137,11 +179,24 @@ func LogUntilFailure(prog *isa.Program, cfg LogConfig, skipMain int64) (*pinball
 // Recorder captures a region of a live machine: the debugger's
 // "record on/off" commands use it directly.
 type Recorder struct {
+	m          *vm.Machine
 	state      *vm.MachineState
 	tracer     *recordTracer
 	every      int64
 	startMain  int64
 	startSteps int64
+
+	// Journal state (nil jw = journaling off): how much of each event
+	// stream earlier flushes already consumed. The machine's run-length
+	// quanta only grow, so (entry index, count within entry) marks the
+	// consumed prefix exactly — a still-open quantum is flushed partially
+	// and its remainder becomes the next flush's first delta entry.
+	jw   *pinball.JournalWriter
+	qIdx int
+	qOff int64
+	sIdx int
+	eIdx int
+	cIdx int
 }
 
 // StartRecording snapshots the machine state and begins capturing
@@ -155,6 +210,7 @@ func StartRecording(m *vm.Machine) *Recorder {
 // (0 disables checkpointing).
 func startRecording(m *vm.Machine, every int64) *Recorder {
 	r := &Recorder{
+		m:          m,
 		state:      m.Snapshot(),
 		tracer:     &recordTracer{},
 		every:      every,
@@ -203,6 +259,92 @@ func (r *Recorder) Finish(m *vm.Machine, endReason string) *pinball.Pinball {
 	}
 	m.SetTracer(nil)
 	return pb
+}
+
+// AttachJournal starts writing the recording incrementally to path as a
+// format-v3 journal. kind must match the kind the finished pinball will
+// carry (the journal header pins it). flushEvery is the flush cadence in
+// executed region instructions (0 = DefaultJournalFlushEvery); sync
+// fsyncs every flushed window. Call between StartRecording and Finish;
+// seal with CommitJournal after Finish (and any Kind/SkipMain fixups),
+// or AbortJournal to leave a salvageable partial file.
+func (r *Recorder) AttachJournal(path string, kind pinball.Kind, flushEvery int64, sync bool) error {
+	provisional := &pinball.Pinball{
+		ProgramName: r.m.Prog.Name,
+		Kind:        kind,
+		State:       r.state,
+	}
+	if r.tracer.ck != nil {
+		provisional.CheckpointEvery = r.every
+	}
+	jw, err := pinball.NewJournalWriter(path, provisional, sync)
+	if err != nil {
+		return err
+	}
+	if flushEvery <= 0 {
+		flushEvery = DefaultJournalFlushEvery
+	}
+	r.jw = jw
+	r.tracer.flushEvery = flushEvery
+	r.tracer.flush = r.flushJournal
+	return nil
+}
+
+// flushJournal seals the deltas since the previous flush into one
+// journal chunk. Write errors stick in the journal writer; recording is
+// never interrupted by a failing journal.
+func (r *Recorder) flushJournal() {
+	if r.jw == nil {
+		return
+	}
+	q := r.m.Quanta()
+	var dq []vm.Quantum
+	for i := r.qIdx; i < len(q); i++ {
+		e := q[i]
+		if i == r.qIdx {
+			e.Count -= r.qOff
+		}
+		if e.Count > 0 {
+			dq = append(dq, e)
+		}
+	}
+	if n := len(q); n > 0 {
+		r.qIdx, r.qOff = n-1, q[n-1].Count
+	}
+	ds := r.tracer.syscalls[r.sIdx:]
+	de := r.tracer.edges[r.eIdx:]
+	r.sIdx, r.eIdx = len(r.tracer.syscalls), len(r.tracer.edges)
+	var dc []pinball.Checkpoint
+	if ck := r.tracer.ck; ck != nil {
+		dc = ck.cps[r.cIdx:]
+		r.cIdx = len(ck.cps)
+	}
+	r.jw.AppendChunk(dq, ds, de, dc)
+}
+
+// CommitJournal flushes the recording's tail and seals the journal with
+// pb's authoritative metadata, making the file a complete, loadable
+// pinball. pb must be the pinball Finish returned, after the caller's
+// final fixups (Kind, SkipMain) — the commit frame snapshots it.
+func (r *Recorder) CommitJournal(pb *pinball.Pinball) error {
+	if r.jw == nil {
+		return nil
+	}
+	r.flushJournal()
+	err := r.jw.Commit(pb)
+	r.jw = nil
+	return err
+}
+
+// AbortJournal closes the journal without committing; the partial file
+// stays on disk for Salvage. No-op when no journal is attached.
+func (r *Recorder) AbortJournal() error {
+	if r.jw == nil {
+		return nil
+	}
+	err := r.jw.Abort()
+	r.jw = nil
+	return err
 }
 
 // PointSpec selects an execution region by code locations instead of

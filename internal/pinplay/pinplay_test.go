@@ -444,3 +444,45 @@ int main() { return 0; }`)
 		t.Error("unreached start point accepted")
 	}
 }
+
+func TestLogWithJournalMatchesSave(t *testing.T) {
+	prog := compileT(t, workerSrc)
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.pinball")
+	cfg := LogConfig{Seed: 3, MeanQuantum: 31, JournalPath: jpath, JournalEvery: 512, JournalNoSync: true}
+	pb, err := Log(prog, cfg, RegionSpec{})
+	if err != nil {
+		t.Fatalf("log: %v", err)
+	}
+	got, err := pinball.Load(jpath)
+	if err != nil {
+		t.Fatalf("load journal: %v", err)
+	}
+	if got.ID() != pb.ID() {
+		t.Fatalf("journaled pinball differs from the in-memory one: %s vs %s", got.ID(), pb.ID())
+	}
+	if got.RegionInstrs != pb.RegionInstrs || len(got.Quanta) == 0 ||
+		len(got.Syscalls) != len(pb.Syscalls) || len(got.Checkpoints) != len(pb.Checkpoints) {
+		t.Fatalf("journaled content mismatch: region %d/%d, %d/%d syscalls, %d/%d checkpoints",
+			got.RegionInstrs, pb.RegionInstrs, len(got.Syscalls), len(pb.Syscalls),
+			len(got.Checkpoints), len(pb.Checkpoints))
+	}
+	// The journaled file replays exactly like the in-memory pinball.
+	m1, err := Replay(prog, pb, nil)
+	if err != nil {
+		t.Fatalf("replay original: %v", err)
+	}
+	m2, err := Replay(prog, got, nil)
+	if err != nil {
+		t.Fatalf("replay journaled: %v", err)
+	}
+	o1, o2 := m1.Output(), m2.Output()
+	if len(o1) != len(o2) {
+		t.Fatalf("outputs differ: %v vs %v", o1, o2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outputs differ at %d: %v vs %v", i, o1, o2)
+		}
+	}
+}

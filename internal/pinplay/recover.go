@@ -1,0 +1,73 @@
+package pinplay
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/pinball"
+	"repro/internal/vm"
+)
+
+// ReplayToStep replays only the first step instructions of the pinball's
+// region and treats arriving there as success: checkpoints inside the
+// prefix are still validated, but nothing past the boundary is expected
+// to be reached. This is the degraded-recovery primitive — when a full
+// replay diverges, the supervisor re-runs the prefix up to the last
+// checkpoint that still matched (Divergence.FromStep), handing the
+// caller a machine in a known-good state instead of nothing.
+func ReplayToStep(prog *isa.Program, pb *pinball.Pinball, step int64, opts ReplayOptions) (*vm.Machine, *ReplayReport, error) {
+	total := pb.TotalQuantumInstrs()
+	if step < 0 || step > total {
+		return nil, nil, fmt.Errorf("pinplay: replay-to-step %d outside region of %d instructions", step, total)
+	}
+	if pb.Kind == pinball.KindSlice {
+		return replaySliceToStep(prog, pb, step, opts)
+	}
+	m, v := newValidatedMachine(prog, pb, opts)
+	var executed int64
+	rep := &ReplayReport{}
+	for executed < step && m.StepOne() {
+		executed++
+		if d := v.failed(); d != nil {
+			rep.Executed = executed
+			rep.Checked, rep.Divergences = v.report()
+			return m, rep, &DivergenceError{Div: *d}
+		}
+	}
+	rep.Executed = executed
+	rep.Checked, rep.Divergences = v.report()
+	return m, rep, prefixStopErr(m, pb, executed, step)
+}
+
+// replaySliceToStep is ReplayToStep for slice pinballs, driving the
+// injection-aware SliceRunner.
+func replaySliceToStep(prog *isa.Program, pb *pinball.Pinball, step int64, opts ReplayOptions) (*vm.Machine, *ReplayReport, error) {
+	r := NewSliceRunnerWith(prog, pb, opts)
+	for r.executed < step {
+		ok, err := r.Step()
+		if err != nil {
+			return r.Machine(), r.Report(), err
+		}
+		if !ok {
+			break
+		}
+	}
+	return r.Machine(), r.Report(), prefixStopErr(r.Machine(), pb, r.executed, step)
+}
+
+// prefixStopErr classifies a prefix replay that stopped before its
+// target step: reproducing the recorded failure early is success, a
+// limit stop is a limit error, anything else is a divergence.
+func prefixStopErr(m *vm.Machine, pb *pinball.Pinball, executed, step int64) error {
+	if executed >= step {
+		return nil
+	}
+	switch {
+	case m.Stopped() == vm.StopFailure && pb.Failure != nil:
+		return nil
+	case m.Stopped().LimitStop():
+		return limitErr(m, executed, step)
+	}
+	return fmt.Errorf("%w: executed %d of %d prefix instructions (stop: %v)",
+		ErrReplay, executed, step, m.Stopped())
+}

@@ -15,6 +15,14 @@ import (
 // unreadable", the pinball.Err* family) with errors.Is(err, ErrReplay).
 var ErrReplay = errors.New("replay failed")
 
+// ErrLimit marks replays cut off by an execution limit (instruction
+// budget, deadline, memory cap or cancellation) rather than by a real
+// divergence. Limit errors wrap both ErrReplay and ErrLimit, so
+// errors.Is(err, ErrLimit) distinguishes "ran out of budget" from "the
+// replay went wrong" — the supervisor fails fast on the former instead
+// of retrying a deterministic exhaustion.
+var ErrLimit = errors.New("execution limit hit")
+
 // ReplayOptions configures a replay beyond the bare defaults: an
 // observing tracer, the divergence-checkpoint policy and execution
 // limits so a tampered pinball can never hang the caller.
@@ -87,9 +95,10 @@ func newValidatedMachine(prog *isa.Program, pb *pinball.Pinball, opts ReplayOpti
 	return m, v
 }
 
-// limitErr converts a limit-triggered stop into a typed replay error.
+// limitErr converts a limit-triggered stop into a typed replay error
+// wrapping both ErrReplay and ErrLimit.
 func limitErr(m *vm.Machine, executed, total int64) error {
-	return fmt.Errorf("%w: %v after %d of %d instructions", ErrReplay, m.Stopped(), executed, total)
+	return fmt.Errorf("%w: %w: %v after %d of %d instructions", ErrReplay, ErrLimit, m.Stopped(), executed, total)
 }
 
 // Replay deterministically re-executes the pinball's region to its end

@@ -1,0 +1,73 @@
+package supervisor
+
+import (
+	"errors"
+
+	"repro/internal/isa"
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+	"repro/internal/vm"
+)
+
+// ReplayResult is what a supervised replay hands back: the machine (at
+// the region end, or at the recovery anchor when Degraded), the replay's
+// verification report and the supervisor's own report.
+type ReplayResult struct {
+	Machine  *vm.Machine
+	Replay   *pinplay.ReplayReport
+	Report   *Report
+	Degraded bool
+	// RecoveredStep is the region step the degraded recovery reached —
+	// the last divergence checkpoint the replay still matched.
+	RecoveredStep int64
+}
+
+// Replay runs a full replay of pb under the supervisor's policy. When
+// the replay diverges on every attempt, it falls back to a
+// checkpoint-anchored partial replay: the prefix up to the divergence's
+// last good checkpoint (Divergence.FromStep) re-runs, and if that
+// prefix is clean the call succeeds with Degraded set — the caller gets
+// a machine in the last provably faithful state instead of nothing.
+func Replay(prog *isa.Program, pb *pinball.Pinball, opts Options, ropts pinplay.ReplayOptions) (*ReplayResult, error) {
+	res := &ReplayResult{}
+	rep, err := Run(PhaseReplay, opts, func() error {
+		m, r, err := pinplay.ReplayWith(prog, pb, ropts)
+		res.Machine, res.Replay = m, r
+		return err
+	})
+	res.Report = rep
+	if err == nil {
+		return res, nil
+	}
+
+	var se *SessionError
+	var de *pinplay.DivergenceError
+	if errors.As(err, &se) && se.Kind == KindDivergence &&
+		errors.As(se.Err, &de) && de.Div.FromStep > 0 {
+		m, r, perr := pinplay.ReplayToStep(prog, pb, de.Div.FromStep, ropts)
+		if perr == nil {
+			res.Machine, res.Replay = m, r
+			res.Degraded, res.RecoveredStep = true, de.Div.FromStep
+			rep.Degraded, rep.RecoveredStep = true, de.Div.FromStep
+			rep.Kind, rep.Failure = "", ""
+			return res, nil
+		}
+	}
+	return res, err
+}
+
+// Record runs a logging session under the supervisor's policy. Recording
+// panics (a buggy tracer, a journal write blowing up) surface as typed
+// session errors; transient failures retry per the options.
+func Record(prog *isa.Program, cfg pinplay.LogConfig, spec pinplay.RegionSpec, opts Options) (*pinball.Pinball, *Report, error) {
+	var pb *pinball.Pinball
+	rep, err := Run(PhaseRecord, opts, func() error {
+		p, err := pinplay.Log(prog, cfg, spec)
+		pb = p
+		return err
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return pb, rep, nil
+}

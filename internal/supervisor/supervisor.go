@@ -1,0 +1,245 @@
+// Package supervisor is the self-healing session layer: it runs the
+// record/replay/slice phases of a debugging session under panic
+// isolation, watchdog deadlines and retry-with-backoff, so that a bad
+// pinball, a buggy analysis pass or a hung replay surfaces as a typed,
+// reportable failure instead of a crash or a stuck process.
+//
+// The failure policy, by classified kind:
+//
+//	corrupt   — the pinball file is bad; deterministic, fail fast.
+//	limit     — an execution budget/deadline was exhausted; deliberate,
+//	            fail fast.
+//	timeout   — the watchdog fired on a hung phase; retrying a hang
+//	            re-hangs, fail fast.
+//	divergence, panic, error — retried with exponential backoff up to
+//	            MaxAttempts; a divergence that survives its retries is
+//	            additionally offered checkpoint-anchored degraded
+//	            recovery (see Replay).
+//
+// Every outcome — recovered, degraded or failed — is summarised in a
+// JSON-serialisable Report for structured failure output.
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+)
+
+// Phase names the part of the session a supervised call runs.
+type Phase string
+
+// Session phases.
+const (
+	PhaseRecord Phase = "record"
+	PhaseReplay Phase = "replay"
+	PhaseSlice  Phase = "slice"
+	PhaseRelog  Phase = "relog"
+)
+
+// Kind classifies why a supervised phase failed.
+type Kind string
+
+// Failure kinds.
+const (
+	KindPanic      Kind = "panic"      // the phase panicked (recovered)
+	KindTimeout    Kind = "timeout"    // the watchdog fired on a hung phase
+	KindDivergence Kind = "divergence" // replay left the recorded execution
+	KindCorrupt    Kind = "corrupt"    // the pinball file is bad
+	KindLimit      Kind = "limit"      // an execution limit was exhausted
+	KindError      Kind = "error"      // any other failure
+)
+
+// Retryable reports whether another attempt can plausibly change the
+// outcome.
+func (k Kind) Retryable() bool {
+	switch k {
+	case KindCorrupt, KindLimit, KindTimeout:
+		return false
+	}
+	return true
+}
+
+// SessionError is the typed failure a supervised phase ends in after the
+// retry policy is exhausted. It wraps the final attempt's error.
+type SessionError struct {
+	Phase    Phase
+	Kind     Kind
+	Attempts int
+	Err      error
+}
+
+func (e *SessionError) Error() string {
+	return fmt.Sprintf("supervisor: %s failed (%s) after %d attempt(s): %v", e.Phase, e.Kind, e.Attempts, e.Err)
+}
+
+func (e *SessionError) Unwrap() error { return e.Err }
+
+// PanicError is a recovered panic converted into an error, carrying the
+// goroutine stack at the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// HangError is the watchdog's verdict on a phase that did not finish in
+// time.
+type HangError struct {
+	Phase Phase
+	After time.Duration
+}
+
+func (e *HangError) Error() string {
+	return fmt.Sprintf("%s hung: no result after %v (watchdog)", e.Phase, e.After)
+}
+
+// Classify maps an error to its failure kind.
+func Classify(err error) Kind {
+	var pe *PanicError
+	var he *HangError
+	var de *pinplay.DivergenceError
+	switch {
+	case errors.As(err, &pe):
+		return KindPanic
+	case errors.As(err, &he):
+		return KindTimeout
+	case errors.Is(err, pinball.ErrNotPinball),
+		errors.Is(err, pinball.ErrVersionSkew),
+		errors.Is(err, pinball.ErrTruncated),
+		errors.Is(err, pinball.ErrCorrupt),
+		errors.Is(err, pinball.ErrUnsalvageable):
+		return KindCorrupt
+	case errors.Is(err, pinplay.ErrLimit):
+		return KindLimit
+	case errors.As(err, &de):
+		return KindDivergence
+	case errors.Is(err, pinplay.ErrReplay):
+		return KindDivergence
+	}
+	return KindError
+}
+
+// Options tunes the retry policy. The zero value means: 3 attempts,
+// 10ms initial backoff doubling to at most 1s, no watchdog.
+type Options struct {
+	// MaxAttempts caps how often a retryable failure is retried
+	// (0 = default 3; 1 = never retry).
+	MaxAttempts int
+	// Backoff is the sleep before the first retry; it doubles per retry
+	// up to BackoffMax (defaults 10ms and 1s).
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Watchdog bounds each attempt's wall-clock time (0 = no watchdog).
+	// A fired watchdog abandons the attempt's goroutine — pair it with a
+	// vm deadline limit so the abandoned replay also stops itself.
+	Watchdog time.Duration
+	// OnRetry observes each retry decision (attempt just failed, err why).
+	OnRetry func(attempt int, err error)
+	// Sleep replaces time.Sleep in tests.
+	Sleep func(time.Duration)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Attempt records one supervised execution of the phase function.
+type Attempt struct {
+	N    int    `json:"n"`
+	Kind Kind   `json:"kind"`
+	Err  string `json:"error"`
+}
+
+// Report is the structured outcome of a supervised phase, serialisable
+// as JSON for tooling.
+type Report struct {
+	Phase    Phase     `json:"phase"`
+	Attempts []Attempt `json:"attempts,omitempty"` // failed attempts only
+	// Recovered means the phase succeeded after at least one failed
+	// attempt; Degraded means it succeeded only via checkpoint-anchored
+	// partial replay, reaching RecoveredStep of the region.
+	Recovered     bool  `json:"recovered,omitempty"`
+	Degraded      bool  `json:"degraded,omitempty"`
+	RecoveredStep int64 `json:"recovered_step,omitempty"`
+	// Kind and Failure describe the final failure when the phase did not
+	// succeed at all.
+	Kind    Kind   `json:"kind,omitempty"`
+	Failure string `json:"failure,omitempty"`
+}
+
+// runOnce executes fn in its own goroutine with panic isolation and the
+// watchdog applied. A fired watchdog abandons the goroutine: its result
+// is discarded whenever it does finish.
+func runOnce(phase Phase, watchdog time.Duration, fn func() error) error {
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- &PanicError{Value: p, Stack: debug.Stack()}
+			}
+		}()
+		done <- fn()
+	}()
+	if watchdog <= 0 {
+		return <-done
+	}
+	t := time.NewTimer(watchdog)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		return &HangError{Phase: phase, After: watchdog}
+	}
+}
+
+// Run executes fn under the supervisor's policy: panic isolation, the
+// watchdog, and retry-with-exponential-backoff for retryable kinds. The
+// report is non-nil in every outcome; on failure the returned error is a
+// *SessionError wrapping the last attempt's error.
+func Run(phase Phase, opts Options, fn func() error) (*Report, error) {
+	o := opts.withDefaults()
+	rep := &Report{Phase: phase}
+	backoff := o.Backoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = runOnce(phase, o.Watchdog, fn)
+		if err == nil {
+			rep.Recovered = attempt > 1
+			return rep, nil
+		}
+		kind := Classify(err)
+		rep.Attempts = append(rep.Attempts, Attempt{N: attempt, Kind: kind, Err: err.Error()})
+		if !kind.Retryable() || attempt >= o.MaxAttempts {
+			break
+		}
+		if o.OnRetry != nil {
+			o.OnRetry(attempt, err)
+		}
+		o.Sleep(backoff)
+		if backoff *= 2; backoff > o.BackoffMax {
+			backoff = o.BackoffMax
+		}
+	}
+	se := &SessionError{Phase: phase, Kind: Classify(err), Attempts: len(rep.Attempts), Err: err}
+	rep.Kind, rep.Failure = se.Kind, se.Error()
+	return rep, se
+}

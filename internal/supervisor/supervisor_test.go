@@ -1,0 +1,195 @@
+package supervisor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+)
+
+func TestRunFirstTrySuccess(t *testing.T) {
+	calls := 0
+	rep, err := Run(PhaseReplay, Options{Sleep: func(time.Duration) { t.Fatal("slept") }}, func() error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if rep.Recovered || len(rep.Attempts) != 0 || rep.Kind != "" {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestRunRetriesWithBackoff(t *testing.T) {
+	var sleeps []time.Duration
+	fails := 2
+	rep, err := Run(PhaseSlice, Options{
+		MaxAttempts: 5,
+		Backoff:     10 * time.Millisecond,
+		BackoffMax:  15 * time.Millisecond,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	}, func() error {
+		if fails > 0 {
+			fails--
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !rep.Recovered || len(rep.Attempts) != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// 10ms, then doubled-and-capped to 15ms.
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond}
+	if len(sleeps) != len(want) || sleeps[0] != want[0] || sleeps[1] != want[1] {
+		t.Fatalf("backoff sleeps = %v, want %v", sleeps, want)
+	}
+}
+
+func TestRunExhaustsAttempts(t *testing.T) {
+	var retries []int
+	calls := 0
+	boom := errors.New("always broken")
+	rep, err := Run(PhaseReplay, Options{
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+		OnRetry:     func(n int, _ error) { retries = append(retries, n) },
+	}, func() error {
+		calls++
+		return boom
+	})
+	var se *SessionError
+	if !errors.As(err, &se) {
+		t.Fatalf("error = %v (%T), want *SessionError", err, err)
+	}
+	if se.Phase != PhaseReplay || se.Kind != KindError || se.Attempts != 3 || !errors.Is(err, boom) {
+		t.Fatalf("SessionError: %+v", se)
+	}
+	if calls != 3 || len(retries) != 2 {
+		t.Fatalf("calls=%d retries=%v", calls, retries)
+	}
+	if rep.Kind != KindError || rep.Failure == "" || len(rep.Attempts) != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+// TestRunFailsFastOnNonRetryable checks the fail-fast kinds: corrupt
+// files and exhausted limits are deterministic, so retrying wastes time.
+func TestRunFailsFastOnNonRetryable(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		kind Kind
+	}{
+		{fmt.Errorf("load: %w", pinball.ErrCorrupt), KindCorrupt},
+		{fmt.Errorf("load: %w", pinball.ErrUnsalvageable), KindCorrupt},
+		{fmt.Errorf("replay: %w", pinplay.ErrLimit), KindLimit},
+	} {
+		calls := 0
+		_, err := Run(PhaseReplay, Options{MaxAttempts: 3, Sleep: func(time.Duration) { t.Fatal("slept") }},
+			func() error { calls++; return tc.err })
+		var se *SessionError
+		if !errors.As(err, &se) || se.Kind != tc.kind || calls != 1 {
+			t.Errorf("%v: kind=%v calls=%d, want %v after 1 attempt", tc.err, err, calls, tc.kind)
+		}
+	}
+}
+
+func TestRunIsolatesPanic(t *testing.T) {
+	_, err := Run(PhaseRecord, Options{MaxAttempts: 2, Sleep: func(time.Duration) {}}, func() error {
+		panic("tracer exploded")
+	})
+	var se *SessionError
+	if !errors.As(err, &se) || se.Kind != KindPanic || se.Attempts != 2 {
+		t.Fatalf("error = %v, want panic SessionError after 2 attempts", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("no PanicError in chain: %v", err)
+	}
+	if fmt.Sprint(pe.Value) != "tracer exploded" || !strings.Contains(string(pe.Stack), "supervisor") {
+		t.Fatalf("PanicError value=%v stack=%d bytes", pe.Value, len(pe.Stack))
+	}
+}
+
+func TestRunWatchdogFires(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	start := time.Now()
+	_, err := Run(PhaseSlice, Options{Watchdog: 20 * time.Millisecond}, func() error {
+		<-release
+		return nil
+	})
+	var se *SessionError
+	if !errors.As(err, &se) || se.Kind != KindTimeout || se.Attempts != 1 {
+		t.Fatalf("error = %v, want timeout SessionError after 1 attempt", err)
+	}
+	var he *HangError
+	if !errors.As(err, &he) || he.Phase != PhaseSlice || he.After != 20*time.Millisecond {
+		t.Fatalf("HangError: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("watchdog verdict was not prompt")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want Kind
+	}{
+		{&PanicError{Value: "x"}, KindPanic},
+		{&HangError{Phase: PhaseReplay, After: time.Second}, KindTimeout},
+		{fmt.Errorf("f: %w", pinball.ErrNotPinball), KindCorrupt},
+		{fmt.Errorf("f: %w", pinball.ErrVersionSkew), KindCorrupt},
+		{fmt.Errorf("f: %w", pinball.ErrTruncated), KindCorrupt},
+		{fmt.Errorf("f: %w", pinball.ErrCorrupt), KindCorrupt},
+		{fmt.Errorf("f: %w", pinball.ErrUnsalvageable), KindCorrupt},
+		{fmt.Errorf("f: %w: %w", pinplay.ErrReplay, pinplay.ErrLimit), KindLimit},
+		{&pinplay.DivergenceError{}, KindDivergence},
+		{fmt.Errorf("f: %w", pinplay.ErrReplay), KindDivergence},
+		{errors.New("anything else"), KindError},
+	} {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %s, want %s", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestKindRetryable(t *testing.T) {
+	for k, want := range map[Kind]bool{
+		KindPanic: true, KindDivergence: true, KindError: true,
+		KindCorrupt: false, KindLimit: false, KindTimeout: false,
+	} {
+		if k.Retryable() != want {
+			t.Errorf("%s.Retryable() = %v, want %v", k, !want, want)
+		}
+	}
+}
+
+// TestReportJSON pins the structured failure report's wire shape, which
+// drreplay -report exposes to tooling.
+func TestReportJSON(t *testing.T) {
+	rep, err := Run(PhaseReplay, Options{MaxAttempts: 1}, func() error {
+		return fmt.Errorf("f: %w", pinball.ErrCorrupt)
+	})
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	data, jerr := json.Marshal(rep)
+	if jerr != nil {
+		t.Fatalf("marshal: %v", jerr)
+	}
+	for _, key := range []string{`"phase":"replay"`, `"kind":"corrupt"`, `"attempts"`, `"failure"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("report JSON lacks %s: %s", key, data)
+		}
+	}
+}
