@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench chaos bench-durability
+.PHONY: all build vet test race verify bench chaos soak bench-durability
 
 all: verify
 
@@ -30,6 +30,14 @@ bench:
 # divergence — every fault must end in recovery or a typed error.
 chaos:
 	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/supervisor/...
+
+# Chaos soak against a live session daemon under the race detector:
+# 32 concurrent clients, scheduled tracer panics/stalls, corrupt and
+# tampered pinballs, quota violations, a breaker short-circuit phase and
+# a graceful drain. SOAK_REQS scales the per-client request count.
+SOAK_REQS ?= 12
+soak:
+	DRDEBUG_SOAK_REQS=$(SOAK_REQS) $(GO) test -race -count=1 -run TestChaosSoak -v ./internal/sessiond/
 
 # Regenerate BENCH_durability.json (crash-safe write overhead).
 bench-durability:

@@ -11,8 +11,12 @@
 // <input>.repaired. An intact input is reported as such and nothing is
 // written. -dry-run diagnoses without writing.
 //
-// Exit codes: 0 the file is intact or was repaired, 1 usage error,
-// 2 the file is unsalvageable.
+// Exit codes follow the shared drreplay/drdebug table (cmd/internal/cli):
+// 0 the file is intact, 1 usage error, 2 the file is unsalvageable,
+// 4 the file was damaged and repaired (degraded — with -dry-run,
+// diagnosed as repairable). A damaged input never exits 0, so scripts
+// can chain drrepair with the replay tools and treat any non-zero
+// status uniformly as "this pinball needed attention".
 package main
 
 import (
@@ -59,8 +63,11 @@ func run(path, out string, jsonOut, dryRun bool) error {
 	if !jsonOut {
 		fmt.Println(rep.Summary())
 	}
-	if rep.Intact || dryRun {
+	if rep.Intact {
 		return nil
+	}
+	if dryRun {
+		return fmt.Errorf("pinball is damaged but repairable: %w", cli.ErrDegraded)
 	}
 	if out == "" {
 		out = path + ".repaired"
@@ -71,5 +78,5 @@ func run(path, out string, jsonOut, dryRun bool) error {
 	if !jsonOut {
 		fmt.Printf("repaired pinball written to %s\n", out)
 	}
-	return nil
+	return fmt.Errorf("pinball was damaged and repaired into %s: %w", out, cli.ErrDegraded)
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	drdebug "repro"
+	"repro/cmd/internal/cli"
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+)
+
+const repairSrc = `
+int counter;
+int main() {
+	int i;
+	for (i = 0; i < 40; i++) {
+		counter = counter + read();
+	}
+	write(counter);
+	return 0;
+}`
+
+// repairFixture records a small program and lays out the inputs the
+// exit-code table loads: an intact pinball, a salvageable torn journal
+// (commit frame cut off) and an unsalvageable garbage file.
+type repairFixture struct {
+	intact  string
+	torn    string
+	garbage string
+}
+
+func makeRepairFixture(t *testing.T) *repairFixture {
+	t.Helper()
+	dir := t.TempDir()
+	src := filepath.Join(dir, "repair.c")
+	if err := os.WriteFile(src, []byte(repairSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := drdebug.CompileFile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	input := make([]int64, 64)
+	for i := range input {
+		input[i] = int64(i + 1)
+	}
+	cfg := pinplay.LogConfig{
+		Seed: 3, Input: input, CheckpointEvery: 16,
+		JournalPath:   filepath.Join(dir, "repair.journal"),
+		JournalEvery:  64,
+		JournalNoSync: true,
+	}
+	pb, err := pinplay.Log(prog, cfg, pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatalf("log: %v", err)
+	}
+
+	f := &repairFixture{
+		intact:  filepath.Join(dir, "intact.pinball"),
+		torn:    filepath.Join(dir, "torn.journal"),
+		garbage: filepath.Join(dir, "garbage.pinball"),
+	}
+	if err := pb.Save(f.intact); err != nil {
+		t.Fatal(err)
+	}
+
+	jdata, err := os.ReadFile(cfg.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := pinball.SectionOffsets(jdata)
+	if err != nil || len(secs) < 3 {
+		t.Fatalf("journal sections: %d, %v", len(secs), err)
+	}
+	if err := os.WriteFile(f.torn, jdata[:secs[len(secs)-1].Off], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.WriteFile(f.garbage, []byte("this is not a pinball at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestExitCodes pins drrepair to the shared 0–6 exit-code table: intact
+// 0, usage 1, unsalvageable 2, repaired (degraded) 4.
+func TestExitCodes(t *testing.T) {
+	f := makeRepairFixture(t)
+	outDir := t.TempDir()
+	for _, tc := range []struct {
+		name    string
+		pinball string
+		out     string
+		dryRun  bool
+		want    int
+	}{
+		{name: "intact", pinball: f.intact, want: 0},
+		{name: "missing-pinball-flag", pinball: "", want: cli.ExitUsage},
+		{name: "unsalvageable", pinball: f.garbage, want: cli.ExitBadPinball},
+		{name: "repaired-degraded", pinball: f.torn,
+			out: filepath.Join(outDir, "repaired.pinball"), want: cli.ExitDegraded},
+		{name: "dry-run-damaged", pinball: f.torn, dryRun: true, want: cli.ExitDegraded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.pinball, tc.out, false, tc.dryRun)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Fatalf("exit code = %d (err: %v), want %d", got, err, tc.want)
+			}
+		})
+	}
+	// The repaired output must itself load cleanly and replay-validate.
+	repaired := filepath.Join(outDir, "repaired.pinball")
+	pb, err := pinball.Load(repaired)
+	if err != nil {
+		t.Fatalf("repaired pinball does not load: %v", err)
+	}
+	if err := pb.Validate(); err != nil {
+		t.Fatalf("repaired pinball invalid: %v", err)
+	}
+}

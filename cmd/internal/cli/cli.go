@@ -26,13 +26,16 @@ import (
 //	    pinball, or a divergence recovered at its last good checkpoint)
 //	5 — a session phase panicked (isolated by the supervisor)
 //	6 — a session phase hung and the watchdog killed it
+//	7 — the session daemon refused the request (overloaded, draining,
+//	    or the pinball's circuit breaker is open); retry later
 const (
-	ExitUsage      = 1
-	ExitBadPinball = 2
-	ExitDiverged   = 3
-	ExitDegraded   = 4
-	ExitPanic      = 5
-	ExitHung       = 6
+	ExitUsage       = 1
+	ExitBadPinball  = 2
+	ExitDiverged    = 3
+	ExitDegraded    = 4
+	ExitPanic       = 5
+	ExitHung        = 6
+	ExitUnavailable = 7
 )
 
 // ErrDegraded marks runs that finished, but only by degrading: the tool

@@ -2,9 +2,9 @@ package cfg
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/isa"
+	"repro/internal/lru"
 )
 
 // Process-lifetime CFG cache. Building a function's CFG and its
@@ -90,66 +90,46 @@ func targetsDigest(targets map[int64][]int64) uint64 {
 	return h
 }
 
-// cacheMaxEntries bounds the graph cache; when full, the cache is
-// dropped wholesale (simple, and refills in one forward pass).
-const cacheMaxEntries = 8192
+// DefaultGraphCacheCap bounds the graph cache. Unlike the pre-LRU map
+// (dropped wholesale when full), the LRU evicts per-graph, so a daemon
+// serving many programs keeps its hottest CFGs resident.
+const DefaultGraphCacheCap = 8192
 
-// graphCache is the process-lifetime store.
-type graphCache struct {
-	mu     sync.RWMutex
-	graphs map[graphKey]*FuncGraph
-
-	hits   atomic.Int64
-	misses atomic.Int64
-}
-
-var sharedGraphs = &graphCache{graphs: make(map[graphKey]*FuncGraph)}
-
-func (c *graphCache) get(k graphKey) (*FuncGraph, bool) {
-	c.mu.RLock()
-	g, ok := c.graphs[k]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
-	}
-	return g, ok
-}
-
-func (c *graphCache) put(k graphKey, g *FuncGraph) {
-	c.mu.Lock()
-	if len(c.graphs) >= cacheMaxEntries {
-		c.graphs = make(map[graphKey]*FuncGraph)
-	}
-	c.graphs[k] = g
-	c.mu.Unlock()
-}
+var sharedGraphs = lru.New[graphKey, *FuncGraph](DefaultGraphCacheCap)
 
 // CacheStats reports the process-lifetime CFG cache counters.
 type CacheStats struct {
-	Entries int
-	Hits    int64
-	Misses  int64
+	Entries   int
+	Hits      int64
+	Misses    int64
+	Evictions int64
 }
+
+// CachedGraph returns the graph for key, building it through build on
+// first use. Concurrent callers of the same key share one build
+// (single-flight) — analyzers in different sessions race to the same
+// function graphs when concurrent slice sessions study one program.
+func CachedGraph(key graphKey, build func() (*FuncGraph, error)) (*FuncGraph, error) {
+	return sharedGraphs.GetOrLoad(key, build)
+}
+
+// SetGraphCacheCap bounds the number of resident graphs (minimum 1),
+// evicting least-recently-used graphs immediately if over the new cap.
+func SetGraphCacheCap(n int) { sharedGraphs.SetCap(n) }
+
+// GraphCacheCap returns the current graph-cache capacity.
+func GraphCacheCap() int { return sharedGraphs.Cap() }
 
 // GraphCacheStats returns the shared cache's current counters.
 func GraphCacheStats() CacheStats {
-	sharedGraphs.mu.RLock()
-	n := len(sharedGraphs.graphs)
-	sharedGraphs.mu.RUnlock()
+	st := sharedGraphs.Stats()
 	return CacheStats{
-		Entries: n,
-		Hits:    sharedGraphs.hits.Load(),
-		Misses:  sharedGraphs.misses.Load(),
+		Entries:   st.Entries,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
 	}
 }
 
 // ResetGraphCache empties the shared cache and counters (tests).
-func ResetGraphCache() {
-	sharedGraphs.mu.Lock()
-	sharedGraphs.graphs = make(map[graphKey]*FuncGraph)
-	sharedGraphs.mu.Unlock()
-	sharedGraphs.hits.Store(0)
-	sharedGraphs.misses.Store(0)
-}
+func ResetGraphCache() { sharedGraphs.Reset() }

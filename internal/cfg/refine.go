@@ -139,14 +139,11 @@ func (a *Analyzer) Graph(pc int64) (*FuncGraph, error) {
 		targets[jpc] = ts
 	}
 	key := graphKey{prog: Fingerprint(a.prog), entry: fn.Entry, targets: targetsDigest(targets)}
-	g, ok = sharedGraphs.get(key)
-	if !ok {
-		var err error
-		g, err = Build(a.prog, *fn, targets)
-		if err != nil {
-			return nil, err
-		}
-		sharedGraphs.put(key, g)
+	g, err := CachedGraph(key, func() (*FuncGraph, error) {
+		return Build(a.prog, *fn, targets)
+	})
+	if err != nil {
+		return nil, err
 	}
 	a.graphs[fn.Entry] = g
 	a.rebuilds++

@@ -220,6 +220,7 @@ func (s *Session) ParallelSlicer() (*slice.ParallelSlicer, error) {
 	eng, err := slice.CachedParallel(s.Pinball.ID(), s.Prog, tr, s.opts, slice.ParallelOptions{
 		Workers:    s.workers,
 		WindowSize: pinplay.WindowSize(s.Pinball),
+		Ctx:        s.limits.Ctx,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,257 @@
+// Package lru is the size-bounded LRU cache with single-flight loading
+// that backs the process-lifetime slicing artefact caches and the
+// session daemon. It exists because the daemon turned unbounded
+// process-lifetime maps into a liability: a long-lived drserved process
+// serving many pinballs must share hot engines between concurrent
+// sessions (one build, many readers) while keeping total retention
+// bounded — so the cache evicts least-recently-used entries at a fixed
+// capacity and collapses concurrent loads of the same key into one
+// builder with everyone else waiting on its result.
+package lru
+
+import "sync"
+
+// Stats is a cache's counter snapshot.
+type Stats struct {
+	Entries   int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// entry is one resident cache slot, a node of the intrusive LRU list
+// (front = most recently used).
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// flight is one in-progress load; concurrent GetOrLoad calls for the
+// same key share it and wait on done.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache is a bounded LRU keyed by K. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[K]*entry[K, V]
+	head    *entry[K, V] // most recently used
+	tail    *entry[K, V] // least recently used
+	loading map[K]*flight[V]
+
+	hits      int64
+	misses    int64
+	evictions int64
+
+	// onEvict, when set, observes each eviction (called without the lock
+	// held, so it may re-enter the cache).
+	onEvict func(K, V)
+}
+
+// New returns a cache holding at most capacity entries (minimum 1).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{
+		cap:     capacity,
+		entries: make(map[K]*entry[K, V], capacity),
+		loading: make(map[K]*flight[V]),
+	}
+}
+
+// OnEvict registers fn to observe evictions.
+func (c *Cache[K, V]) OnEvict(fn func(K, V)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
+}
+
+// unlink removes e from the LRU list.
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// evictOverflowLocked drops LRU entries until the cache fits its
+// capacity, returning the victims for the (unlocked) eviction callback.
+func (c *Cache[K, V]) evictOverflowLocked() []*entry[K, V] {
+	var out []*entry[K, V]
+	for len(c.entries) > c.cap && c.tail != nil {
+		v := c.tail
+		c.unlink(v)
+		delete(c.entries, v.key)
+		c.evictions++
+		out = append(out, v)
+	}
+	return out
+}
+
+// notifyEvicted runs the eviction callback for each victim.
+func (c *Cache[K, V]) notifyEvicted(victims []*entry[K, V], fn func(K, V)) {
+	if fn == nil {
+		return
+	}
+	for _, v := range victims {
+		fn(v.key, v.val)
+	}
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.unlink(e)
+	c.pushFront(e)
+	return e.val, true
+}
+
+// Put inserts (or refreshes) k, evicting the least recently used
+// entries if the cache overflows.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		e.val = v
+		c.unlink(e)
+		c.pushFront(e)
+		c.mu.Unlock()
+		return
+	}
+	e := &entry[K, V]{key: k, val: v}
+	c.entries[k] = e
+	c.pushFront(e)
+	victims := c.evictOverflowLocked()
+	fn := c.onEvict
+	c.mu.Unlock()
+	c.notifyEvicted(victims, fn)
+}
+
+// GetOrLoad returns the cached value for k, or runs load to produce it.
+// Concurrent calls for the same key share one load (single-flight): one
+// caller builds, the rest wait on its result. A failed load caches
+// nothing — every waiter gets the error and the next call loads again.
+func (c *Cache[K, V]) GetOrLoad(k K, load func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.hits++
+		c.unlink(e)
+		c.pushFront(e)
+		v := e.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.loading[k]; ok {
+		// Another goroutine is building this entry; wait for it. A
+		// failed shared load is returned to every waiter rather than
+		// dog-piling fresh loads.
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	c.misses++
+	f := &flight[V]{done: make(chan struct{})}
+	c.loading[k] = f
+	c.mu.Unlock()
+
+	f.val, f.err = load()
+	c.mu.Lock()
+	delete(c.loading, k)
+	var victims []*entry[K, V]
+	fn := c.onEvict
+	if f.err == nil {
+		if _, ok := c.entries[k]; !ok {
+			e := &entry[K, V]{key: k, val: f.val}
+			c.entries[k] = e
+			c.pushFront(e)
+			victims = c.evictOverflowLocked()
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	c.notifyEvicted(victims, fn)
+	return f.val, f.err
+}
+
+// Len returns the resident entry count.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Cap returns the capacity.
+func (c *Cache[K, V]) Cap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
+// SetCap changes the capacity (minimum 1), evicting immediately if the
+// cache now overflows.
+func (c *Cache[K, V]) SetCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.cap = n
+	victims := c.evictOverflowLocked()
+	fn := c.onEvict
+	c.mu.Unlock()
+	c.notifyEvicted(victims, fn)
+}
+
+// Stats returns the counter snapshot.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   len(c.entries),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// Reset empties the cache and zeroes the counters. In-progress loads
+// are unaffected (they complete and insert into the emptied cache).
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[K]*entry[K, V], c.cap)
+	c.head, c.tail = nil, nil
+	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.mu.Unlock()
+}

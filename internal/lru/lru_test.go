@@ -1,0 +1,169 @@
+package lru
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetPutEvictsLRU(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if _, ok := c.Get(1); !ok { // 1 is now most recently used
+		t.Fatal("1 missing")
+	}
+	c.Put(3, "c") // evicts 2, the LRU entry
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 survived eviction")
+	}
+	for _, k := range []int{1, 3} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%d evicted, want resident", k)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Put(1, "a2") // refresh, not insert: no eviction
+	c.Put(3, "c")  // evicts 2
+	if v, ok := c.Get(1); !ok || v != "a2" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 survived eviction")
+	}
+}
+
+func TestGetOrLoadSingleFlight(t *testing.T) {
+	c := New[string, int](4)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrLoad("k", func() (int, error) {
+				loads.Add(1)
+				<-gate
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("load ran %d times, want 1 (single-flight)", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("goroutine %d got %d", i, v)
+		}
+	}
+}
+
+func TestGetOrLoadErrorNotCached(t *testing.T) {
+	c := New[string, int](4)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrLoad("k", func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("failed load cached: %d calls, want 2", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error entry resident: len=%d", c.Len())
+	}
+}
+
+func TestSetCapShrinksImmediately(t *testing.T) {
+	c := New[int, int](8)
+	var evicted []int
+	c.OnEvict(func(k, _ int) { evicted = append(evicted, k) })
+	for i := 0; i < 8; i++ {
+		c.Put(i, i)
+	}
+	c.SetCap(3)
+	if c.Len() != 3 || c.Cap() != 3 {
+		t.Fatalf("len=%d cap=%d", c.Len(), c.Cap())
+	}
+	// The three most recently inserted entries survive.
+	for _, k := range []int{5, 6, 7} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%d evicted, want resident", k)
+		}
+	}
+	if len(evicted) != 5 {
+		t.Fatalf("evicted %v, want 5 victims", evicted)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int, int](4)
+	c.Put(1, 1)
+	c.Get(1)
+	c.Get(2)
+	c.Reset()
+	if st := c.Stats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("stats after reset: %+v", st)
+	}
+}
+
+// TestConcurrentMixedOps hammers every operation from many goroutines;
+// run under -race this checks the locking discipline, and afterwards the
+// cache must still respect its capacity.
+func TestConcurrentMixedOps(t *testing.T) {
+	c := New[int, int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % 24
+				switch i % 4 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.Get(k)
+				case 2:
+					c.GetOrLoad(k, func() (int, error) { return i, nil })
+				case 3:
+					if i%40 == 3 {
+						c.SetCap(4 + i%8)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > c.Cap() {
+		t.Fatalf("len %d exceeds cap %d", c.Len(), c.Cap())
+	}
+}
+
+func Example() {
+	c := New[string, string](2)
+	v, _ := c.GetOrLoad("greeting", func() (string, error) { return "hello", nil })
+	fmt.Println(v)
+	// Output: hello
+}

@@ -1,0 +1,212 @@
+package sessiond
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Admission errors. All are terminal for the request that hit them —
+// the server maps them to typed response codes, never blocks past the
+// bounded queue.
+var (
+	// ErrOverload: the session pool is busy and the FIFO wait queue is
+	// full — the server sheds the request instead of queueing further.
+	ErrOverload = errors.New("sessiond: overloaded, session pool and wait queue full")
+	// ErrClientOverload: this client already has its maximum number of
+	// sessions running or queued.
+	ErrClientOverload = errors.New("sessiond: per-client session cap reached")
+	// ErrDraining: the server is shutting down and admits nothing new;
+	// queued-but-unstarted requests are also failed with this.
+	ErrDraining = errors.New("sessiond: draining, not admitting new sessions")
+)
+
+// AdmissionConfig bounds the session pool.
+type AdmissionConfig struct {
+	// MaxSessions is the number of concurrently running sessions
+	// (default 4).
+	MaxSessions int
+	// MaxQueue bounds the FIFO wait queue behind the pool; a request
+	// arriving to a full pool and full queue is rejected with
+	// ErrOverload (default 16, negative = no queue).
+	MaxQueue int
+	// MaxPerClient caps one client's running+queued sessions, so a
+	// single flooding client cannot own the whole queue (default
+	// MaxSessions, i.e. one client can fill the pool but not the queue
+	// on top).
+	MaxPerClient int
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.MaxPerClient <= 0 {
+		c.MaxPerClient = c.MaxSessions
+	}
+	return c
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	ch     chan error // receives nil on grant, ErrDraining on drain
+	client string
+}
+
+// admission is the bounded session pool: running count, FIFO waiters,
+// per-client accounting.
+type admission struct {
+	cfg AdmissionConfig
+
+	mu        sync.Mutex
+	running   int
+	queue     []*waiter
+	perClient map[string]int // running + queued, per client
+	draining  bool
+	idle      chan struct{} // closed & re-made; signaled when running hits 0
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	return &admission{cfg: cfg.withDefaults(), perClient: make(map[string]int)}
+}
+
+// acquire blocks until a session slot is granted, FIFO behind earlier
+// waiters, or fails with ErrOverload / ErrClientOverload / ErrDraining /
+// ctx.Err(). On success the caller owns one slot and must call release
+// exactly once.
+func (a *admission) acquire(ctx context.Context, client string) error {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return ErrDraining
+	}
+	if a.perClient[client] >= a.cfg.MaxPerClient {
+		a.mu.Unlock()
+		return fmt.Errorf("%w (%d for %q)", ErrClientOverload, a.cfg.MaxPerClient, client)
+	}
+	if a.running < a.cfg.MaxSessions && len(a.queue) == 0 {
+		a.running++
+		a.perClient[client]++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.cfg.MaxQueue {
+		a.mu.Unlock()
+		return fmt.Errorf("%w (%d running, %d queued)", ErrOverload, a.cfg.MaxSessions, a.cfg.MaxQueue)
+	}
+	w := &waiter{ch: make(chan error, 1), client: client}
+	a.queue = append(a.queue, w)
+	a.perClient[client]++
+	a.mu.Unlock()
+
+	if ctx == nil {
+		return <-w.ch
+	}
+	select {
+	case err := <-w.ch:
+		return err
+	case <-ctx.Done():
+		a.abandon(w)
+		return ctx.Err()
+	}
+}
+
+// abandon removes a context-cancelled waiter; if the grant raced the
+// cancellation, the granted slot is passed on instead.
+func (a *admission) abandon(w *waiter) {
+	a.mu.Lock()
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.decClient(w.client)
+			a.mu.Unlock()
+			return
+		}
+	}
+	a.mu.Unlock()
+	// Not queued anymore: a grant or drain signal is in the channel.
+	if err := <-w.ch; err == nil {
+		a.release(w.client)
+	}
+}
+
+// decClient drops a client's accounting entry, deleting zeros so the
+// map does not grow one key per client ever seen.
+func (a *admission) decClient(client string) {
+	if n := a.perClient[client] - 1; n > 0 {
+		a.perClient[client] = n
+	} else {
+		delete(a.perClient, client)
+	}
+}
+
+// release returns a slot, handing it to the eldest waiter if any.
+func (a *admission) release(client string) {
+	a.mu.Lock()
+	a.decClient(client)
+	if len(a.queue) > 0 && !a.draining {
+		// Transfer the slot: running count is unchanged, the waiter's
+		// per-client count was taken at enqueue time.
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.mu.Unlock()
+		w.ch <- nil
+		return
+	}
+	a.running--
+	if a.running == 0 && a.idle != nil {
+		close(a.idle)
+		a.idle = nil
+	}
+	a.mu.Unlock()
+}
+
+// drain stops admission: new acquires fail with ErrDraining and every
+// queued waiter is failed with ErrDraining immediately (queued sessions
+// never started, so failing them loses no results). Running sessions
+// are untouched; awaitIdle waits for them.
+func (a *admission) drain() {
+	a.mu.Lock()
+	a.draining = true
+	queued := a.queue
+	a.queue = nil
+	for _, w := range queued {
+		a.decClient(w.client)
+	}
+	a.mu.Unlock()
+	for _, w := range queued {
+		w.ch <- ErrDraining
+	}
+}
+
+// awaitIdle returns a channel closed when no session is running (and
+// immediately-closed if already idle).
+func (a *admission) awaitIdle() <-chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ch := make(chan struct{})
+	if a.running == 0 {
+		close(ch)
+		return ch
+	}
+	if a.idle == nil {
+		a.idle = ch
+	} else {
+		ch = a.idle
+	}
+	return ch
+}
+
+// load reports the current (running, queued) counts.
+func (a *admission) load() (running, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, len(a.queue)
+}

@@ -1,0 +1,146 @@
+package sessiond
+
+import (
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-pinball circuit breaker.
+type BreakerConfig struct {
+	// K is the consecutive-failure threshold that opens a pinball's
+	// circuit (default 3; negative disables the breaker).
+	K int
+	// Cooldown is how long an opened circuit rejects before letting a
+	// trial request through (default 30s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	return c
+}
+
+// breakerEntry is one pinball's failure history.
+type breakerEntry struct {
+	consecutive int
+	openUntil   time.Time
+	// Cached failure report served while the circuit is open, so a
+	// fast-failed client still learns what is wrong with the pinball.
+	lastCode string
+	lastErr  string
+}
+
+// breaker is the per-pinball circuit breaker. Sessions against a
+// pinball whose content has failed K times in a row fail fast with the
+// cached report until the cooldown expires; then one (or a raced few)
+// trial requests pass, and a single further failure re-opens the
+// circuit for another cooldown, while a success closes it.
+//
+// Keys are content digests of the pinball file, not paths: replacing a
+// corrupt file with a good one under the same name closes its circuit
+// instantly, and copying a corrupt file to a new path does not reset
+// its failure history.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg.withDefaults(), now: now, entries: make(map[string]*breakerEntry)}
+}
+
+// pinballContentID digests a pinball file's bytes for breaker keying.
+// Unlike pinball.Pinball.ID it works on files that do not even load —
+// the breaker's most important customers. An unreadable file keys on
+// its path (the best identity available).
+func pinballContentID(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		return "path:" + path
+	}
+	defer f.Close()
+	h := fnv.New64a()
+	if _, err := io.Copy(h, f); err != nil {
+		return "path:" + path
+	}
+	var buf [8]byte
+	sum := h.Sum64()
+	for i := range buf {
+		buf[i] = byte(sum >> (8 * i))
+	}
+	return string(buf[:])
+}
+
+// check reports whether the circuit for id is open; when open it
+// returns the cached failure code and message.
+func (b *breaker) check(id string) (open bool, code, msg string) {
+	if b.cfg.K < 0 || id == "" {
+		return false, "", ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[id]
+	if !ok || b.now().Before(e.openUntil) == false {
+		return false, "", ""
+	}
+	return true, e.lastCode, e.lastErr
+}
+
+// success closes id's circuit.
+func (b *breaker) success(id string) {
+	if b.cfg.K < 0 || id == "" {
+		return
+	}
+	b.mu.Lock()
+	delete(b.entries, id)
+	b.mu.Unlock()
+}
+
+// failure records a session failure attributable to the pinball's
+// content; the K-th consecutive one opens the circuit for the cooldown
+// (and a failed post-cooldown trial re-opens it immediately).
+func (b *breaker) failure(id, code, msg string) {
+	if b.cfg.K < 0 || id == "" {
+		return
+	}
+	b.mu.Lock()
+	e, ok := b.entries[id]
+	if !ok {
+		e = &breakerEntry{}
+		b.entries[id] = e
+	}
+	e.consecutive++
+	e.lastCode, e.lastErr = code, msg
+	if e.consecutive >= b.cfg.K {
+		e.openUntil = b.now().Add(b.cfg.Cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// openCount reports how many circuits are currently open.
+func (b *breaker) openCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	n := 0
+	for _, e := range b.entries {
+		if now.Before(e.openUntil) {
+			n++
+		}
+	}
+	return n
+}

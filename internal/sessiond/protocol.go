@@ -1,0 +1,201 @@
+// Package sessiond is the fault-tolerant debugging session daemon
+// behind cmd/drserved: a resident service that runs record / replay /
+// slice / dual-slice sessions against pinballs on behalf of many
+// concurrent clients. The paper's cyclic-debugging loop — record once,
+// replay and slice many times — maps onto a long-lived server holding
+// the hot slicing engines, but a resident process serving a misbehaving
+// client population needs robustness controls the one-shot CLIs never
+// did. sessiond layers them over internal/supervisor:
+//
+//   - admission control: a bounded session pool with a FIFO wait queue
+//     and per-client concurrency caps; overflow is rejected with a typed
+//     "overload" error (HTTP-503 style) instead of queueing unboundedly;
+//   - per-session resource quotas: instruction budget, wall-clock
+//     deadline and page cap, server-clamped between defaults and maxima
+//     and enforced inside the VM via vm.Limits, with watchdog-driven
+//     preemption of hung sessions;
+//   - a per-pinball circuit breaker: after K consecutive session
+//     failures on the same pinball content, further requests fail fast
+//     with the cached failure until a cool-down expires, so one corrupt
+//     pinball cannot monopolize the worker pool;
+//   - retry with exponential backoff and jitter for transient failures
+//     (the supervisor's classification decides transient vs permanent);
+//   - graceful drain on shutdown: stop admitting, finish in-flight
+//     sessions bounded by a drain deadline, then cancel stragglers;
+//   - bounded shared caches: the process-lifetime slice-engine and CFG
+//     caches sit behind size-capped LRUs with single-flight loading, so
+//     concurrent sessions share hot engines without unbounded growth.
+//
+// The wire protocol is line-delimited JSON over TCP: one Request per
+// line in, one Response per line out, answered in order per connection.
+package sessiond
+
+import (
+	"encoding/json"
+
+	"repro/internal/supervisor"
+)
+
+// Ops a request can ask for.
+const (
+	OpRecord    = "record"
+	OpReplay    = "replay"
+	OpSlice     = "slice"
+	OpDualSlice = "dualslice"
+	OpHealth    = "health" // liveness/readiness probe; never queued
+	OpStats     = "stats"  // server counters; never queued
+)
+
+// Typed error codes (Response.Code when OK is false) — the failure
+// matrix clients program against.
+const (
+	CodeOverload    = "overload"     // session pool and wait queue full, or per-client cap hit
+	CodeQuota       = "quota"        // requested resources exceed the server's maxima
+	CodeCircuitOpen = "circuit_open" // pinball's breaker is open; Error carries the cached failure
+	CodeDraining    = "draining"     // server is shutting down and admits no new sessions
+	CodeBadRequest  = "bad_request"  // malformed or incomplete request
+	CodeCorrupt     = "corrupt"      // pinball failed to load (and salvage, if requested)
+	CodeDivergence  = "divergence"   // replay left the recorded execution
+	CodeLimit       = "limit"        // an execution quota was exhausted mid-session
+	CodeTimeout     = "timeout"      // the watchdog preempted a hung session
+	CodePanic       = "panic"        // a session phase panicked (isolated)
+	CodeInternal    = "internal"     // any other failure
+)
+
+// Annotation codes (Response.Code when OK is true and the result is
+// degraded in some way).
+const (
+	CodeSalvaged = "salvaged" // the pinball was damaged; results come from its salvaged prefix
+	CodeDegraded = "degraded" // replay recovered only to its last good checkpoint
+)
+
+// Request is one client request, one JSON object per line.
+type Request struct {
+	// ID is echoed on the response so clients can match pipelined
+	// requests to answers.
+	ID string `json:"id,omitempty"`
+	// Op selects the session kind (OpRecord ... OpStats).
+	Op string `json:"op"`
+	// Client identifies the requester for per-client concurrency caps.
+	// Empty means the connection's remote address.
+	Client string `json:"client,omitempty"`
+
+	// Program source: exactly one of File (server-local .c/.s path) or
+	// Workload (built-in name) for ops that replay or record.
+	File     string `json:"file,omitempty"`
+	Workload string `json:"workload,omitempty"`
+
+	// Pinball is the server-local pinball path (replay/slice; the
+	// failing run for dualslice). PassingPinball is dualslice's passing
+	// run.
+	Pinball        string `json:"pinball,omitempty"`
+	PassingPinball string `json:"passing_pinball,omitempty"`
+	// Salvage permits loading a damaged pinball via its salvaged prefix;
+	// the response is then annotated CodeSalvaged.
+	Salvage bool `json:"salvage,omitempty"`
+
+	// Slice criterion: Var (last read of a global), or Tid/Line/Nth (a
+	// dynamic source-line instance), else the recorded failure point.
+	// Var also names dualslice's compared variable.
+	Var  string `json:"var,omitempty"`
+	Tid  int    `json:"tid,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Nth  int    `json:"nth,omitempty"`
+	// Workers selects the parallel slicing engine (0 = sequential).
+	Workers int `json:"workers,omitempty"`
+
+	// Record parameters: where to save the pinball, program input and
+	// scheduling seed.
+	Out         string  `json:"out,omitempty"`
+	Input       []int64 `json:"input,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	MeanQuantum int64   `json:"mean_quantum,omitempty"`
+
+	// Requested quotas; 0 means the server default, values above the
+	// server maxima are rejected with CodeQuota.
+	Budget     int64 `json:"budget,omitempty"`
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	MaxPages   int   `json:"max_pages,omitempty"`
+}
+
+// Response is one server answer, one JSON object per line, in request
+// order per connection.
+type Response struct {
+	ID string `json:"id,omitempty"`
+	OK bool   `json:"ok"`
+	// Code is the typed error code when OK is false, or a degradation
+	// annotation (CodeSalvaged/CodeDegraded) when OK is true.
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Result is the op-specific payload (ReplayResult, SliceResult,
+	// DualSliceResult, RecordResult, HealthResult, StatsResult).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Report is the supervisor's structured attempt log, when a session
+	// ran at all.
+	Report *supervisor.Report `json:"report,omitempty"`
+}
+
+// ReplayResult is OpReplay's payload.
+type ReplayResult struct {
+	Executed      int64 `json:"executed"`
+	Checked       int   `json:"checked"`
+	Degraded      bool  `json:"degraded,omitempty"`
+	RecoveredStep int64 `json:"recovered_step,omitempty"`
+}
+
+// SliceResult is OpSlice's payload.
+type SliceResult struct {
+	Members        int `json:"members"`
+	TraceLen       int `json:"trace_len"`
+	Deps           int `json:"deps"`
+	PrunedBypasses int `json:"pruned_bypasses,omitempty"`
+}
+
+// DualSliceResult is OpDualSlice's payload.
+type DualSliceResult struct {
+	OnlyFailing int `json:"only_failing"`
+	OnlyPassing int `json:"only_passing"`
+	Common      int `json:"common"`
+}
+
+// RecordResult is OpRecord's payload.
+type RecordResult struct {
+	Pinball      string `json:"pinball"`
+	RegionInstrs int64  `json:"region_instrs"`
+	Checkpoints  int    `json:"checkpoints"`
+}
+
+// HealthResult is OpHealth's payload: Live is process liveness (always
+// true in an answer), Ready is readiness (false once draining).
+type HealthResult struct {
+	Live     bool   `json:"live"`
+	Ready    bool   `json:"ready"`
+	Status   string `json:"status"` // "ok" or "draining"
+	Active   int    `json:"active"`
+	Queued   int    `json:"queued"`
+	UptimeMS int64  `json:"uptime_ms"`
+}
+
+// StatsResult is OpStats's payload.
+type StatsResult struct {
+	Received      int64 `json:"received"`
+	Accepted      int64 `json:"accepted"`
+	Rejected      int64 `json:"rejected"`
+	Completed     int64 `json:"completed"`
+	Failed        int64 `json:"failed"`
+	BreakersOpen  int   `json:"breakers_open"`
+	EngineEntries int   `json:"engine_cache_entries"`
+	EngineCap     int   `json:"engine_cache_cap"`
+	GraphEntries  int   `json:"graph_cache_entries"`
+	GraphCap      int   `json:"graph_cache_cap"`
+}
+
+// encode marshals a result payload; a marshal failure becomes an
+// internal error response (it cannot happen for the types above).
+func encode(v any) json.RawMessage {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return json.RawMessage(`{}`)
+	}
+	return data
+}

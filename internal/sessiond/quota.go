@@ -1,0 +1,96 @@
+package sessiond
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/vm"
+)
+
+// QuotaConfig is the server's per-session resource policy: defaults
+// applied when a request asks for nothing, maxima a request must not
+// exceed. Every session runs under some quota — a resident daemon never
+// grants an unbounded execution.
+type QuotaConfig struct {
+	// DefaultBudget / MaxBudget bound the instruction budget
+	// (defaults 2M / 32M).
+	DefaultBudget int64
+	MaxBudget     int64
+	// DefaultDeadline / MaxDeadline bound the wall-clock deadline
+	// (defaults 10s / 60s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// DefaultPages / MaxPages bound resident memory in VM pages
+	// (defaults 4096 / 65536).
+	DefaultPages int
+	MaxPages     int
+}
+
+func (q QuotaConfig) withDefaults() QuotaConfig {
+	if q.DefaultBudget <= 0 {
+		q.DefaultBudget = 2 << 20
+	}
+	if q.MaxBudget <= 0 {
+		q.MaxBudget = 32 << 20
+	}
+	if q.DefaultDeadline <= 0 {
+		q.DefaultDeadline = 10 * time.Second
+	}
+	if q.MaxDeadline <= 0 {
+		q.MaxDeadline = time.Minute
+	}
+	if q.DefaultPages <= 0 {
+		q.DefaultPages = 4096
+	}
+	if q.MaxPages <= 0 {
+		q.MaxPages = 65536
+	}
+	// A configured maximum below the built-in default pulls the default
+	// down with it — a request asking for nothing must always fit.
+	if q.DefaultBudget > q.MaxBudget {
+		q.DefaultBudget = q.MaxBudget
+	}
+	if q.DefaultDeadline > q.MaxDeadline {
+		q.DefaultDeadline = q.MaxDeadline
+	}
+	if q.DefaultPages > q.MaxPages {
+		q.DefaultPages = q.MaxPages
+	}
+	return q
+}
+
+// quotaError is a quota rejection; the server maps it to CodeQuota.
+type quotaError struct{ msg string }
+
+func (e *quotaError) Error() string { return "sessiond: quota: " + e.msg }
+
+// resolve turns a request's asks into vm.Limits: zero asks take the
+// server defaults, asks above the maxima are rejected, and ctx (the
+// server's hard-cancel context) rides along so drain can preempt.
+func (q QuotaConfig) resolve(req *Request, ctx context.Context) (vm.Limits, time.Duration, error) {
+	budget, deadline, pages := req.Budget, time.Duration(req.DeadlineMS)*time.Millisecond, req.MaxPages
+	if budget == 0 {
+		budget = q.DefaultBudget
+	}
+	if deadline == 0 {
+		deadline = q.DefaultDeadline
+	}
+	if pages == 0 {
+		pages = q.DefaultPages
+	}
+	switch {
+	case budget < 0 || budget > q.MaxBudget:
+		return vm.Limits{}, 0, &quotaError{fmt.Sprintf("instruction budget %d exceeds maximum %d", budget, q.MaxBudget)}
+	case deadline < 0 || deadline > q.MaxDeadline:
+		return vm.Limits{}, 0, &quotaError{fmt.Sprintf("deadline %v exceeds maximum %v", deadline, q.MaxDeadline)}
+	case pages < 0 || pages > q.MaxPages:
+		return vm.Limits{}, 0, &quotaError{fmt.Sprintf("page cap %d exceeds maximum %d", pages, q.MaxPages)}
+	}
+	return vm.Limits{
+		Steps:    budget,
+		Deadline: time.Now().Add(deadline),
+		MaxPages: pages,
+		Ctx:      ctx,
+	}, deadline, nil
+}

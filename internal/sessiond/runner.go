@@ -1,0 +1,334 @@
+package sessiond
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	drdebug "repro"
+	"repro/internal/core"
+	"repro/internal/supervisor"
+	"repro/internal/vm"
+)
+
+// badRequestError is a malformed-request rejection; the server maps it
+// to CodeBadRequest.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return "sessiond: bad request: " + e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &badRequestError{fmt.Sprintf(format, args...)}
+}
+
+// kindToCode maps the supervisor's failure classification onto the wire
+// protocol's typed codes.
+func kindToCode(k supervisor.Kind) string {
+	switch k {
+	case supervisor.KindPanic:
+		return CodePanic
+	case supervisor.KindTimeout:
+		return CodeTimeout
+	case supervisor.KindDivergence:
+		return CodeDivergence
+	case supervisor.KindCorrupt:
+		return CodeCorrupt
+	case supervisor.KindLimit:
+		return CodeLimit
+	}
+	return CodeInternal
+}
+
+// errorCode types an arbitrary session failure for the wire.
+func errorCode(err error) string {
+	var qe *quotaError
+	var be *badRequestError
+	var se *supervisor.SessionError
+	switch {
+	case errors.As(err, &qe):
+		return CodeQuota
+	case errors.As(err, &be):
+		return CodeBadRequest
+	case errors.Is(err, ErrDraining):
+		return CodeDraining
+	case errors.Is(err, ErrOverload), errors.Is(err, ErrClientOverload):
+		return CodeOverload
+	case errors.As(err, &se):
+		return kindToCode(se.Kind)
+	}
+	// Failures outside a supervised phase (e.g. loading the pinball for
+	// a slice criterion) classify the same way the supervisor would.
+	return kindToCode(supervisor.Classify(err))
+}
+
+// pinballAttributable reports whether a failure code blames the pinball
+// content itself — the codes the circuit breaker counts. Quota, limit
+// and bad-request failures are the *request's* fault and must not poison
+// the pinball's circuit.
+func pinballAttributable(code string) bool {
+	switch code {
+	case CodeCorrupt, CodeDivergence, CodeTimeout, CodePanic:
+		return true
+	}
+	return false
+}
+
+// sessionResult is what one executed session hands the server loop.
+type sessionResult struct {
+	result     json.RawMessage
+	annotation string // CodeSalvaged / CodeDegraded, "" for a clean run
+	report     *supervisor.Report
+}
+
+// runner executes admitted session requests. It is stateless; all
+// policy (quotas, retry, chaos) arrives from the server's config.
+type runner struct {
+	sup   supervisor.Options
+	chaos func(op string) vm.Tracer // test-only fault injection, nil in production
+}
+
+// chaosTracer returns the injected observer for ops that replay, nil
+// normally.
+func (r *runner) chaosTracer(op string) vm.Tracer {
+	if r.chaos == nil {
+		return nil
+	}
+	return r.chaos(op)
+}
+
+// loadProgram compiles the request's program: a server-local source file
+// or a registered workload, exactly one of which must be named.
+func loadProgram(req *Request) (*drdebug.Program, error) {
+	switch {
+	case req.File != "" && req.Workload != "":
+		return nil, badRequest("file and workload are mutually exclusive")
+	case req.File != "":
+		prog, err := drdebug.CompileFile(req.File)
+		if err != nil {
+			return nil, badRequest("compile %s: %v", req.File, err)
+		}
+		return prog, nil
+	case req.Workload != "":
+		w, err := drdebug.WorkloadByName(req.Workload)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		prog, err := w.Program()
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", req.Workload, err)
+		}
+		return prog, nil
+	}
+	return nil, badRequest("need file or workload")
+}
+
+// loadSession opens the request's pinball (path in field; salvage per
+// the request), reporting whether salvage ran.
+func loadSession(prog *drdebug.Program, path string, salvage bool, limits vm.Limits, sup supervisor.Options) (*core.Session, bool, error) {
+	if path == "" {
+		return nil, false, badRequest("need pinball")
+	}
+	var sess *core.Session
+	var salvaged bool
+	if salvage {
+		s, rep, err := core.LoadSessionSalvage(prog, path)
+		if err != nil {
+			return nil, false, err
+		}
+		sess, salvaged = s, rep != nil && !rep.Intact
+	} else {
+		s, err := core.LoadSession(prog, path)
+		if err != nil {
+			return nil, false, err
+		}
+		sess = s
+	}
+	sess.SetLimits(limits)
+	sess.SetSupervisor(sup)
+	return sess, salvaged, nil
+}
+
+// run executes one admitted session request under the given limits.
+func (r *runner) run(req *Request, limits vm.Limits) (*sessionResult, error) {
+	switch req.Op {
+	case OpRecord:
+		return r.record(req, limits)
+	case OpReplay:
+		return r.replay(req, limits)
+	case OpSlice:
+		return r.slice(req, limits)
+	case OpDualSlice:
+		return r.dualSlice(req, limits)
+	}
+	return nil, badRequest("unknown op %q", req.Op)
+}
+
+func (r *runner) record(req *Request, limits vm.Limits) (*sessionResult, error) {
+	if req.Out == "" {
+		return nil, badRequest("record needs out")
+	}
+	prog, err := loadProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	cfg := drdebug.LogConfig{
+		Seed:        req.Seed,
+		Input:       req.Input,
+		MeanQuantum: req.MeanQuantum,
+		MaxSteps:    limits.Steps,
+	}
+	pb, rep, err := supervisor.Record(prog, cfg, drdebug.RegionSpec{}, r.sup)
+	if err != nil {
+		return &sessionResult{report: rep}, err
+	}
+	if err := pb.Save(req.Out); err != nil {
+		return &sessionResult{report: rep}, err
+	}
+	return &sessionResult{
+		result: encode(RecordResult{
+			Pinball:      req.Out,
+			RegionInstrs: pb.RegionInstrs,
+			Checkpoints:  len(pb.Checkpoints),
+		}),
+		report: rep,
+	}, nil
+}
+
+func (r *runner) replay(req *Request, limits vm.Limits) (*sessionResult, error) {
+	prog, err := loadProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	sess, salvaged, err := loadSession(prog, req.Pinball, req.Salvage, limits, r.sup)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.ReplaySupervised(r.chaosTracer(OpReplay))
+	var report *supervisor.Report
+	if res != nil {
+		report = res.Report
+	}
+	if err != nil {
+		return &sessionResult{report: report}, err
+	}
+	out := &sessionResult{report: report}
+	payload := ReplayResult{Degraded: res.Degraded, RecoveredStep: res.RecoveredStep}
+	if res.Replay != nil {
+		payload.Executed, payload.Checked = res.Replay.Executed, res.Replay.Checked
+	}
+	out.result = encode(payload)
+	switch {
+	case res.Degraded:
+		out.annotation = CodeDegraded
+	case salvaged:
+		out.annotation = CodeSalvaged
+	}
+	return out, nil
+}
+
+func (r *runner) slice(req *Request, limits vm.Limits) (*sessionResult, error) {
+	prog, err := loadProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	sess, salvaged, err := loadSession(prog, req.Pinball, req.Salvage, limits, r.sup)
+	if err != nil {
+		return nil, err
+	}
+	sess.SetParallelWorkers(req.Workers)
+
+	// The whole criterion-resolution + trace + slice pipeline runs as
+	// one supervised phase: a panicking analysis pass or a hung trace
+	// collection surfaces as a typed failure, and transient failures
+	// retry under the server's backoff policy.
+	var sl *drdebug.Slice
+	rep, err := supervisor.Run(supervisor.PhaseSlice, r.sup, func() error {
+		var serr error
+		switch {
+		case req.Var != "":
+			sl, serr = sess.SliceForVariable(req.Var)
+		case req.Line > 0:
+			nth := req.Nth
+			if nth <= 0 {
+				nth = 1
+			}
+			sl, serr = sess.SliceAtLine(req.Tid, int32(req.Line), nth)
+		default:
+			sl, serr = sess.SliceAtFailure()
+		}
+		return serr
+	})
+	out := &sessionResult{report: rep}
+	if err != nil {
+		return out, err
+	}
+	out.result = encode(SliceResult{
+		Members:        len(sl.Members),
+		TraceLen:       sl.Stats.TraceLen,
+		Deps:           len(sl.Deps),
+		PrunedBypasses: int(sl.Stats.PrunedBypasses),
+	})
+	if salvaged {
+		out.annotation = CodeSalvaged
+	}
+	return out, nil
+}
+
+func (r *runner) dualSlice(req *Request, limits vm.Limits) (*sessionResult, error) {
+	if req.Var == "" {
+		return nil, badRequest("dualslice needs var")
+	}
+	if req.PassingPinball == "" {
+		return nil, badRequest("dualslice needs passing_pinball")
+	}
+	prog, err := loadProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	failing, salvaged, err := loadSession(prog, req.Pinball, req.Salvage, limits, r.sup)
+	if err != nil {
+		return nil, err
+	}
+	passing, _, err := loadSession(prog, req.PassingPinball, req.Salvage, limits, r.sup)
+	if err != nil {
+		return nil, err
+	}
+	failing.SetParallelWorkers(req.Workers)
+	passing.SetParallelWorkers(req.Workers)
+
+	var payload DualSliceResult
+	rep, err := supervisor.Run(supervisor.PhaseSlice, r.sup, func() error {
+		d, derr := core.DualSlice(failing, passing, req.Var)
+		if derr != nil {
+			return derr
+		}
+		payload = DualSliceResult{
+			OnlyFailing: len(d.OnlyFailing),
+			OnlyPassing: len(d.OnlyPassing),
+			Common:      len(d.Common),
+		}
+		return nil
+	})
+	out := &sessionResult{report: rep}
+	if err != nil {
+		return out, err
+	}
+	out.result = encode(payload)
+	if salvaged {
+		out.annotation = CodeSalvaged
+	}
+	return out, nil
+}
+
+// breakerKey identifies the pinball content a session op runs against,
+// "" when the op touches no existing pinball (record).
+func breakerKey(req *Request) string {
+	switch req.Op {
+	case OpReplay, OpSlice, OpDualSlice:
+		if req.Pinball == "" {
+			return ""
+		}
+		return pinballContentID(req.Pinball)
+	}
+	return ""
+}

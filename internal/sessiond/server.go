@@ -1,0 +1,348 @@
+package sessiond
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cfgpkg "repro/internal/cfg"
+	"repro/internal/slice"
+	"repro/internal/supervisor"
+	"repro/internal/vm"
+)
+
+// Config assembles the server's robustness policy.
+type Config struct {
+	// Admission bounds the session pool and wait queue.
+	Admission AdmissionConfig
+	// Quota is the per-session resource policy.
+	Quota QuotaConfig
+	// Breaker tunes the per-pinball circuit breaker.
+	Breaker BreakerConfig
+	// Supervisor is the retry/backoff/watchdog policy sessions run
+	// under. A zero Watchdog is derived per request from the session's
+	// wall-clock quota, so a hung session is always preempted.
+	Supervisor supervisor.Options
+	// DrainTimeout bounds the graceful part of Shutdown: how long
+	// in-flight sessions may finish before they are cancelled
+	// (default 10s).
+	DrainTimeout time.Duration
+	// EngineCacheCap / GraphCacheCap resize the process-lifetime LRU
+	// caches at construction (0 = leave the current caps).
+	EngineCacheCap int
+	GraphCacheCap  int
+	// Logf logs server events (nil = silent).
+	Logf func(format string, args ...any)
+	// Chaos, when set, supplies a fault-injection observer for replaying
+	// ops — the chaos-soak tests' hook. nil in production.
+	Chaos func(op string) vm.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the sessiond instance: one per process, serving line-JSON
+// requests over any number of TCP connections.
+type Server struct {
+	cfg   Config
+	quota QuotaConfig
+	adm   *admission
+	brk   *breaker
+	start time.Time
+
+	// hardCtx cancels every in-flight session when the drain deadline
+	// expires; it rides into vm.Limits.Ctx.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	received  atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	draining  atomic.Bool
+
+	// inflight counts requests between line-read and response-written;
+	// Shutdown waits for it to reach zero before closing connections, so
+	// a drain never cuts off a response already being produced.
+	inflight atomic.Int64
+
+	mu    sync.Mutex
+	lis   net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// New builds a server from the config and applies the cache caps.
+func New(c Config) *Server {
+	c = c.withDefaults()
+	if c.EngineCacheCap > 0 {
+		slice.SetEngineCacheCap(c.EngineCacheCap)
+	}
+	if c.GraphCacheCap > 0 {
+		cfgpkg.SetGraphCacheCap(c.GraphCacheCap)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        c,
+		quota:      c.Quota.withDefaults(),
+		adm:        newAdmission(c.Admission),
+		brk:        newBreaker(c.Breaker, nil),
+		start:      time.Now(),
+		hardCtx:    ctx,
+		hardCancel: cancel,
+		conns:      make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on lis until Shutdown closes it. It returns
+// nil on a clean shutdown and the accept error otherwise.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			// Raced a drain: the listener is about to close; refuse.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn answers one connection's requests in order, one JSON
+// object per line each way.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	enc := json.NewEncoder(conn)
+	send := func(resp Response) {
+		if err := enc.Encode(&resp); err != nil {
+			s.cfg.Logf("sessiond: write to %s: %v", conn.RemoteAddr(), err)
+		}
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		s.inflight.Add(1)
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			send(Response{OK: false, Code: CodeBadRequest, Error: "malformed request: " + err.Error()})
+		} else {
+			s.dispatch(&req, conn.RemoteAddr().String(), send)
+		}
+		s.inflight.Add(-1)
+	}
+}
+
+// dispatch runs one request through the full admission pipeline and
+// sends its response. Every path terminates in a typed response, and a
+// session's response is written before its pool slot is released — so
+// once the pool is idle during a drain, every admitted result is on the
+// wire and none is lost.
+func (s *Server) dispatch(req *Request, remote string, send func(Response)) {
+	switch req.Op {
+	case OpHealth:
+		send(s.health(req))
+		return
+	case OpStats:
+		send(s.stats(req))
+		return
+	}
+
+	s.received.Add(1)
+	client := req.Client
+	if client == "" {
+		client = remote
+	}
+
+	// Circuit breaker first: a known-bad pinball fails fast without
+	// consuming a session slot.
+	key := breakerKey(req)
+	if open, code, msg := s.brk.check(key); open {
+		s.rejected.Add(1)
+		send(Response{ID: req.ID, OK: false, Code: CodeCircuitOpen,
+			Error: "circuit open for this pinball (last failure " + code + ": " + msg + ")"})
+		return
+	}
+
+	// Quota resolution before admission: an impossible ask should not
+	// occupy a queue slot.
+	limits, deadline, err := s.quota.resolve(req, s.hardCtx)
+	if err != nil {
+		s.rejected.Add(1)
+		send(s.failure(req, err, nil))
+		return
+	}
+
+	// Admission: bounded pool, FIFO queue, per-client caps.
+	if err := s.adm.acquire(s.hardCtx, client); err != nil {
+		s.rejected.Add(1)
+		send(s.failure(req, err, nil))
+		return
+	}
+	defer s.adm.release(client)
+	s.accepted.Add(1)
+
+	sup := s.cfg.Supervisor
+	if sup.Watchdog == 0 {
+		// The watchdog backstops the vm deadline: it must outlast it, so
+		// limit-bounded sessions fail as "limit", and only a session hung
+		// outside the VM's stepping loop trips the watchdog.
+		sup.Watchdog = deadline + 2*time.Second
+	}
+	r := &runner{sup: sup, chaos: s.cfg.Chaos}
+	res, err := r.run(req, limits)
+	if err != nil {
+		s.failed.Add(1)
+		code := errorCode(err)
+		if pinballAttributable(code) {
+			s.brk.failure(key, code, err.Error())
+		}
+		var rep *supervisor.Report
+		if res != nil {
+			rep = res.report
+		}
+		send(s.failure(req, err, rep))
+		return
+	}
+	s.completed.Add(1)
+	s.brk.success(key)
+	send(Response{ID: req.ID, OK: true, Code: res.annotation, Result: res.result, Report: res.report})
+}
+
+// failure types an error into a response.
+func (s *Server) failure(req *Request, err error, rep *supervisor.Report) Response {
+	return Response{ID: req.ID, OK: false, Code: errorCode(err), Error: err.Error(), Report: rep}
+}
+
+func (s *Server) health(req *Request) Response {
+	running, queued := s.adm.load()
+	draining := s.draining.Load()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	return Response{ID: req.ID, OK: true, Result: encode(HealthResult{
+		Live:     true,
+		Ready:    !draining,
+		Status:   status,
+		Active:   running,
+		Queued:   queued,
+		UptimeMS: time.Since(s.start).Milliseconds(),
+	})}
+}
+
+func (s *Server) stats(req *Request) Response {
+	eng := slice.GetEngineCacheStats()
+	gph := cfgpkg.GraphCacheStats()
+	return Response{ID: req.ID, OK: true, Result: encode(StatsResult{
+		Received:      s.received.Load(),
+		Accepted:      s.accepted.Load(),
+		Rejected:      s.rejected.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		BreakersOpen:  s.brk.openCount(),
+		EngineEntries: eng.Entries,
+		EngineCap:     slice.EngineCacheCap(),
+		GraphEntries:  gph.Entries,
+		GraphCap:      cfgpkg.GraphCacheCap(),
+	})}
+}
+
+// Shutdown drains the server gracefully: stop admitting (queued waiters
+// fail with ErrDraining, new requests get CodeDraining), let in-flight
+// sessions finish within DrainTimeout, then cancel stragglers through
+// the hard context, and finally close every connection. In-flight
+// sessions that finish within the drain window deliver their responses
+// — a drain loses no completed work. Returns nil when the server went
+// idle, or ctx.Err() if ctx expired first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.adm.drain()
+	s.mu.Lock()
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	s.mu.Unlock()
+
+	graceful := time.NewTimer(s.cfg.DrainTimeout)
+	defer graceful.Stop()
+	select {
+	case <-s.adm.awaitIdle():
+		s.cfg.Logf("sessiond: drained cleanly")
+	case <-graceful.C:
+		s.cfg.Logf("sessiond: drain deadline expired, cancelling in-flight sessions")
+		s.hardCancel()
+		select {
+		case <-s.adm.awaitIdle():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case <-ctx.Done():
+		s.hardCancel()
+		return ctx.Err()
+	}
+
+	// Idle, but a handler may still be writing a response the pool no
+	// longer accounts for (a rejection, or the final bytes of a
+	// completed session). Wait those writes out before closing anything;
+	// late arrivals during this phase are fast typed rejections, so the
+	// counter converges.
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			s.hardCancel()
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	s.hardCancel()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

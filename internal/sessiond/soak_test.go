@@ -1,0 +1,418 @@
+package sessiond
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/pinplay"
+	"repro/internal/slice"
+	"repro/internal/supervisor"
+
+	drdebug "repro"
+)
+
+// soakFixture is the pinball population the chaos soak replays: two
+// healthy recordings (one absorbs the injected panics/stalls, one backs
+// the slice traffic), byte-corrupted files, a semantically tampered
+// recording that loads but diverges, and a salvageable torn journal.
+type soakFixture struct {
+	src      string
+	chaosPB  string // healthy; replay ops draw injected faults against it
+	cleanPB  string // healthy; slice/dualslice target
+	garbage  string
+	flipped  string // bit-flipped payload: typed corrupt
+	halved   string // truncated: typed corrupt/truncated
+	tampered string // shifted schedule: loads, then diverges (or degrades)
+	torn     string // salvageable journal prefix
+	breakPB  string // reserved for the deterministic breaker phase
+}
+
+func makeSoakFixture(t testing.TB) *soakFixture {
+	t.Helper()
+	dir := t.TempDir()
+	f := &soakFixture{
+		src:      filepath.Join(dir, "soak.c"),
+		chaosPB:  filepath.Join(dir, "chaos.pinball"),
+		cleanPB:  filepath.Join(dir, "clean.pinball"),
+		garbage:  filepath.Join(dir, "garbage.pinball"),
+		flipped:  filepath.Join(dir, "flipped.pinball"),
+		halved:   filepath.Join(dir, "halved.pinball"),
+		tampered: filepath.Join(dir, "tampered.pinball"),
+		torn:     filepath.Join(dir, "torn.pinball"),
+		breakPB:  filepath.Join(dir, "breaker.pinball"),
+	}
+	if err := os.WriteFile(f.src, []byte(daemonSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := drdebug.CompileFile(f.src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	input := make([]int64, 64)
+	for i := range input {
+		input[i] = int64(i + 1)
+	}
+	record := func(seed int64, journal string) (*drdebug.Pinball, []byte) {
+		cfg := pinplay.LogConfig{
+			Seed: seed, MeanQuantum: 13, Input: input, CheckpointEvery: 8,
+			JournalPath:   journal,
+			JournalEvery:  64,
+			JournalNoSync: true,
+		}
+		pb, err := pinplay.Log(prog, cfg, pinplay.RegionSpec{})
+		if err != nil {
+			t.Fatalf("log seed %d: %v", seed, err)
+		}
+		data, err := os.ReadFile(journal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pb, data
+	}
+	chaos, chaosBytes := record(11, filepath.Join(dir, "chaos.journal"))
+	clean, _ := record(23, filepath.Join(dir, "clean.journal"))
+	if err := chaos.Save(f.chaosPB); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Save(f.cleanPB); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.WriteFile(f.garbage, []byte("soak garbage, no pinball here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f.breakPB, []byte("soak breaker bait, also not a pinball"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-level corruption via the faultinject suite.
+	framed, err := os.ReadFile(f.chaosPB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	for _, fc := range faultinject.FileCorruptors() {
+		var path string
+		switch fc.Name {
+		case "flip-payload-bit":
+			path = f.flipped
+		case "truncate-half":
+			path = f.halved
+		default:
+			continue
+		}
+		out, ok := fc.Apply(framed)
+		if !ok {
+			t.Fatalf("corruptor %s does not apply", fc.Name)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		applied++
+	}
+	if applied != 2 {
+		t.Fatalf("applied %d file corruptors, want 2", applied)
+	}
+
+	// Semantic tampering: loads cleanly, diverges at replay.
+	tampered := false
+	for _, pc := range faultinject.PinballCorruptors() {
+		if pc.Name != "shift-quantum-boundary" {
+			continue
+		}
+		cp, err := faultinject.Clone(chaos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pc.Apply(cp) {
+			t.Fatalf("corruptor %s does not apply", pc.Name)
+		}
+		if err := cp.Save(f.tampered); err != nil {
+			t.Fatal(err)
+		}
+		tampered = true
+	}
+	if !tampered {
+		t.Fatal("shift-quantum-boundary corruptor not found")
+	}
+
+	// Torn journal: the salvage path's soak diet.
+	secs, err := drdebug.LoadPinball(f.chaosPB) // sanity: healthy file loads
+	if err != nil || secs == nil {
+		t.Fatalf("healthy pinball does not load: %v", err)
+	}
+	cut := len(chaosBytes) * 3 / 4
+	if err := os.WriteFile(f.torn, chaosBytes[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// typedCodes is every code a soak response may legally carry.
+var typedCodes = map[string]bool{
+	"":              true, // clean OK
+	CodeSalvaged:    true,
+	CodeDegraded:    true,
+	CodeOverload:    true,
+	CodeQuota:       true,
+	CodeCircuitOpen: true,
+	CodeDraining:    true,
+	CodeBadRequest:  true,
+	CodeCorrupt:     true,
+	CodeDivergence:  true,
+	CodeLimit:       true,
+	CodeTimeout:     true,
+	CodePanic:       true,
+	CodeInternal:    true,
+}
+
+// soakMix builds the request rotation one client cycles through.
+func soakMix(f *soakFixture) []*Request {
+	return []*Request{
+		{Op: OpReplay, File: f.src, Pinball: f.chaosPB},                            // healthy, draws chaos
+		{Op: OpSlice, File: f.src, Pinball: f.cleanPB, Var: "counter", Workers: 2}, // engine-cache traffic
+		{Op: OpReplay, File: f.src, Pinball: f.garbage},                            // corrupt → breaker food
+		{Op: OpReplay, File: f.src, Pinball: f.flipped},                            // corrupt
+		{Op: OpReplay, File: f.src, Pinball: f.tampered},                           // divergence or degraded
+		{Op: OpReplay, File: f.src, Pinball: f.cleanPB, Budget: 1 << 62},           // quota rejection
+		{Op: OpReplay, File: f.src},                                                // bad request
+		{Op: OpDualSlice, File: f.src, Pinball: f.cleanPB, PassingPinball: f.cleanPB, Var: "counter"},
+		{Op: OpReplay, File: f.src, Pinball: f.torn, Salvage: true}, // salvage path
+		{Op: OpReplay, File: f.src, Pinball: f.halved},              // corrupt
+	}
+}
+
+// TestChaosSoak hammers one daemon from 32 concurrent clients with a
+// mix of healthy, corrupted, tampered, torn, over-quota and malformed
+// requests while panics and stalls are injected into replay sessions.
+// The daemon must never crash or deadlock, every request must terminate
+// in a typed response, the LRU caches must stay within their caps, the
+// breaker must demonstrably short-circuit, and a SIGTERM-style drain
+// must complete in time with zero lost in-flight results.
+func TestChaosSoak(t *testing.T) {
+	f := makeSoakFixture(t)
+
+	const clients = 32
+	reqsPerClient := 6
+	if s := os.Getenv("DRDEBUG_SOAK_REQS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad DRDEBUG_SOAK_REQS=%q", s)
+		}
+		reqsPerClient = n
+	} else if testing.Short() {
+		reqsPerClient = 3
+	}
+
+	chaos := &faultinject.SessionChaos{
+		PanicEveryN: 7,
+		StallEveryN: 13,
+		StallFor:    3 * time.Second, // beyond the watchdog: surfaces as timeout
+	}
+	srv, addr := startServer(t, Config{
+		Admission: AdmissionConfig{MaxSessions: 4, MaxQueue: 8, MaxPerClient: 2},
+		Breaker:   BreakerConfig{K: 3, Cooldown: 150 * time.Millisecond},
+		Supervisor: supervisor.Options{
+			MaxAttempts: 2,
+			Backoff:     time.Millisecond,
+			BackoffMax:  5 * time.Millisecond,
+			Jitter:      0.5,
+			Watchdog:    time.Second,
+		},
+		EngineCacheCap: 4,
+		GraphCacheCap:  64,
+		DrainTimeout:   10 * time.Second,
+		Chaos:          chaos.Tracer,
+	})
+
+	// Liveness monitor: health must keep answering (never queued) for
+	// the whole soak.
+	monitorStop := make(chan struct{})
+	monitorDone := make(chan error, 1)
+	go func() {
+		c := dialT(t, addr)
+		for {
+			select {
+			case <-monitorStop:
+				monitorDone <- nil
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			start := time.Now()
+			resp := c.do(&Request{Op: OpHealth})
+			if !resp.OK {
+				monitorDone <- fmt.Errorf("health failed: %+v", resp)
+				return
+			}
+			if d := time.Since(start); d > 5*time.Second {
+				monitorDone <- fmt.Errorf("health took %v under load", d)
+				return
+			}
+		}
+	}()
+
+	mix := soakMix(f)
+	var wg sync.WaitGroup
+	type outcome struct {
+		client, req int
+		resp        *Response
+	}
+	results := make(chan outcome, clients*reqsPerClient)
+	for cl := 0; cl < clients; cl++ {
+		cl := cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := dialT(t, addr)
+			for i := 0; i < reqsPerClient; i++ {
+				req := *mix[(cl+i)%len(mix)]
+				req.ID = fmt.Sprintf("c%d-r%d", cl, i)
+				req.Client = fmt.Sprintf("client-%d", cl)
+				results <- outcome{cl, i, c.do(&req)}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	close(monitorStop)
+	if err := <-monitorDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Every request terminated in a typed response.
+	got := 0
+	codeCounts := map[string]int{}
+	for o := range results {
+		got++
+		code := o.resp.Code
+		if !typedCodes[code] {
+			t.Errorf("client %d req %d: untyped code %q (ok=%v err=%q)",
+				o.client, o.req, code, o.resp.OK, o.resp.Error)
+		}
+		if !o.resp.OK && code == "" {
+			t.Errorf("client %d req %d: failure without code: %q", o.client, o.req, o.resp.Error)
+		}
+		codeCounts[code]++
+	}
+	if want := clients * reqsPerClient; got != want {
+		t.Fatalf("lost requests: %d responses, want %d", got, want)
+	}
+	t.Logf("soak outcomes: %v", codeCounts)
+
+	// The corrupt population must have been detected as such (directly
+	// or behind an already-open circuit).
+	if codeCounts[CodeCorrupt]+codeCounts[CodeCircuitOpen] == 0 {
+		t.Error("no corrupt/circuit_open outcomes despite corrupt pinballs in the mix")
+	}
+
+	// Memory stays bounded: the LRU caps held under concurrency.
+	eng := slice.GetEngineCacheStats()
+	if eng.Entries > 4 {
+		t.Errorf("engine cache exceeded its cap: %d entries", eng.Entries)
+	}
+	var st StatsResult
+	resp := dialT(t, addr).do(&Request{Op: OpStats})
+	if err := json.Unmarshal(resp.Result, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.EngineEntries > st.EngineCap || st.GraphEntries > st.GraphCap {
+		t.Errorf("cache over cap: %+v", st)
+	}
+	if st.Accepted+st.Rejected == 0 {
+		t.Errorf("stats counted nothing: %+v", st)
+	}
+
+	// Deterministic breaker phase: a fresh corrupt file nobody used in
+	// the soak fails K times, then short-circuits.
+	bc := dialT(t, addr)
+	bad := &Request{Op: OpReplay, File: f.src, Pinball: f.breakPB}
+	for i := 0; i < 3; i++ {
+		if resp := bc.do(bad); resp.Code != CodeCorrupt {
+			t.Fatalf("breaker warm-up %d: %+v", i, resp)
+		}
+	}
+	if resp := bc.do(bad); resp.Code != CodeCircuitOpen {
+		t.Fatalf("breaker did not short-circuit: %+v", resp)
+	}
+
+	// Drain phase: sessions in flight when the shutdown lands must all
+	// come back — completed or typed as draining — with none lost.
+	const drainers = 8
+	statsOf := func(c *testClient) StatsResult {
+		var st StatsResult
+		resp := c.do(&Request{Op: OpStats})
+		if err := json.Unmarshal(resp.Result, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	statsConn := dialT(t, addr)
+	baseline := statsOf(statsConn).Received
+	type drainOut struct {
+		resp *Response
+		err  error
+	}
+	drainResults := make(chan drainOut, drainers)
+	var ready, fired sync.WaitGroup
+	ready.Add(drainers)
+	fired.Add(drainers)
+	for i := 0; i < drainers; i++ {
+		i := i
+		go func() {
+			c := dialT(t, addr)
+			probe := c.do(&Request{Op: OpHealth}) // ensure the conn is accepted
+			ready.Done()
+			if !probe.OK {
+				fired.Done()
+				drainResults <- drainOut{err: fmt.Errorf("drainer %d probe: %+v", i, probe)}
+				return
+			}
+			c.send(&Request{ID: fmt.Sprintf("drain-%d", i), Op: OpReplay, File: f.src, Pinball: f.cleanPB})
+			fired.Done()
+			drainResults <- drainOut{resp: c.recv()}
+		}()
+	}
+	ready.Wait()
+	fired.Wait()
+	// Wait until the server has picked every drain request off the wire:
+	// from that point each is guaranteed a response before its
+	// connection closes.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if statsOf(statsConn).Received >= baseline+drainers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server picked up only %d of %d drain requests",
+				statsOf(statsConn).Received-baseline, drainers)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain shutdown: %v", err)
+	}
+	for i := 0; i < drainers; i++ {
+		o := <-drainResults
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		resp := o.resp
+		switch {
+		case resp.OK:
+		case resp.Code == CodeDraining, resp.Code == CodeOverload,
+			resp.Code == CodeTimeout, resp.Code == CodePanic, resp.Code == CodeLimit:
+			// Shed, cancelled, or chaos-struck — but typed and delivered.
+		default:
+			t.Errorf("drainer response untyped: %+v", resp)
+		}
+	}
+}

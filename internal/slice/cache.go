@@ -1,9 +1,8 @@
 package slice
 
 import (
-	"sync"
-
 	"repro/internal/isa"
+	"repro/internal/lru"
 	"repro/internal/tracer"
 )
 
@@ -16,6 +15,12 @@ import (
 // (pinball.ID) plus a fingerprint of the slicing options, because the
 // options change the forward pass (refinement, jump tables, save/restore
 // candidates) and hence the engine.
+//
+// The cache is a size-bounded LRU with single-flight loading: a session
+// daemon serving many concurrent clients keeps only the hottest engines
+// resident (an engine can be tens of megabytes), and concurrent sessions
+// asking for the same engine share one build instead of racing N
+// builders for the same shards.
 
 const (
 	fnvOffset uint64 = 14695981039346656037
@@ -48,82 +53,56 @@ type engineKey struct {
 	opts      uint64
 }
 
-// engineCacheMax bounds the cache; a debugging session touches a handful
-// of (recording, options) pairs, so overflow just drops everything.
-const engineCacheMax = 64
+// DefaultEngineCacheCap bounds the engine cache: an interactive
+// debugging session touches a handful of (recording, options) pairs; a
+// session daemon raises or lowers the cap to its memory budget with
+// SetEngineCacheCap.
+const DefaultEngineCacheCap = 64
 
-type engineCache struct {
-	mu      sync.Mutex
-	engines map[engineKey]*ParallelSlicer
-	hits    int64
-	misses  int64
-}
-
-var sharedEngines = &engineCache{engines: make(map[engineKey]*ParallelSlicer)}
+var sharedEngines = lru.New[engineKey, *ParallelSlicer](DefaultEngineCacheCap)
 
 // CachedParallel returns the parallel engine for (pinballID, opts),
 // building and caching it on first use. pinballID must identify the
 // recording's content (pinball.Pinball.ID); callers replaying the same
 // pinball get the already-built engine, paying the forward pass and the
-// shard build once per process. An empty pinballID disables caching (the
-// trace has no durable identity to key on).
+// shard build once per process (concurrent first callers share a single
+// build). An empty pinballID disables caching (the trace has no durable
+// identity to key on).
 func CachedParallel(pinballID string, prog *isa.Program, tr *tracer.Trace, opts Options, popts ParallelOptions) (*ParallelSlicer, error) {
 	if pinballID == "" {
 		return NewParallel(prog, tr, opts, popts)
 	}
 	key := engineKey{pinballID: pinballID, opts: optionsFingerprint(opts, popts)}
-	sharedEngines.mu.Lock()
-	if eng, ok := sharedEngines.engines[key]; ok {
-		sharedEngines.hits++
-		sharedEngines.mu.Unlock()
-		return eng, nil
-	}
-	sharedEngines.misses++
-	sharedEngines.mu.Unlock()
-
-	eng, err := NewParallel(prog, tr, opts, popts)
-	if err != nil {
-		return nil, err
-	}
-
-	sharedEngines.mu.Lock()
-	if cached, ok := sharedEngines.engines[key]; ok {
-		// Raced with a concurrent builder; keep the first engine so every
-		// caller shares one instance.
-		sharedEngines.mu.Unlock()
-		return cached, nil
-	}
-	if len(sharedEngines.engines) >= engineCacheMax {
-		sharedEngines.engines = make(map[engineKey]*ParallelSlicer)
-	}
-	sharedEngines.engines[key] = eng
-	sharedEngines.mu.Unlock()
-	return eng, nil
+	return sharedEngines.GetOrLoad(key, func() (*ParallelSlicer, error) {
+		return NewParallel(prog, tr, opts, popts)
+	})
 }
 
 // EngineCacheStats reports the engine cache counters.
 type EngineCacheStats struct {
-	Entries int
-	Hits    int64
-	Misses  int64
+	Entries   int
+	Hits      int64
+	Misses    int64
+	Evictions int64
 }
 
 // GetEngineCacheStats returns the shared engine cache's counters.
 func GetEngineCacheStats() EngineCacheStats {
-	sharedEngines.mu.Lock()
-	defer sharedEngines.mu.Unlock()
+	st := sharedEngines.Stats()
 	return EngineCacheStats{
-		Entries: len(sharedEngines.engines),
-		Hits:    sharedEngines.hits,
-		Misses:  sharedEngines.misses,
+		Entries:   st.Entries,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
 	}
 }
 
+// SetEngineCacheCap bounds the number of resident engines (minimum 1),
+// evicting least-recently-used engines immediately if over the new cap.
+func SetEngineCacheCap(n int) { sharedEngines.SetCap(n) }
+
+// EngineCacheCap returns the current engine-cache capacity.
+func EngineCacheCap() int { return sharedEngines.Cap() }
+
 // ResetEngineCache empties the shared engine cache and counters (tests).
-func ResetEngineCache() {
-	sharedEngines.mu.Lock()
-	sharedEngines.engines = make(map[engineKey]*ParallelSlicer)
-	sharedEngines.hits = 0
-	sharedEngines.misses = 0
-	sharedEngines.mu.Unlock()
-}
+func ResetEngineCache() { sharedEngines.Reset() }

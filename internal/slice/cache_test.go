@@ -1,0 +1,102 @@
+package slice_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pinplay"
+	"repro/internal/slice"
+)
+
+// TestEngineCacheSingleFlight hammers one pinball's engine from 16
+// goroutines: exactly one build must run (single-flight), and every
+// caller must get that one engine. Run under -race this also checks the
+// cache's locking discipline against concurrent sessions.
+func TestEngineCacheSingleFlight(t *testing.T) {
+	slice.ResetEngineCache()
+	defer slice.ResetEngineCache()
+
+	prog, pb, tr := fuzzProgram(t, 9)
+	id := pb.ID()
+	opts := slice.DefaultOptions()
+	popts := slice.ParallelOptions{Workers: 2, WindowSize: pinplay.WindowSize(pb)}
+
+	const goroutines = 16
+	engines := make([]*slice.ParallelSlicer, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			eng, err := slice.CachedParallel(id, prog, tr, opts, popts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			engines[i] = eng
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 1; i < goroutines; i++ {
+		if engines[i] != engines[0] {
+			t.Fatalf("goroutine %d got a different engine instance", i)
+		}
+	}
+	st := slice.GetEngineCacheStats()
+	if st.Misses != 1 {
+		t.Errorf("%d builds ran, want 1 (single-flight); stats %+v", st.Misses, st)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}
+
+// TestEngineCacheEviction bounds the cache at two engines and loads
+// four distinct (options-fingerprint) engines of one pinball: residency
+// must never exceed the cap, the LRU engines must be evicted, and an
+// evicted engine must be rebuilt on re-request.
+func TestEngineCacheEviction(t *testing.T) {
+	slice.ResetEngineCache()
+	slice.SetEngineCacheCap(2)
+	defer func() {
+		slice.SetEngineCacheCap(slice.DefaultEngineCacheCap)
+		slice.ResetEngineCache()
+	}()
+
+	prog, pb, tr := fuzzProgram(t, 10)
+	id := pb.ID()
+	popts := slice.ParallelOptions{Workers: 2, WindowSize: pinplay.WindowSize(pb)}
+	build := func(maxSave int) *slice.ParallelSlicer {
+		opts := slice.DefaultOptions()
+		opts.MaxSave = maxSave // distinct options fingerprint per maxSave
+		eng, err := slice.CachedParallel(id, prog, tr, opts, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	first := build(3)
+	for _, ms := range []int{4, 5, 6} {
+		build(ms)
+	}
+	st := slice.GetEngineCacheStats()
+	if st.Entries > 2 {
+		t.Errorf("cache holds %d engines, cap is 2", st.Entries)
+	}
+	if st.Evictions < 2 {
+		t.Errorf("evictions = %d, want >= 2", st.Evictions)
+	}
+
+	// The first engine was evicted; re-requesting it rebuilds.
+	if again := build(3); again == first {
+		t.Error("evicted engine instance returned from cache")
+	}
+	if st := slice.GetEngineCacheStats(); st.Misses != 5 {
+		t.Errorf("misses = %d, want 5 (4 distinct + 1 rebuild)", st.Misses)
+	}
+}

@@ -1,6 +1,7 @@
 package slice
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -29,6 +30,12 @@ type ParallelOptions struct {
 	// Callers normally pass the pinball's checkpoint cadence (see
 	// pinplay.TraceWindows); <= 0 falls back to tracer.DefaultLPBlock.
 	WindowSize int
+	// Ctx cancels the build cooperatively: the worker pools check it
+	// between per-thread forward passes and between window shards, so an
+	// aborted or preempted session stops burning workers promptly. Ctx
+	// does not shape the built engine (it is excluded from the cache
+	// fingerprint). nil means no cancellation.
+	Ctx context.Context
 }
 
 // EngineStats reports the parallel engine's build/query accounting.
@@ -201,12 +208,18 @@ func NewParallel(prog *isa.Program, tr *tracer.Trace, opts Options, popts Parall
 	if opts.PruneSaveRestore {
 		cand = findSaveRestoreCandidates(prog, opts.MaxSave)
 	}
-	fwd, err := runForwardParallel(tr, an, cand, !opts.DisableRefinement, workers)
+	if err := buildCancelled(popts.Ctx); err != nil {
+		return nil, err
+	}
+	fwd, err := runForwardParallel(popts.Ctx, tr, an, cand, !opts.DisableRefinement, workers)
 	if err != nil {
 		return nil, err
 	}
 	windows := tracer.SplitWindows(len(tr.Global), popts.WindowSize)
-	idx := tracer.BuildDefIndex(tr, windows, workers)
+	idx, err := tracer.BuildDefIndexCtx(popts.Ctx, tr, windows, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	// Bypass rank directory: bitset over global positions plus the
 	// per-word rank prefix into the position-ordered info array. Two
@@ -285,13 +298,24 @@ func (s *ParallelSlicer) Stats() EngineStats {
 	}
 }
 
+// buildCancelled reports a (possibly nil) build context's cancellation
+// as an error. Cancellation is polled via Err() only — never a Done()
+// select — so tests can drive it with deterministic counting contexts.
+func buildCancelled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // runForwardParallel is runForward with both phases fanned out over the
 // worker pool. Phase 1 (indirect-target observation) is a set union, so
 // the refinement count and the refined CFGs are independent of worker
 // interleaving; phase 2 runs each thread's Xin-Zhang stack — threads
 // are mutually independent — and merges per-thread results in thread-id
-// order.
-func runForwardParallel(tr *tracer.Trace, an *cfg.Analyzer, cand *srCandidates, refine bool, workers int) (*forward, error) {
+// order. A cancelled ctx stops the pools between per-thread jobs and
+// fails the build with ctx's error.
+func runForwardParallel(ctx context.Context, tr *tracer.Trace, an *cfg.Analyzer, cand *srCandidates, refine bool, workers int) (*forward, error) {
 	tids := make([]int, 0, len(tr.Locals))
 	for tid := range tr.Locals {
 		tids = append(tids, tid)
@@ -305,6 +329,9 @@ func runForwardParallel(tr *tracer.Trace, an *cfg.Analyzer, cand *srCandidates, 
 		}
 		if n <= 1 {
 			for _, tid := range tids {
+				if buildCancelled(ctx) != nil {
+					return
+				}
 				job(tid)
 			}
 			return
@@ -320,6 +347,9 @@ func runForwardParallel(tr *tracer.Trace, an *cfg.Analyzer, cand *srCandidates, 
 			go func() {
 				defer wg.Done()
 				for tid := range next {
+					if buildCancelled(ctx) != nil {
+						continue // drain the queue without working
+					}
 					job(tid)
 				}
 			}()
@@ -333,6 +363,9 @@ func runForwardParallel(tr *tracer.Trace, an *cfg.Analyzer, cand *srCandidates, 
 			refs.Add(observeIndirects(an, tr.Locals[tid]))
 		})
 	}
+	if err := buildCancelled(ctx); err != nil {
+		return nil, err
+	}
 
 	results := make(map[int]threadForward, len(tids))
 	errs := make(map[int]error, len(tids))
@@ -344,6 +377,9 @@ func runForwardParallel(tr *tracer.Trace, an *cfg.Analyzer, cand *srCandidates, 
 		errs[tid] = err
 		mu.Unlock()
 	})
+	if err := buildCancelled(ctx); err != nil {
+		return nil, err
+	}
 
 	f := &forward{
 		parent:         make(map[int][]tracer.Ref, len(tids)),

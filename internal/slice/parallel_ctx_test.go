@@ -1,0 +1,79 @@
+package slice_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/slice"
+)
+
+// countdownCtx is a deterministic cancellation source: it reports
+// context.Canceled after its Err method has been polled n times. The
+// build pools poll Err between jobs (never selecting on Done), so this
+// pins "cancellation arrives mid-build" without racing real timers.
+type countdownCtx struct {
+	polls atomic.Int64
+	after int64
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return nil }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestParallelBuildCancelledUpfront: a context cancelled before the
+// build starts fails it immediately, before any worker runs.
+func TestParallelBuildCancelledUpfront(t *testing.T) {
+	prog, _, tr := fuzzProgram(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := slice.NewParallel(prog, tr, slice.DefaultOptions(), slice.ParallelOptions{
+		Workers: 4, Ctx: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelBuildCancelledMidShards cancels after a handful of worker
+// polls: with single-entry windows the shard pool has far more jobs
+// than the countdown allows, so the build must abort between shards and
+// surface the cancellation instead of completing.
+func TestParallelBuildCancelledMidShards(t *testing.T) {
+	prog, _, tr := fuzzProgram(t, 8)
+	if len(tr.Global) < 32 {
+		t.Fatalf("fixture trace too small: %d entries", len(tr.Global))
+	}
+	ctx := &countdownCtx{after: 8}
+	_, err := slice.NewParallel(prog, tr, slice.DefaultOptions(), slice.ParallelOptions{
+		Workers:    4,
+		WindowSize: 1, // one shard per trace entry: many jobs to cancel between
+		Ctx:        ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The pools must have stopped shortly after the countdown expired
+	// rather than polling once per remaining window.
+	if polls := ctx.polls.Load(); polls > int64(8+2*len(tr.Global)) {
+		t.Fatalf("%d Err polls for a %d-entry trace: workers kept running after cancellation",
+			polls, len(tr.Global))
+	}
+}
+
+// TestParallelBuildNilCtx: the default (no context) still builds.
+func TestParallelBuildNilCtx(t *testing.T) {
+	prog, _, tr := fuzzProgram(t, 6)
+	eng, err := slice.NewParallel(prog, tr, slice.DefaultOptions(), slice.ParallelOptions{Workers: 2})
+	if err != nil || eng == nil {
+		t.Fatalf("build: %v", err)
+	}
+}

@@ -23,6 +23,7 @@ package supervisor
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime/debug"
 	"time"
 
@@ -126,7 +127,7 @@ func Classify(err error) Kind {
 }
 
 // Options tunes the retry policy. The zero value means: 3 attempts,
-// 10ms initial backoff doubling to at most 1s, no watchdog.
+// 10ms initial backoff doubling to at most 1s, no jitter, no watchdog.
 type Options struct {
 	// MaxAttempts caps how often a retryable failure is retried
 	// (0 = default 3; 1 = never retry).
@@ -135,6 +136,14 @@ type Options struct {
 	// up to BackoffMax (defaults 10ms and 1s).
 	Backoff    time.Duration
 	BackoffMax time.Duration
+	// Jitter spreads each retry sleep uniformly over
+	// [b·(1−Jitter), b·(1+Jitter)] around the exponential base b, so a
+	// population of sessions retrying the same transient fault (the
+	// session daemon's workers) does not retry in lockstep. 0 means no
+	// jitter; values are clamped to [0, 1].
+	Jitter float64
+	// Rand replaces the jitter's uniform [0,1) source in tests.
+	Rand func() float64
 	// Watchdog bounds each attempt's wall-clock time (0 = no watchdog).
 	// A fired watchdog abandons the attempt's goroutine — pair it with a
 	// vm deadline limit so the abandoned replay also stops itself.
@@ -158,7 +167,27 @@ func (o Options) withDefaults() Options {
 	if o.Sleep == nil {
 		o.Sleep = time.Sleep
 	}
+	if o.Jitter < 0 {
+		o.Jitter = 0
+	}
+	if o.Jitter > 1 {
+		o.Jitter = 1
+	}
+	if o.Rand == nil {
+		o.Rand = rand.Float64
+	}
 	return o
+}
+
+// jittered spreads b uniformly over [b·(1−j), b·(1+j)]; j = 0 returns b
+// unchanged. Only the sleep is jittered — the exponential base keeps
+// doubling undisturbed, so jitter never compounds across retries.
+func (o Options) jittered(b time.Duration) time.Duration {
+	if o.Jitter == 0 {
+		return b
+	}
+	f := 1 + o.Jitter*(2*o.Rand()-1)
+	return time.Duration(float64(b) * f)
 }
 
 // Attempt records one supervised execution of the phase function.
@@ -234,7 +263,7 @@ func Run(phase Phase, opts Options, fn func() error) (*Report, error) {
 		if o.OnRetry != nil {
 			o.OnRetry(attempt, err)
 		}
-		o.Sleep(backoff)
+		o.Sleep(o.jittered(backoff))
 		if backoff *= 2; backoff > o.BackoffMax {
 			backoff = o.BackoffMax
 		}

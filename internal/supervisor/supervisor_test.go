@@ -54,6 +54,90 @@ func TestRunRetriesWithBackoff(t *testing.T) {
 	}
 }
 
+// TestRunBackoffGrowsExponentially pins the retry schedule: each sleep
+// doubles from Backoff until BackoffMax caps it.
+func TestRunBackoffGrowsExponentially(t *testing.T) {
+	var sleeps []time.Duration
+	_, err := Run(PhaseReplay, Options{
+		MaxAttempts: 6,
+		Backoff:     10 * time.Millisecond,
+		BackoffMax:  time.Minute, // never caps in this run
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	}, func() error { return errors.New("transient") })
+	if err == nil {
+		t.Fatal("want failure after exhausting attempts")
+	}
+	want := []time.Duration{10, 20, 40, 80, 160}
+	if len(sleeps) != len(want) {
+		t.Fatalf("slept %d times, want %d: %v", len(sleeps), len(want), sleeps)
+	}
+	for i, w := range want {
+		if sleeps[i] != w*time.Millisecond {
+			t.Errorf("sleep %d = %v, want %v", i, sleeps[i], w*time.Millisecond)
+		}
+	}
+}
+
+// TestRunBackoffJitterBounds drives the jitter's uniform source through
+// its extremes and checks every sleep lands in [b·(1−J), b·(1+J)] while
+// the exponential base itself keeps doubling undisturbed.
+func TestRunBackoffJitterBounds(t *testing.T) {
+	const jitter = 0.5
+	randSeq := []float64{0, 0.999999, 0.5, 0.25} // min, ~max, midpoint, quarter
+	ri := 0
+	var sleeps []time.Duration
+	_, err := Run(PhaseReplay, Options{
+		MaxAttempts: 5,
+		Backoff:     100 * time.Millisecond,
+		BackoffMax:  time.Minute,
+		Jitter:      jitter,
+		Rand:        func() float64 { r := randSeq[ri]; ri++; return r },
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	}, func() error { return errors.New("transient") })
+	if err == nil {
+		t.Fatal("want failure after exhausting attempts")
+	}
+	bases := []time.Duration{100, 200, 400, 800}
+	if len(sleeps) != len(bases) {
+		t.Fatalf("slept %d times, want %d: %v", len(sleeps), len(bases), sleeps)
+	}
+	for i, base := range bases {
+		b := base * time.Millisecond
+		lo := time.Duration(float64(b) * (1 - jitter))
+		hi := time.Duration(float64(b) * (1 + jitter))
+		if sleeps[i] < lo || sleeps[i] > hi {
+			t.Errorf("sleep %d = %v outside jitter bounds [%v, %v]", i, sleeps[i], lo, hi)
+		}
+	}
+	// rand() = 0 maps to the lower bound exactly; midpoint to the base.
+	if sleeps[0] != 50*time.Millisecond {
+		t.Errorf("rand=0 sleep = %v, want 50ms (b·(1−J))", sleeps[0])
+	}
+	if sleeps[2] != 400*time.Millisecond {
+		t.Errorf("rand=0.5 sleep = %v, want the undisturbed 400ms base", sleeps[2])
+	}
+}
+
+// TestRunPermanentFailureNeverRetried: a permanent failure — a file
+// that is not a pinball — must fail on the first attempt with no sleeps
+// and no retry callbacks, whatever the retry budget says.
+func TestRunPermanentFailureNeverRetried(t *testing.T) {
+	calls := 0
+	_, err := Run(PhaseReplay, Options{
+		MaxAttempts: 10,
+		Jitter:      0.5,
+		Sleep:       func(time.Duration) { t.Fatal("slept on a permanent failure") },
+		OnRetry:     func(int, error) { t.Fatal("retried a permanent failure") },
+	}, func() error {
+		calls++
+		return fmt.Errorf("load: %w", pinball.ErrNotPinball)
+	})
+	var se *SessionError
+	if !errors.As(err, &se) || se.Kind != KindCorrupt || se.Attempts != 1 || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want one corrupt attempt", err, calls)
+	}
+}
+
 func TestRunExhaustsAttempts(t *testing.T) {
 	var retries []int
 	calls := 0

@@ -1,6 +1,7 @@
 package tracer
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -178,12 +179,33 @@ func (idx *DefIndex) positionsOf(l Loc) []int32 {
 // identical regardless of worker count or completion order. BuildGlobal
 // must have run.
 func BuildDefIndex(t *Trace, windows []Window, workers int) *DefIndex {
+	idx, _ := BuildDefIndexCtx(nil, t, windows, workers)
+	return idx
+}
+
+// ctxDone reports whether ctx (which may be nil) is cancelled. Build
+// workers poll it between window shards, so cancellation only needs
+// Err() — Done() is never selected on, which lets tests drive
+// cancellation with deterministic counting contexts.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
+// BuildDefIndexCtx is BuildDefIndex with cooperative cancellation: the
+// worker pool checks ctx between window shards, so an aborted or
+// preempted session stops burning workers promptly instead of finishing
+// every in-flight window. A cancelled build returns ctx's error and no
+// index. A nil ctx never cancels.
+func BuildDefIndexCtx(ctx context.Context, t *Trace, windows []Window, workers int) (*DefIndex, error) {
 	if workers < 1 {
 		workers = 1
 	}
 	shards := make([]defShard, len(windows))
 	if workers == 1 || len(windows) <= 1 {
 		for i, w := range windows {
+			if ctxDone(ctx) {
+				return nil, ctx.Err()
+			}
 			shards[i] = buildShard(t, w)
 		}
 	} else {
@@ -198,11 +220,17 @@ func BuildDefIndex(t *Trace, windows []Window, workers int) *DefIndex {
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					if ctxDone(ctx) {
+						continue // drain the queue without building
+					}
 					shards[i] = buildShard(t, windows[i])
 				}
 			}()
 		}
 		wg.Wait()
+		if ctxDone(ctx) {
+			return nil, ctx.Err()
+		}
 	}
 
 	// Deterministic stitch: window order is position order, and each
@@ -226,7 +254,7 @@ func BuildDefIndex(t *Trace, windows []Window, workers int) *DefIndex {
 		}
 	}
 	idx.buildDense(maxLow, maxStack, maxTid)
-	return idx
+	return idx, nil
 }
 
 // NearestDefBefore returns the greatest global position p < g at which
