@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench chaos soak bench-durability
+.PHONY: all build vet test race verify bench chaos soak fleet-soak bench-durability
 
 all: verify
 
@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the subsystems with real concurrency: replay/logging,
-# the VM, and the parallel slicing engine (plus its dual-slice consumer).
+# the VM, the parallel slicing engine (plus its dual-slice consumer),
+# the shared LRU caches, and the coordinator/worker fleet.
 race:
-	$(GO) test -race ./internal/pinplay/... ./internal/vm/... ./internal/slice/... ./internal/dualslice/...
+	$(GO) test -race ./internal/pinplay/... ./internal/vm/... ./internal/slice/... ./internal/dualslice/... ./internal/lru/... ./internal/fleet/...
 
 # Tier-1 verify (see ROADMAP.md).
 verify: build vet test race
@@ -38,6 +39,16 @@ chaos:
 SOAK_REQS ?= 12
 soak:
 	DRDEBUG_SOAK_REQS=$(SOAK_REQS) $(GO) test -race -count=1 -run TestChaosSoak -v ./internal/sessiond/
+
+# Multi-process fleet chaos soak: a real drserved coordinator fronting
+# three real drserved workers, 100 concurrent clients, one worker
+# SIGKILLed and one SIGSTOPped mid-run. Every accepted request must end
+# in a typed response and every completed slice must be bit-identical
+# (by digest) to a single-node daemon's answer. FLEET_SOAK_REQS scales
+# the per-client request count.
+FLEET_SOAK_REQS ?= 3
+fleet-soak:
+	DRDEBUG_SOAK_REQS=$(FLEET_SOAK_REQS) $(GO) test -race -count=1 -run TestFleetChaosSoak -v ./internal/fleet/
 
 # Regenerate BENCH_durability.json (crash-safe write overhead).
 bench-durability:

@@ -17,6 +17,18 @@
 // SIGINT/SIGTERM: in-flight sessions finish within -drain-timeout, then
 // stragglers are cancelled.
 //
+// Fleet mode splits the daemon into a coordinator fronting workers:
+//
+//	drserved -coordinator -addr 127.0.0.1:7700
+//	drserved -addr 127.0.0.1:7711 -join 127.0.0.1:7700 -worker-name w1
+//	drserved -addr 127.0.0.1:7712 -join 127.0.0.1:7700 -worker-name w2
+//
+// The coordinator speaks the same protocol a single daemon does, so
+// clients point at it unchanged: it routes sessions to workers by
+// pinball content (cache-hot), distributes slice queries as hedged
+// shard chains, detects dead workers by missed heartbeats and
+// re-dispatches their in-flight work, and sheds load fleet-wide.
+//
 // Client mode ("drsession"):
 //
 //	drserved -client 127.0.0.1:7711 -op replay -workload fft -pinball f.pinball
@@ -25,7 +37,9 @@
 //
 // prints the response JSON on stdout and exits with the shared tool
 // exit codes (cmd/internal/cli), plus 7 when the daemon refuses the
-// request (overloaded, draining, or the pinball's circuit is open).
+// request (overloaded, draining, no live worker, or the pinball's
+// circuit is open) and 8 when the fleet answered correctly but only by
+// re-dispatching away from a dead or straggling worker.
 package main
 
 import (
@@ -41,8 +55,11 @@ import (
 	"time"
 
 	"repro/cmd/internal/cli"
+	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/sessiond"
 	"repro/internal/supervisor"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -71,6 +88,22 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window for in-flight sessions")
 		engineCache  = flag.Int("engine-cache", 0, "slice-engine LRU capacity (0 = default)")
 		graphCache   = flag.Int("graph-cache", 0, "CFG LRU capacity (0 = default)")
+
+		// Fleet modes.
+		coordMode  = flag.Bool("coordinator", false, "run as fleet coordinator instead of a session daemon")
+		join       = flag.String("join", "", "worker mode: register with the coordinator at this address")
+		workerName = flag.String("worker-name", "", "fleet worker name (default: the listen address)")
+		advertise  = flag.String("advertise", "", "address the coordinator should dial back (default: the listen address)")
+
+		// Coordinator tuning.
+		heartbeatEvery = flag.Duration("heartbeat-interval", 500*time.Millisecond, "coordinator: heartbeat cadence workers are told")
+		heartbeatMiss  = flag.Int("heartbeat-miss", 4, "coordinator: missed beats before a worker is declared dead")
+		hedgeAfter     = flag.Duration("hedge-after", time.Second, "coordinator: straggler deadline before a shard hop is hedged")
+		shardWindows   = flag.Int("shard-windows", 4, "coordinator: checkpoint windows per distributed slice hop")
+
+		// Worker chaos (soak testing): stall every Nth session mid-replay.
+		chaosStallEvery = flag.Int64("chaos-stall-every", 0, "inject a stall into every Nth session (0 = never; testing only)")
+		chaosStallFor   = flag.Duration("chaos-stall-for", 30*time.Second, "how long an injected stall blocks")
 
 		// Client-mode request fields.
 		op       = flag.String("op", "health", "client op: record, replay, slice, dualslice, health, stats")
@@ -116,6 +149,27 @@ func main() {
 		}, *input))
 	}
 
+	if *coordMode {
+		runCoordinator(*addr, fleet.Config{
+			HeartbeatInterval: *heartbeatEvery,
+			HeartbeatMiss:     *heartbeatMiss,
+			MaxAttempts:       *retries,
+			RetryBase:         *backoff,
+			HedgeAfter:        *hedgeAfter,
+			ShardWindows:      *shardWindows,
+			DrainTimeout:      *drainTimeout,
+			Logf:              log.Printf,
+		}, *drainTimeout)
+		return
+	}
+
+	var chaos func(op string) vm.Tracer
+	if *chaosStallEvery > 0 {
+		sc := &faultinject.SessionChaos{StallEveryN: *chaosStallEvery, StallFor: *chaosStallFor}
+		chaos = sc.Tracer
+		log.Printf("drserved: CHAOS enabled: stalling every %d sessions for %v", *chaosStallEvery, *chaosStallFor)
+	}
+
 	srv := sessiond.New(sessiond.Config{
 		Admission: sessiond.AdmissionConfig{
 			MaxSessions:  *maxSessions,
@@ -140,6 +194,7 @@ func main() {
 		EngineCacheCap: *engineCache,
 		GraphCacheCap:  *graphCache,
 		Logf:           log.Printf,
+		Chaos:          chaos,
 	})
 
 	lis, err := net.Listen("tcp", *addr)
@@ -147,6 +202,31 @@ func main() {
 		log.Fatalf("drserved: %v", err)
 	}
 	log.Printf("drserved: listening on %s", lis.Addr())
+
+	if *join != "" {
+		name := *workerName
+		if name == "" {
+			name = lis.Addr().String()
+		}
+		dialBack := *advertise
+		if dialBack == "" {
+			dialBack = lis.Addr().String()
+		}
+		agentCtx, agentCancel := context.WithCancel(context.Background())
+		defer agentCancel()
+		agent := fleet.NewAgent(srv, fleet.AgentConfig{
+			Coordinator: *join,
+			Name:        name,
+			Addr:        dialBack,
+			Capacity:    *maxSessions,
+			Logf:        log.Printf,
+		})
+		go func() {
+			if err := agent.Run(agentCtx); err != nil && agentCtx.Err() == nil {
+				log.Printf("drserved: fleet agent: %v", err)
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -162,6 +242,32 @@ func main() {
 			log.Fatalf("drserved: shutdown: %v", err)
 		}
 		log.Printf("drserved: stopped")
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("drserved: %v", err)
+		}
+	}
+}
+
+// runCoordinator serves the fleet coordinator until a signal drains it.
+func runCoordinator(addr string, cfg fleet.Config, drain time.Duration) {
+	co := fleet.NewCoordinator(cfg)
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("drserved: %v", err)
+	}
+	log.Printf("drserved: coordinator listening on %s", lis.Addr())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- co.Serve(lis) }()
+	select {
+	case sig := <-sigc:
+		log.Printf("drserved: coordinator %v, draining", sig)
+		if err := co.Shutdown(drain); err != nil {
+			log.Fatalf("drserved: coordinator shutdown: %v", err)
+		}
+		log.Printf("drserved: coordinator stopped")
 	case err := <-done:
 		if err != nil {
 			log.Fatalf("drserved: %v", err)

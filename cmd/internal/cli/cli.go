@@ -27,15 +27,20 @@ import (
 //	5 — a session phase panicked (isolated by the supervisor)
 //	6 — a session phase hung and the watchdog killed it
 //	7 — the session daemon refused the request (overloaded, draining,
-//	    or the pinball's circuit breaker is open); retry later
+//	    no live fleet worker, or the pinball's circuit breaker is
+//	    open); retry later
+//	8 — the fleet answered correctly, but only after re-dispatching the
+//	    work away from a dead or straggling worker; the result is
+//	    trustworthy, the fleet is degraded
 const (
-	ExitUsage       = 1
-	ExitBadPinball  = 2
-	ExitDiverged    = 3
-	ExitDegraded    = 4
-	ExitPanic       = 5
-	ExitHung        = 6
-	ExitUnavailable = 7
+	ExitUsage         = 1
+	ExitBadPinball    = 2
+	ExitDiverged      = 3
+	ExitDegraded      = 4
+	ExitPanic         = 5
+	ExitHung          = 6
+	ExitUnavailable   = 7
+	ExitFleetDegraded = 8
 )
 
 // ErrDegraded marks runs that finished, but only by degrading: the tool

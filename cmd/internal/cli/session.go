@@ -1,74 +1,38 @@
 package cli
 
 import (
-	"bufio"
-	"encoding/json"
-	"fmt"
-	"net"
 	"time"
 
 	"repro/internal/sessiond"
 )
 
 // SessionClient talks the sessiond line-JSON protocol to a drserved
-// instance: one request per line out, one response per line back, in
-// order. It is not safe for concurrent use; open one client per
-// goroutine (the daemon multiplexes across connections, not within
-// one).
-type SessionClient struct {
-	conn net.Conn
-	enc  *json.Encoder
-	sc   *bufio.Scanner
-}
+// instance. The implementation lives in internal/sessiond (the fleet's
+// coordinator/worker links reuse it); this alias keeps the cmd-layer
+// API where tools expect it.
+type SessionClient = sessiond.Client
 
 // DialSession connects to a drserved instance.
 func DialSession(addr string) (*SessionClient, error) {
-	return DialSessionTimeout(addr, 5*time.Second)
+	return sessiond.Dial(addr)
 }
 
 // DialSessionTimeout is DialSession with a connect timeout.
 func DialSessionTimeout(addr string, d time.Duration) (*SessionClient, error) {
-	conn, err := net.DialTimeout("tcp", addr, d)
-	if err != nil {
-		return nil, fmt.Errorf("dial sessiond at %s: %w", addr, err)
-	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
-	return &SessionClient{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+	return sessiond.DialTimeout(addr, d)
 }
-
-// Do sends one request and reads its response. A transport failure
-// (broken connection, malformed response) is returned as an error;
-// a server-side failure arrives as a response with OK false and a typed
-// Code, which is not an error here — callers decide via SessionExitCode.
-func (c *SessionClient) Do(req *sessiond.Request) (*sessiond.Response, error) {
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("send request: %w", err)
-	}
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return nil, fmt.Errorf("read response: %w", err)
-		}
-		return nil, fmt.Errorf("read response: connection closed by server")
-	}
-	var resp sessiond.Response
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-		return nil, fmt.Errorf("malformed response: %w", err)
-	}
-	return &resp, nil
-}
-
-// Close releases the connection.
-func (c *SessionClient) Close() error { return c.conn.Close() }
 
 // SessionExitCode maps a sessiond response onto the shared exit-code
 // table, so `drserved -client` composes with the one-shot tools in
 // scripts: the same failure class yields the same exit status whether
-// the session ran in-process or in the daemon.
+// the session ran in-process, in the daemon, or across the fleet.
 func SessionExitCode(resp *sessiond.Response) int {
 	if resp.OK {
-		if resp.Code == sessiond.CodeDegraded || resp.Code == sessiond.CodeSalvaged {
+		switch resp.Code {
+		case sessiond.CodeDegraded, sessiond.CodeSalvaged:
 			return ExitDegraded
+		case sessiond.CodeRedispatched:
+			return ExitFleetDegraded
 		}
 		return 0
 	}
@@ -81,7 +45,7 @@ func SessionExitCode(resp *sessiond.Response) int {
 		return ExitPanic
 	case sessiond.CodeTimeout:
 		return ExitHung
-	case sessiond.CodeOverload, sessiond.CodeDraining, sessiond.CodeCircuitOpen:
+	case sessiond.CodeOverload, sessiond.CodeDraining, sessiond.CodeCircuitOpen, sessiond.CodeNoWorkers:
 		return ExitUnavailable
 	}
 	return ExitUsage

@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"testing"
+
+	"repro/internal/sessiond"
+)
+
+// TestSessionExitCodeTable pins the full response→exit-code mapping:
+// scripts branch on these numbers, so every typed daemon code — and
+// every fleet annotation — must land on its documented exit status.
+func TestSessionExitCodeTable(t *testing.T) {
+	cases := []struct {
+		name string
+		resp sessiond.Response
+		want int
+	}{
+		{"clean success", sessiond.Response{OK: true}, 0},
+		{"salvaged", sessiond.Response{OK: true, Code: sessiond.CodeSalvaged}, ExitDegraded},
+		{"degraded replay", sessiond.Response{OK: true, Code: sessiond.CodeDegraded}, ExitDegraded},
+		{"fleet redispatched", sessiond.Response{OK: true, Code: sessiond.CodeRedispatched}, ExitFleetDegraded},
+
+		{"corrupt pinball", sessiond.Response{Code: sessiond.CodeCorrupt}, ExitBadPinball},
+		{"divergence", sessiond.Response{Code: sessiond.CodeDivergence}, ExitDiverged},
+		{"limit", sessiond.Response{Code: sessiond.CodeLimit}, ExitDiverged},
+		{"panic", sessiond.Response{Code: sessiond.CodePanic}, ExitPanic},
+		{"timeout", sessiond.Response{Code: sessiond.CodeTimeout}, ExitHung},
+
+		{"overload", sessiond.Response{Code: sessiond.CodeOverload}, ExitUnavailable},
+		{"draining", sessiond.Response{Code: sessiond.CodeDraining}, ExitUnavailable},
+		{"circuit open", sessiond.Response{Code: sessiond.CodeCircuitOpen}, ExitUnavailable},
+		{"no fleet workers", sessiond.Response{Code: sessiond.CodeNoWorkers}, ExitUnavailable},
+
+		{"bad request", sessiond.Response{Code: sessiond.CodeBadRequest}, ExitUsage},
+		{"quota", sessiond.Response{Code: sessiond.CodeQuota}, ExitUsage},
+		{"internal", sessiond.Response{Code: sessiond.CodeInternal}, ExitUsage},
+	}
+	for _, tc := range cases {
+		if got := SessionExitCode(&tc.resp); got != tc.want {
+			t.Errorf("%s: exit %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestExitCodesDistinct guards the documented numbering: each failure
+// class keeps its own code, and the fleet-degraded code extends the
+// table rather than colliding with an existing class.
+func TestExitCodesDistinct(t *testing.T) {
+	codes := []int{ExitUsage, ExitBadPinball, ExitDiverged, ExitDegraded,
+		ExitPanic, ExitHung, ExitUnavailable, ExitFleetDegraded}
+	seen := make(map[int]bool)
+	for i, c := range codes {
+		if c != i+1 {
+			t.Errorf("exit code %d out of sequence: %d", i+1, c)
+		}
+		if seen[c] {
+			t.Errorf("exit code %d duplicated", c)
+		}
+		seen[c] = true
+	}
+}

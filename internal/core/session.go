@@ -256,6 +256,35 @@ func (s *Session) SliceAtFailure() (*slice.Slice, error) {
 	return s.SliceFor(crit)
 }
 
+// ResolveCriterion maps a request-level criterion spec — a global
+// variable name, a dynamic source-line instance, or (neither given) the
+// recorded failure point — onto its trace reference, without slicing.
+// The fleet's distributed shard runner resolves once and then carries
+// the reference inside the query state from worker to worker.
+func (s *Session) ResolveCriterion(varName string, tid int, line int32, nth int) (tracer.Ref, error) {
+	tr, err := s.Trace()
+	if err != nil {
+		return tracer.Ref{}, err
+	}
+	switch {
+	case varName != "":
+		sym := s.Prog.SymbolByName(varName)
+		if sym == nil {
+			return tracer.Ref{}, fmt.Errorf("core: no global variable %q", varName)
+		}
+		return slice.LastReadOf(tr, sym.Addr)
+	case line > 0:
+		if nth <= 0 {
+			nth = 1
+		}
+		return slice.EventAtLine(tr, s.Prog, tid, line, nth)
+	}
+	if s.Pinball.Failure == nil {
+		return tracer.Ref{}, fmt.Errorf("core: session's pinball captured no failure")
+	}
+	return slice.LastEventOf(tr, s.Pinball.Failure.Tid)
+}
+
 // SliceFor computes the backward slice for an arbitrary criterion.
 func (s *Session) SliceFor(crit tracer.Ref) (*slice.Slice, error) {
 	sl, err := s.Querier()

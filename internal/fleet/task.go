@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sessiond"
+)
+
+// task is one unit of hedged work: a slice_shard request whose first
+// delivered response wins. The same task may be push-dispatched to a
+// routed worker, re-dispatched to the rendezvous successor when that
+// worker dies, and offered to the steal queue after the straggler
+// deadline — shard execution is idempotent, so every duplicate computes
+// the same answer and only the first one delivered counts.
+type task struct {
+	id  string
+	req *sessiond.Request
+
+	// respc carries the winning response; deliver's CAS guarantees it is
+	// written exactly once.
+	respc chan *sessiond.Response
+	done  atomic.Bool
+	// dispatches counts hand-outs (pushes and steals); >1 means the
+	// answer was produced under re-dispatch or hedging, which the
+	// coordinator annotates CodeRedispatched.
+	dispatches atomic.Int32
+	// offered marks the task as placed on the steal queue, so the push
+	// path knows a stealer may still answer after it exhausts retries.
+	offered atomic.Bool
+
+	// cancels are the losers' teardown hooks (close the in-flight push
+	// connection); deliver runs them so the first response cancels every
+	// other outstanding attempt.
+	mu      sync.Mutex
+	cancels []func()
+}
+
+func newTask(id string, req *sessiond.Request) *task {
+	return &task{id: id, req: req, respc: make(chan *sessiond.Response, 1)}
+}
+
+// deliver installs resp as the task's answer if none arrived yet, then
+// cancels every other outstanding attempt. It reports whether resp won.
+func (t *task) deliver(resp *sessiond.Response) bool {
+	if !t.done.CompareAndSwap(false, true) {
+		return false
+	}
+	t.respc <- resp
+	t.mu.Lock()
+	cancels := t.cancels
+	t.cancels = nil
+	t.mu.Unlock()
+	for _, fn := range cancels {
+		fn()
+	}
+	return true
+}
+
+// onCancel registers an attempt's teardown; if the task already
+// resolved, fn runs immediately. The returned func deregisters fn (an
+// attempt that finished on its own cleans up after itself).
+func (t *task) onCancel(fn func()) (remove func()) {
+	t.mu.Lock()
+	if t.done.Load() {
+		t.mu.Unlock()
+		fn()
+		return func() {}
+	}
+	t.cancels = append(t.cancels, fn)
+	idx := len(t.cancels) - 1
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		if idx < len(t.cancels) {
+			t.cancels[idx] = func() {}
+		}
+		t.mu.Unlock()
+	}
+}
+
+// stealQueue is the coordinator's pending-task queue that idle workers
+// drain via OpSteal/OpFetch. FIFO; get skips tasks that resolved while
+// queued.
+type stealQueue struct {
+	mu    sync.Mutex
+	items []*task
+	wake  chan struct{}
+}
+
+func newStealQueue() *stealQueue {
+	return &stealQueue{wake: make(chan struct{}, 1)}
+}
+
+func (q *stealQueue) put(t *task) {
+	t.offered.Store(true)
+	q.mu.Lock()
+	q.items = append(q.items, t)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// tryGet pops the oldest unresolved task, nil when none is pending.
+func (q *stealQueue) tryGet() *task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) > 0 {
+		t := q.items[0]
+		q.items = q.items[1:]
+		if !t.done.Load() {
+			return t
+		}
+	}
+	return nil
+}
+
+// get waits up to d for a task; nil on timeout. A bounded wait keeps
+// OpSteal a cheap long-poll instead of a busy loop.
+func (q *stealQueue) get(d time.Duration) *task {
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	for {
+		if t := q.tryGet(); t != nil {
+			return t
+		}
+		select {
+		case <-q.wake:
+		case <-deadline.C:
+			return nil
+		}
+	}
+}
+
+// depth reports the queue length (including resolved stragglers not yet
+// skipped) for stats.
+func (q *stealQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -167,3 +167,110 @@ func Example() {
 	fmt.Println(v)
 	// Output: hello
 }
+
+// TestEvictionRacingInflightLoad pins the daemon's hot-engine hazard:
+// a slow single-flight load in progress while eviction churn pushes
+// entries through the cache. The loader must run exactly once no
+// matter how many waiters pile on, every waiter must get its value,
+// and accounting must balance — every value that ever entered the
+// cache is either still resident or was reported to OnEvict exactly
+// once. A double-load would double-build an engine; a leak would pin
+// one forever; a double-evict would tear one down under a reader.
+func TestEvictionRacingInflightLoad(t *testing.T) {
+	const waiters = 10
+	c := New[int, *int](1) // capacity 1: every insert evicts something
+
+	var evictMu sync.Mutex
+	evicted := make(map[*int]int)
+	c.OnEvict(func(k int, v *int) {
+		evictMu.Lock()
+		evicted[v]++
+		evictMu.Unlock()
+	})
+
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	slowVal := new(int)
+	slowLoad := func() (*int, error) {
+		loads.Add(1)
+		<-gate // held open until the churn below has run
+		return slowVal, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrLoad(0, slowLoad)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+
+	// While the load is in flight, churn the cache through many
+	// insert+evict cycles on other keys.
+	churned := make([]*int, 64)
+	for i := range churned {
+		churned[i] = new(int)
+		c.Put(i+1, churned[i])
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("slow key loaded %d times, want 1 (single-flight broken by eviction churn)", n)
+	}
+	for i, v := range results {
+		if v != slowVal {
+			t.Fatalf("waiter %d got a different value: eviction churn split the flight", i)
+		}
+	}
+
+	// Leak/double-free accounting. The churn finished before the gate
+	// opened, so the slow load's insert evicted the last churned value:
+	// every churned value must have been evicted exactly once, and the
+	// sole resident must be the slow value.
+	evictMu.Lock()
+	defer evictMu.Unlock()
+	for i, v := range churned {
+		if evicted[v] != 1 {
+			t.Fatalf("churned value %d evicted %d times, want 1 (0 = leaked, >1 = double-evicted)", i, evicted[v])
+		}
+	}
+	if evicted[slowVal] != 0 {
+		t.Fatalf("slow value evicted %d times while still the sole resident", evicted[slowVal])
+	}
+	if got, ok := c.Get(0); !ok || got != slowVal {
+		t.Fatal("slow value not resident after its load completed")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d with capacity 1", c.Len())
+	}
+}
+
+// TestEvictedWhileLoadingReloads pins the reload contract: once a key's
+// entry is evicted, a later GetOrLoad builds it again — eviction during
+// an unrelated key's in-flight load must not resurrect stale flights.
+func TestEvictedWhileLoadingReloads(t *testing.T) {
+	c := New[int, int](1)
+	var loads atomic.Int64
+	load := func() (int, error) { loads.Add(1); return 7, nil }
+
+	if v, _ := c.GetOrLoad(0, load); v != 7 {
+		t.Fatal("first load")
+	}
+	c.Put(1, 1) // evicts key 0
+	if _, ok := c.Get(0); ok {
+		t.Fatal("key 0 survived eviction")
+	}
+	if v, _ := c.GetOrLoad(0, load); v != 7 {
+		t.Fatal("reload")
+	}
+	if loads.Load() != 2 {
+		t.Fatalf("loads = %d, want 2 (evicted key must reload)", loads.Load())
+	}
+}

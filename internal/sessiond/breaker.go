@@ -1,9 +1,11 @@
 package sessiond
 
 import (
+	"fmt"
 	"hash/fnv"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 )
@@ -85,6 +87,23 @@ func pinballContentID(path string) string {
 	return string(buf[:])
 }
 
+// RouteKey derives a stable routing identity for a request — the key
+// the fleet's rendezvous hash places on a worker. Requests naming a
+// pinball key on its content digest (the same bytes always land on the
+// same worker, so its engine LRU stays hot; renaming or copying the
+// file does not move it), record requests key on their output path, and
+// anything else on its program source.
+func RouteKey(req *Request) string {
+	switch {
+	case req.Pinball != "":
+		return pinballContentID(req.Pinball)
+	case req.Out != "":
+		return "out:" + req.Out
+	default:
+		return "prog:" + req.File + ":" + req.Workload
+	}
+}
+
 // check reports whether the circuit for id is open; when open it
 // returns the cached failure code and message.
 func (b *breaker) check(id string) (open bool, code, msg string) {
@@ -129,6 +148,33 @@ func (b *breaker) failure(id, code, msg string) {
 		e.openUntil = b.now().Add(b.cfg.Cooldown)
 	}
 	b.mu.Unlock()
+}
+
+// snapshot reports every tracked circuit's state for the stats op,
+// sorted by key so the JSON shape is deterministic. Keys are rendered
+// hex (content digests are raw bytes on the wire otherwise).
+func (b *breaker) snapshot() []BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.entries) == 0 {
+		return nil
+	}
+	now := b.now()
+	out := make([]BreakerState, 0, len(b.entries))
+	for id, e := range b.entries {
+		st := BreakerState{
+			Pinball:     fmt.Sprintf("%x", id),
+			Open:        now.Before(e.openUntil),
+			Consecutive: e.consecutive,
+			LastCode:    e.lastCode,
+		}
+		if st.Open {
+			st.CooldownUntilMS = e.openUntil.UnixMilli()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pinball < out[j].Pinball })
+	return out
 }
 
 // openCount reports how many circuits are currently open.

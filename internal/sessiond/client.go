@@ -1,0 +1,68 @@
+package sessiond
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client talks the line-JSON protocol to a sessiond (or fleet
+// coordinator/worker) instance: one request per line out, one response
+// per line back, in order. It is not safe for concurrent use; open one
+// client per goroutine — the daemon multiplexes across connections, not
+// within one. It is shared by the cmd-layer CLI client and the fleet's
+// coordinator/worker links, so every hop of the fleet speaks exactly
+// the protocol a human client would.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// Dial connects with a default 5s timeout.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout is Dial with an explicit connect timeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, fmt.Errorf("dial sessiond at %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+}
+
+// Do sends one request and reads its response. A transport failure
+// (broken connection, malformed response) is returned as an error; a
+// server-side failure arrives as a response with OK false and a typed
+// Code, which is not an error here — callers decide what a typed
+// failure means.
+func (c *Client) Do(req *Request) (*Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("send request: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, fmt.Errorf("read response: %w", err)
+		}
+		return nil, fmt.Errorf("read response: connection closed by server")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("malformed response: %w", err)
+	}
+	return &resp, nil
+}
+
+// SetDeadline bounds the next Do's network I/O; the zero time clears
+// it. The fleet uses per-hop deadlines to turn a stalled peer into a
+// typed transport error instead of a hang.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }

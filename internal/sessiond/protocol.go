@@ -44,6 +44,30 @@ const (
 	OpDualSlice = "dualslice"
 	OpHealth    = "health" // liveness/readiness probe; never queued
 	OpStats     = "stats"  // server counters; never queued
+
+	// Fleet ops (ProtoV2). Worker-to-coordinator: OpRegister announces a
+	// worker and its capacity, OpHeartbeat refreshes its liveness,
+	// OpSteal asks for a pending shard task, OpFetch submits a finished
+	// task's result and fetches the next one in the same round trip.
+	// Coordinator-to-worker: OpSliceShard advances one window range of a
+	// distributed slice query.
+	OpRegister   = "register"
+	OpHeartbeat  = "heartbeat"
+	OpSteal      = "steal"
+	OpFetch      = "fetch"
+	OpSliceShard = "slice_shard"
+)
+
+// Wire protocol versions. A request's Proto field is 0 or ProtoV1 for
+// the PR-5 session protocol; ProtoV2 adds the fleet ops. Servers answer
+// v1 requests unchanged — the extension is strictly additive — and
+// reject fleet ops from clients that did not declare ProtoV2, so a v1
+// client can never half-join a fleet.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
+
+	ProtoCurrent = ProtoV2
 )
 
 // Typed error codes (Response.Code when OK is false) — the failure
@@ -60,6 +84,7 @@ const (
 	CodeTimeout     = "timeout"      // the watchdog preempted a hung session
 	CodePanic       = "panic"        // a session phase panicked (isolated)
 	CodeInternal    = "internal"     // any other failure
+	CodeNoWorkers   = "no_workers"   // fleet coordinator has no live worker to route to
 )
 
 // Annotation codes (Response.Code when OK is true and the result is
@@ -67,6 +92,10 @@ const (
 const (
 	CodeSalvaged = "salvaged" // the pinball was damaged; results come from its salvaged prefix
 	CodeDegraded = "degraded" // replay recovered only to its last good checkpoint
+	// CodeRedispatched marks an answer that is correct but arrived only
+	// after the fleet re-dispatched work away from a dead or straggling
+	// worker — scripts can detect degraded service (ExitFleetDegraded).
+	CodeRedispatched = "redispatched"
 )
 
 // Request is one client request, one JSON object per line.
@@ -116,6 +145,30 @@ type Request struct {
 	Budget     int64 `json:"budget,omitempty"`
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	MaxPages   int   `json:"max_pages,omitempty"`
+
+	// Proto declares the sender's protocol version; 0 means ProtoV1.
+	// Fleet ops require ProtoV2.
+	Proto int `json:"proto,omitempty"`
+
+	// Fleet fields (ProtoV2). Worker names the sending worker on
+	// register/heartbeat/steal/fetch; Addr/Capacity describe it at
+	// registration; Load is the heartbeat's current session count.
+	Worker   string `json:"fleet_worker,omitempty"`
+	Addr     string `json:"fleet_addr,omitempty"`
+	Capacity int    `json:"fleet_capacity,omitempty"`
+	Load     int    `json:"fleet_load,omitempty"`
+	// TaskID/TaskState/TaskErr return a completed task on OpFetch:
+	// TaskState is the full Response JSON the worker produced for the
+	// task's request, TaskErr a worker-side transport failure when no
+	// response could be produced at all.
+	TaskID    string          `json:"task_id,omitempty"`
+	TaskState json.RawMessage `json:"task_state,omitempty"`
+	TaskErr   string          `json:"task_err,omitempty"`
+	// State is OpSliceShard's query continuation (empty = fresh query at
+	// the request's criterion); ShardWindows is how many checkpoint
+	// windows the shard should advance (0 = one).
+	State        json.RawMessage `json:"state,omitempty"`
+	ShardWindows int             `json:"shard_windows,omitempty"`
 }
 
 // Response is one server answer, one JSON object per line, in request
@@ -143,12 +196,16 @@ type ReplayResult struct {
 	RecoveredStep int64 `json:"recovered_step,omitempty"`
 }
 
-// SliceResult is OpSlice's payload.
+// SliceResult is OpSlice's payload. Digest is the order-sensitive
+// FNV-1a fold of the full result (dependence edges in append order,
+// then members) — the fleet's bit-identity check against single-node
+// answers.
 type SliceResult struct {
-	Members        int `json:"members"`
-	TraceLen       int `json:"trace_len"`
-	Deps           int `json:"deps"`
-	PrunedBypasses int `json:"pruned_bypasses,omitempty"`
+	Members        int    `json:"members"`
+	TraceLen       int    `json:"trace_len"`
+	Deps           int    `json:"deps"`
+	PrunedBypasses int    `json:"pruned_bypasses,omitempty"`
+	Digest         string `json:"digest,omitempty"`
 }
 
 // DualSliceResult is OpDualSlice's payload.
@@ -176,18 +233,78 @@ type HealthResult struct {
 	UptimeMS int64  `json:"uptime_ms"`
 }
 
-// StatsResult is OpStats's payload.
+// BreakerState is one pinball circuit's live state in StatsResult:
+// the content key (hex), whether the circuit is open, the consecutive
+// failure count, the cached failure code, and — while open — the
+// cooldown deadline in Unix milliseconds.
+type BreakerState struct {
+	Pinball         string `json:"pinball"`
+	Open            bool   `json:"open"`
+	Consecutive     int    `json:"consecutive"`
+	LastCode        string `json:"last_code,omitempty"`
+	CooldownUntilMS int64  `json:"cooldown_until_ms,omitempty"`
+}
+
+// StatsResult is OpStats's payload. Active/Queued expose the admission
+// pool's instantaneous load (queue depth is what a shedding fleet needs
+// to debug), Breakers the per-pinball circuit states with cooldown
+// deadlines.
 type StatsResult struct {
-	Received      int64 `json:"received"`
-	Accepted      int64 `json:"accepted"`
-	Rejected      int64 `json:"rejected"`
-	Completed     int64 `json:"completed"`
-	Failed        int64 `json:"failed"`
-	BreakersOpen  int   `json:"breakers_open"`
-	EngineEntries int   `json:"engine_cache_entries"`
-	EngineCap     int   `json:"engine_cache_cap"`
-	GraphEntries  int   `json:"graph_cache_entries"`
-	GraphCap      int   `json:"graph_cache_cap"`
+	Received      int64          `json:"received"`
+	Accepted      int64          `json:"accepted"`
+	Rejected      int64          `json:"rejected"`
+	Completed     int64          `json:"completed"`
+	Failed        int64          `json:"failed"`
+	Active        int            `json:"active"`
+	Queued        int            `json:"queued"`
+	BreakersOpen  int            `json:"breakers_open"`
+	Breakers      []BreakerState `json:"breakers,omitempty"`
+	EngineEntries int            `json:"engine_cache_entries"`
+	EngineCap     int            `json:"engine_cache_cap"`
+	GraphEntries  int            `json:"graph_cache_entries"`
+	GraphCap      int            `json:"graph_cache_cap"`
+}
+
+// RegisterResult is OpRegister's payload: the coordinator's accepted
+// view of the worker plus the heartbeat cadence it expects.
+type RegisterResult struct {
+	Worker      string `json:"worker"`
+	Proto       int    `json:"proto"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+}
+
+// HeartbeatResult is OpHeartbeat's payload. Known is false when the
+// coordinator has no registration for the worker (it was declared dead,
+// or the coordinator restarted) — the worker must re-register.
+type HeartbeatResult struct {
+	Known bool `json:"known"`
+}
+
+// ShardTask is one unit of distributed work: a slice_shard request to
+// execute locally, identified for result matching and re-dispatch
+// accounting.
+type ShardTask struct {
+	ID  string   `json:"id"`
+	Req *Request `json:"req"`
+}
+
+// TaskResult answers OpSteal and OpFetch: the next task to run, or nil
+// when the queue is empty.
+type TaskResult struct {
+	Task *ShardTask `json:"task,omitempty"`
+}
+
+// ShardResult is OpSliceShard's payload: the successor query state,
+// plus the final summary fields once Done.
+type ShardResult struct {
+	Done    bool            `json:"done"`
+	Bound   int             `json:"bound"`
+	State   json.RawMessage `json:"state"`
+	Members int             `json:"members,omitempty"`
+	TraceLen int            `json:"trace_len,omitempty"`
+	Deps    int64           `json:"deps,omitempty"`
+	Pruned  int64           `json:"pruned,omitempty"`
+	Digest  string          `json:"digest,omitempty"`
 }
 
 // encode marshals a result payload; a marshal failure becomes an

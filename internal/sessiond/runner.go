@@ -7,7 +7,9 @@ import (
 
 	drdebug "repro"
 	"repro/internal/core"
+	"repro/internal/slice"
 	"repro/internal/supervisor"
+	"repro/internal/tracer"
 	"repro/internal/vm"
 )
 
@@ -159,6 +161,8 @@ func (r *runner) run(req *Request, limits vm.Limits) (*sessionResult, error) {
 		return r.slice(req, limits)
 	case OpDualSlice:
 		return r.dualSlice(req, limits)
+	case OpSliceShard:
+		return r.sliceShard(req, limits)
 	}
 	return nil, badRequest("unknown op %q", req.Op)
 }
@@ -267,7 +271,85 @@ func (r *runner) slice(req *Request, limits vm.Limits) (*sessionResult, error) {
 		TraceLen:       sl.Stats.TraceLen,
 		Deps:           len(sl.Deps),
 		PrunedBypasses: int(sl.Stats.PrunedBypasses),
+		Digest:         slice.Summarize(sl).Digest,
 	})
+	if salvaged {
+		out.annotation = CodeSalvaged
+	}
+	return out, nil
+}
+
+// sliceShard advances one window range of a distributed slice query
+// (see slice.SliceShard): an empty State starts a fresh query at the
+// request's criterion, otherwise the carried state resumes. The engine
+// comes from the shared LRU keyed on pinball content, so a worker
+// answering shards of the same pinball reuses its hot engine exactly
+// like whole-slice sessions do.
+func (r *runner) sliceShard(req *Request, limits vm.Limits) (*sessionResult, error) {
+	if req.Proto < ProtoV2 {
+		return nil, badRequest("slice_shard requires proto >= %d", ProtoV2)
+	}
+	var st *slice.QueryState
+	if len(req.State) > 0 {
+		st = &slice.QueryState{}
+		if err := json.Unmarshal(req.State, st); err != nil {
+			return nil, badRequest("bad shard state: %v", err)
+		}
+	}
+	prog, err := loadProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	sess, salvaged, err := loadSession(prog, req.Pinball, req.Salvage, limits, r.sup)
+	if err != nil {
+		return nil, err
+	}
+	sess.SetParallelWorkers(req.Workers)
+
+	var payload ShardResult
+	rep, err := supervisor.Run(supervisor.PhaseSlice, r.sup, func() error {
+		eng, serr := sess.ParallelSlicer()
+		if serr != nil {
+			return serr
+		}
+		var crit tracer.Ref
+		var bound int
+		if st != nil {
+			crit, bound = st.Crit, st.Bound
+		} else {
+			crit, serr = sess.ResolveCriterion(req.Var, req.Tid, int32(req.Line), req.Nth)
+			if serr != nil {
+				return serr
+			}
+			if bound, serr = eng.StartBound(crit); serr != nil {
+				return serr
+			}
+		}
+		next, serr := eng.SliceShard(crit, st, eng.NextShardLo(bound, req.ShardWindows))
+		if serr != nil {
+			return serr
+		}
+		raw, serr := json.Marshal(next)
+		if serr != nil {
+			return serr
+		}
+		payload = ShardResult{Done: next.Done, Bound: next.Bound, State: raw}
+		if next.Done {
+			sum, serr := eng.SummarizeState(next)
+			if serr != nil {
+				return serr
+			}
+			payload.Members, payload.TraceLen = sum.Members, sum.TraceLen
+			payload.Deps, payload.Pruned = sum.Deps, sum.PrunedBypasses
+			payload.Digest = sum.Digest
+		}
+		return nil
+	})
+	out := &sessionResult{report: rep}
+	if err != nil {
+		return out, err
+	}
+	out.result = encode(payload)
 	if salvaged {
 		out.annotation = CodeSalvaged
 	}
@@ -324,7 +406,7 @@ func (r *runner) dualSlice(req *Request, limits vm.Limits) (*sessionResult, erro
 // "" when the op touches no existing pinball (record).
 func breakerKey(req *Request) string {
 	switch req.Op {
-	case OpReplay, OpSlice, OpDualSlice:
+	case OpReplay, OpSlice, OpDualSlice, OpSliceShard:
 		if req.Pinball == "" {
 			return ""
 		}

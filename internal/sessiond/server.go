@@ -224,6 +224,14 @@ func (s *Server) dispatch(req *Request, remote string, send func(Response)) {
 		// outside the VM's stepping loop trips the watchdog.
 		sup.Watchdog = deadline + 2*time.Second
 	}
+	if sup.RetryBudget == 0 {
+		// Retries share the session's wall-clock allowance: however many
+		// attempts the policy permits, their total (attempts plus backoff
+		// sleeps) may not exceed twice the watchdog window, so a retrying
+		// session can never outlive the quota deadline by more than one
+		// extra attempt.
+		sup.RetryBudget = 2 * sup.Watchdog
+	}
 	r := &runner{sup: sup, chaos: s.cfg.Chaos}
 	res, err := r.run(req, limits)
 	if err != nil {
@@ -269,19 +277,41 @@ func (s *Server) health(req *Request) Response {
 func (s *Server) stats(req *Request) Response {
 	eng := slice.GetEngineCacheStats()
 	gph := cfgpkg.GraphCacheStats()
+	running, queued := s.adm.load()
 	return Response{ID: req.ID, OK: true, Result: encode(StatsResult{
 		Received:      s.received.Load(),
 		Accepted:      s.accepted.Load(),
 		Rejected:      s.rejected.Load(),
 		Completed:     s.completed.Load(),
 		Failed:        s.failed.Load(),
+		Active:        running,
+		Queued:        queued,
 		BreakersOpen:  s.brk.openCount(),
+		Breakers:      s.brk.snapshot(),
 		EngineEntries: eng.Entries,
 		EngineCap:     slice.EngineCacheCap(),
 		GraphEntries:  gph.Entries,
 		GraphCap:      cfgpkg.GraphCacheCap(),
 	})}
 }
+
+// Execute runs one request through the same pipeline dispatch uses and
+// returns its response instead of writing it to a connection. It is the
+// in-process entry the fleet worker agent uses for stolen tasks: the
+// request still counts against admission, quotas, breakers and drain
+// accounting, so a drain waits for stolen work exactly as it waits for
+// connection-delivered work.
+func (s *Server) Execute(req *Request, client string) Response {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	var out Response
+	s.dispatch(req, client, func(resp Response) { out = resp })
+	return out
+}
+
+// Load reports the admission pool's instantaneous running and queued
+// session counts — what a fleet worker advertises in its heartbeats.
+func (s *Server) Load() (running, queued int) { return s.adm.load() }
 
 // Shutdown drains the server gracefully: stop admitting (queued waiters
 // fail with ErrDraining, new requests get CodeDraining), let in-flight

@@ -93,6 +93,7 @@ type ParallelSlicer struct {
 	depsHint atomic.Int64
 
 	workers    int
+	windowSize int
 	queries    atomic.Int64
 	indexSteps atomic.Int64
 }
@@ -215,7 +216,11 @@ func NewParallel(prog *isa.Program, tr *tracer.Trace, opts Options, popts Parall
 	if err != nil {
 		return nil, err
 	}
-	windows := tracer.SplitWindows(len(tr.Global), popts.WindowSize)
+	windowSize := popts.WindowSize
+	if windowSize <= 0 {
+		windowSize = tracer.DefaultLPBlock
+	}
+	windows := tracer.SplitWindows(len(tr.Global), windowSize)
 	idx, err := tracer.BuildDefIndexCtx(popts.Ctx, tr, windows, workers)
 	if err != nil {
 		return nil, err
@@ -256,6 +261,7 @@ func NewParallel(prog *isa.Program, tr *tracer.Trace, opts Options, popts Parall
 		bypassRank:  bypassRank,
 		bypassInfos: bypassInfos,
 		workers:     workers,
+		windowSize:  windowSize,
 	}
 	space := idx.Space()
 	nGlobal := len(tr.Global)
@@ -451,100 +457,131 @@ func (h *candHeap) pop() demandCand {
 	return top
 }
 
-// Slice computes the backward dynamic slice of the criterion. See the
-// type comment: this is an event-driven simulation of Slicer.Slice over
-// the stitched definition index, producing an identical Slice.
-func (s *ParallelSlicer) Slice(crit tracer.Ref) (*Slice, error) {
-	tr := s.Trace
-	startPos, ok := tr.GlobalPosOf(crit)
+// query is one in-progress backward slice computation: the pooled
+// scratch plus the result accumulators. A query either runs to
+// completion in-process (Slice) or is advanced one window range at a
+// time with its live state serialised between ranges (SliceShard) —
+// both paths drive the same sweep loop, so a sharded query is
+// bit-identical to a monolithic one by construction.
+type query struct {
+	s        *ParallelSlicer
+	sc       *queryScratch
+	crit     tracer.Ref
+	startPos int
+	// deps collects the dependence edges appended during the current
+	// range. A suspending query folds them into depHash/depCount (result
+	// payloads carry counts and a digest, not the edge list); a
+	// monolithic query hands them to the Slice result untouched.
+	deps     []DepEdge
+	depHash  uint64
+	depCount int64
+	pruned   int64
+	steps    int64
+	batch    []tracer.Loc
+	locBuf   [8]tracer.Loc
+}
+
+// newQuery resolves the criterion and prepares a cleared scratch.
+func (s *ParallelSlicer) newQuery(crit tracer.Ref) (*query, error) {
+	startPos, ok := s.Trace.GlobalPosOf(crit)
 	if !ok {
 		return nil, fmt.Errorf("slice: criterion %+v outside trace", crit)
 	}
-	s.queries.Add(1)
-
-	out := &Slice{Criterion: crit}
 	// The scratch holds the query's allocation-heavy state; resetting a
 	// pooled one costs a few bitset clears instead of rebuilding maps.
 	sc := s.getScratch()
-	defer s.putScratch(sc)
 	clear(sc.ws.bits)
 	clear(sc.ws.over)
 	clear(sc.members)
 	clear(sc.events)
 	sc.h = sc.h[:0]
+	return &query{
+		s:        s,
+		sc:       sc,
+		crit:     crit,
+		startPos: startPos,
+		// deps is sized from the engine's running maximum so
+		// steady-state queries allocate their result exactly once.
+		deps:    make([]DepEdge, 0, s.depsHint.Load()),
+		depHash: fnvOffset,
+		batch:   sc.batch[:0],
+	}, nil
+}
 
-	// wanted merges the sequential sweep's wanted set and wantedBy map:
-	// presence means the location is demanded, the value is the demanding
-	// member (the sets are updated in lockstep in the sequential code, so
-	// one structure carries both).
-	wanted := &sc.ws
-	// wantedEvents flags the global positions with a pending control
-	// parent. The sequential sweep keys its map by position too, and the
-	// demanding member is never read back (the control edge is emitted
-	// at demand time), so presence bits carry the whole state.
-	wantedEvents := sc.events
-	// deps is the result buffer, sized from the engine's running
-	// maximum so steady-state queries allocate it exactly once.
-	deps := make([]DepEdge, 0, s.depsHint.Load())
-	// members is a position-indexed bitset; the member list is
-	// materialised from it in one ascending pass at the end, so the
-	// query never sorts and the hot membership checks never hash.
-	members := sc.members
-	isMember := func(g int) bool { return members[g>>6]&(1<<(g&63)) != 0 }
-	var locBuf [8]tracer.Loc
-	h := &sc.h
-	var steps int64
+// release returns the scratch to the engine pool and flushes counters.
+func (q *query) release() {
+	q.sc.batch = q.batch
+	q.s.putScratch(q.sc)
+	q.s.indexSteps.Add(q.steps)
+	q.steps = 0
+}
 
-	// demand mirrors the sequential `wanted[l] = ...; wantedBy[l] = ref`
-	// writes: a fresh demand gets its next-definition candidate from the
-	// index; re-demanding an already-wanted location only retargets the
-	// requester (the pending candidate stays correct — every definition
-	// between it and `at` has already been processed).
-	demand := func(l tracer.Loc, ref tracer.Ref, at int) {
-		if wanted.add(l, ref) {
-			if p, ok := s.idx.NearestDefBefore(l, at); ok {
-				h.push(demandCand{pos: int32(p), loc: l})
-			}
+func (q *query) isMember(g int) bool {
+	return q.sc.members[g>>6]&(1<<(g&63)) != 0
+}
+
+// demand mirrors the sequential `wanted[l] = ...; wantedBy[l] = ref`
+// writes: a fresh demand gets its next-definition candidate from the
+// index; re-demanding an already-wanted location only retargets the
+// requester (the pending candidate stays correct — every definition
+// between it and `at` has already been processed).
+func (q *query) demand(l tracer.Loc, ref tracer.Ref, at int) {
+	if q.sc.ws.add(l, ref) {
+		if p, ok := q.s.idx.NearestDefBefore(l, at); ok {
+			q.sc.h.push(demandCand{pos: int32(p), loc: l})
 		}
 	}
+}
 
-	// include takes the entry's already-decoded definitions when the
-	// caller has them (the data-match path), avoiding a second decode.
-	include := func(gpos int, ref tracer.Ref, defs []tracer.Loc) {
-		if isMember(gpos) {
-			return
-		}
-		members[gpos>>6] |= 1 << (gpos & 63)
-		e := tr.Entry(ref)
-		if defs == nil {
-			defs = tracer.Defs(e, locBuf[:0])
-		}
-		// Kill the locations this entry defines, then demand its uses.
-		for _, l := range defs {
-			wanted.del(l)
-		}
-		for _, l := range tracer.Uses(e, locBuf[:0]) {
-			demand(l, ref, gpos)
-		}
-		if s.Opts.ControlDeps {
-			if p, ok := s.fwd.parentOf(ref); ok {
-				if pg, ok := tr.GlobalPosOf(p); ok && pg <= startPos {
-					if !isMember(pg) {
-						if wantedEvents[pg>>6]&(1<<(pg&63)) == 0 {
-							wantedEvents[pg>>6] |= 1 << (pg & 63)
-							h.push(demandCand{pos: int32(pg), event: true})
-						}
+// include takes the entry's already-decoded definitions when the
+// caller has them (the data-match path), avoiding a second decode.
+func (q *query) include(gpos int, ref tracer.Ref, defs []tracer.Loc) {
+	if q.isMember(gpos) {
+		return
+	}
+	q.sc.members[gpos>>6] |= 1 << (gpos & 63)
+	e := q.s.Trace.Entry(ref)
+	if defs == nil {
+		defs = tracer.Defs(e, q.locBuf[:0])
+	}
+	// Kill the locations this entry defines, then demand its uses.
+	for _, l := range defs {
+		q.sc.ws.del(l)
+	}
+	for _, l := range tracer.Uses(e, q.locBuf[:0]) {
+		q.demand(l, ref, gpos)
+	}
+	if q.s.Opts.ControlDeps {
+		if p, ok := q.s.fwd.parentOf(ref); ok {
+			if pg, ok := q.s.Trace.GlobalPosOf(p); ok && pg <= q.startPos {
+				if !q.isMember(pg) {
+					// sc.events flags the global positions with a pending
+					// control parent. The sequential sweep keys its map by
+					// position too, and the demanding member is never read
+					// back (the control edge is emitted at demand time), so
+					// presence bits carry the whole state.
+					if q.sc.events[pg>>6]&(1<<(pg&63)) == 0 {
+						q.sc.events[pg>>6] |= 1 << (pg & 63)
+						q.sc.h.push(demandCand{pos: int32(pg), event: true})
 					}
-					deps = append(deps, DepEdge{From: ref, To: p, Kind: DepControl})
 				}
+				q.deps = append(q.deps, DepEdge{From: ref, To: p, Kind: DepControl})
 			}
 		}
 	}
+}
 
-	include(startPos, crit, nil)
-
-	batch := sc.batch[:0]
-	for len(*h) > 0 {
+// runTo advances the sweep, handling candidate positions in descending
+// order, until the heap is exhausted or every remaining candidate lies
+// below lo. runTo(0) is the complete sweep; a positive lo suspends the
+// query at a window boundary with its state capturable by captureState.
+func (q *query) runTo(lo int) {
+	tr := q.s.Trace
+	wanted := &q.sc.ws
+	wantedEvents := q.sc.events
+	h := &q.sc.h
+	batch := q.batch
+	for len(*h) > 0 && int((*h)[0].pos) >= lo {
 		// Drain every candidate at the current position: the position is
 		// handled once, exactly like one iteration of the backward sweep.
 		// Candidates whose location was killed since they were pushed are
@@ -561,7 +598,7 @@ func (s *ParallelSlicer) Slice(crit tracer.Ref) (*Slice, error) {
 				batch = append(batch, c.loc)
 			}
 		}
-		steps++
+		q.steps++
 
 		// Pending control parent: include and skip data matching, as the
 		// sequential sweep does. Demands this entry satisfies are killed
@@ -569,7 +606,7 @@ func (s *ParallelSlicer) Slice(crit tracer.Ref) (*Slice, error) {
 		if event {
 			if wantedEvents[g>>6]&(1<<(g&63)) != 0 {
 				wantedEvents[g>>6] &^= 1 << (g & 63)
-				include(g, tr.Global[g], nil)
+				q.include(g, tr.Global[g], nil)
 				continue
 			}
 		}
@@ -586,8 +623,8 @@ func (s *ParallelSlicer) Slice(crit tracer.Ref) (*Slice, error) {
 		// which matters: bypass hops dominate the event count on
 		// call-heavy traces. The entry is not included, so any other
 		// demand whose candidate was this position must look further back.
-		if s.Opts.PruneSaveRestore {
-			if bp, isBp := s.bypassAtPos(g); isBp {
+		if q.s.Opts.PruneSaveRestore {
+			if bp, isBp := q.s.bypassAtPos(g); isBp {
 				from, to := bp.slot, bp.reg
 				if bp.role == bypassRestore {
 					from, to = bp.reg, bp.slot
@@ -604,11 +641,11 @@ func (s *ParallelSlicer) Slice(crit tracer.Ref) (*Slice, error) {
 				}
 				requester, _ := wanted.get(from)
 				wanted.del(from)
-				demand(to, requester, g)
-				out.Stats.PrunedBypasses++
+				q.demand(to, requester, g)
+				q.pruned++
 				for _, l := range batch {
 					if wanted.has(l) {
-						if p, ok := s.idx.NearestDefBefore(l, g); ok {
+						if p, ok := q.s.idx.NearestDefBefore(l, g); ok {
 							h.push(demandCand{pos: int32(p), loc: l})
 						}
 					}
@@ -623,7 +660,7 @@ func (s *ParallelSlicer) Slice(crit tracer.Ref) (*Slice, error) {
 		// the drained batch (candidates pop in position order), so the
 		// batch doubles as the set of live demands to match against.
 		e := tr.Entry(ref)
-		defs := tracer.Defs(e, locBuf[:0])
+		defs := tracer.Defs(e, q.locBuf[:0])
 		matched := tracer.Loc(0)
 		found := false
 		for _, l := range defs {
@@ -642,19 +679,22 @@ func (s *ParallelSlicer) Slice(crit tracer.Ref) (*Slice, error) {
 			continue // all drained demands went stale since they were pushed
 		}
 		if from, ok := wanted.get(matched); ok {
-			deps = append(deps, DepEdge{From: from, To: ref, Kind: DepData, Loc: matched})
+			q.deps = append(q.deps, DepEdge{From: from, To: ref, Kind: DepData, Loc: matched})
 		}
-		include(g, ref, defs)
+		q.include(g, ref, defs)
 	}
-	sc.batch = batch
-	out.Deps = deps
-	if n := int64(len(deps)); n > s.depsHint.Load() {
-		s.depsHint.Store(n)
-	}
-	s.indexSteps.Add(steps)
+	q.batch = batch
+}
 
+// finish materialises the completed query's Slice result.
+func (q *query) finish() *Slice {
+	out := &Slice{Criterion: q.crit, Deps: q.deps}
+	if n := int64(len(q.deps)); n > q.s.depsHint.Load() {
+		q.s.depsHint.Store(n)
+	}
 	// Materialise members in global order straight off the bitset. The
 	// membership map is left to Contains to build on demand.
+	members := q.sc.members
 	n := 0
 	for _, word := range members {
 		n += bits.OnesCount64(word)
@@ -663,13 +703,29 @@ func (s *ParallelSlicer) Slice(crit tracer.Ref) (*Slice, error) {
 	for w, word := range members {
 		for word != 0 {
 			g := w<<6 + bits.TrailingZeros64(word)
-			out.Members = append(out.Members, tr.Global[g])
+			out.Members = append(out.Members, q.s.Trace.Global[g])
 			word &= word - 1
 		}
 	}
-	out.Stats.TraceLen = len(tr.Global)
+	out.Stats.TraceLen = len(q.s.Trace.Global)
 	out.Stats.Members = len(out.Members)
-	out.Stats.VerifiedPairs = s.fwd.pairs
-	out.Stats.CFGRefinements = s.fwd.cfgRefinements
-	return out, nil
+	out.Stats.VerifiedPairs = q.s.fwd.pairs
+	out.Stats.CFGRefinements = q.s.fwd.cfgRefinements
+	out.Stats.PrunedBypasses = q.pruned
+	return out
+}
+
+// Slice computes the backward dynamic slice of the criterion. See the
+// type comment: this is an event-driven simulation of Slicer.Slice over
+// the stitched definition index, producing an identical Slice.
+func (s *ParallelSlicer) Slice(crit tracer.Ref) (*Slice, error) {
+	q, err := s.newQuery(crit)
+	if err != nil {
+		return nil, err
+	}
+	defer q.release()
+	s.queries.Add(1)
+	q.include(q.startPos, crit, nil)
+	q.runTo(0)
+	return q.finish(), nil
 }

@@ -1,0 +1,226 @@
+package slice_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/slice"
+	"repro/internal/tracer"
+)
+
+// The shard harness: chaining SliceShard window ranges — including a
+// JSON round-trip of the query state between every hop, exactly what
+// the fleet protocol does — must reproduce the monolithic Slice result
+// bit for bit, and re-running any hop from the same state must yield a
+// byte-identical successor (the idempotency that makes hedged and
+// re-dispatched shard requests safe).
+
+// shardEngine builds a parallel engine with a small window size so even
+// the short fuzz traces span many windows.
+func shardEngine(t *testing.T, seed int64) (*slice.ParallelSlicer, *tracer.Trace) {
+	t.Helper()
+	prog, _, tr := fuzzProgram(t, seed)
+	eng, err := slice.NewParallel(prog, tr, optionsForSeed(seed), slice.ParallelOptions{Workers: 2, WindowSize: 32})
+	if err != nil {
+		t.Fatalf("seed %d: build: %v", seed, err)
+	}
+	return eng, tr
+}
+
+// roundTrip serialises and reparses a query state, as the wire does.
+func roundTrip(t *testing.T, st *slice.QueryState) *slice.QueryState {
+	t.Helper()
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	out := &slice.QueryState{}
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatalf("unmarshal state: %v", err)
+	}
+	return out
+}
+
+// chainShards drives a query to completion in hops of `windows` shard
+// windows, JSON round-tripping the state between hops. Each hop may run
+// on a different engine from engines (round-robin), simulating the
+// fleet handing the continuation from worker to worker.
+func chainShards(t *testing.T, engines []*slice.ParallelSlicer, crit tracer.Ref, windows int) (*slice.QueryState, int) {
+	t.Helper()
+	bound, err := engines[0].StartBound(crit)
+	if err != nil {
+		t.Fatalf("start bound: %v", err)
+	}
+	var st *slice.QueryState
+	hops := 0
+	for {
+		eng := engines[hops%len(engines)]
+		lo := eng.NextShardLo(bound, windows)
+		next, err := eng.SliceShard(crit, st, lo)
+		if err != nil {
+			t.Fatalf("shard hop %d (lo=%d): %v", hops, lo, err)
+		}
+		hops++
+		if hops > 10000 {
+			t.Fatalf("shard chain did not converge (bound %d)", bound)
+		}
+		st = roundTrip(t, next)
+		if st.Done {
+			return st, hops
+		}
+		if st.Bound >= bound {
+			t.Fatalf("hop %d: bound did not advance: %d -> %d", hops, bound, st.Bound)
+		}
+		bound = st.Bound
+	}
+}
+
+func TestShardChainMatchesMonolithic(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 11, 17}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		eng, tr := shardEngine(t, seed)
+		for ci, crit := range criteriaOf(t, tr) {
+			mono, err := eng.Slice(crit)
+			if err != nil {
+				t.Fatalf("seed %d crit %d: monolithic: %v", seed, ci, err)
+			}
+			want := slice.Summarize(mono)
+			for _, windows := range []int{1, 2, 5} {
+				st, hops := chainShards(t, []*slice.ParallelSlicer{eng}, crit, windows)
+				got, err := eng.SummarizeState(st)
+				if err != nil {
+					t.Fatalf("seed %d crit %d w=%d: summarize: %v", seed, ci, windows, err)
+				}
+				if got != want {
+					t.Fatalf("seed %d crit %d w=%d (%d hops): sharded %+v != monolithic %+v",
+						seed, ci, windows, hops, got, want)
+				}
+				if len(st.Members) != len(mono.Members) {
+					t.Fatalf("seed %d crit %d w=%d: %d members sharded, %d monolithic",
+						seed, ci, windows, len(st.Members), len(mono.Members))
+				}
+				for i, g := range st.Members {
+					if tr.Global[g] != mono.Members[i] {
+						t.Fatalf("seed %d crit %d w=%d: member %d: %+v vs %+v",
+							seed, ci, windows, i, tr.Global[g], mono.Members[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardSingleHop: lo=0 from a fresh state is the whole query in one
+// shard and must equal the monolithic result too.
+func TestShardSingleHop(t *testing.T) {
+	eng, tr := shardEngine(t, 7)
+	for ci, crit := range criteriaOf(t, tr) {
+		mono, err := eng.Slice(crit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.SliceShard(crit, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Done {
+			t.Fatalf("crit %d: single hop not done (bound %d)", ci, st.Bound)
+		}
+		got, err := eng.SummarizeState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := slice.Summarize(mono); got != want {
+			t.Fatalf("crit %d: %+v != %+v", ci, got, want)
+		}
+	}
+}
+
+// TestShardReexecutionIdempotent re-runs every hop of a chain twice
+// from the same serialised state: both executions must produce
+// byte-identical successor states. This is the property straggler
+// re-dispatch and hedging rely on.
+func TestShardReexecutionIdempotent(t *testing.T) {
+	eng, tr := shardEngine(t, 4)
+	crit := criteriaOf(t, tr)[0]
+	bound, err := eng.StartBound(crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st *slice.QueryState
+	for hop := 0; ; hop++ {
+		lo := eng.NextShardLo(bound, 1)
+		a, err := eng.SliceShard(crit, st, lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := eng.SliceShard(crit, st, lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, _ := json.Marshal(a)
+		bb, _ := json.Marshal(b)
+		if !bytes.Equal(ab, bb) {
+			t.Fatalf("hop %d (lo=%d): re-execution diverged:\n%s\n%s", hop, lo, ab, bb)
+		}
+		st = roundTrip(t, a)
+		if st.Done {
+			return
+		}
+		bound = st.Bound
+	}
+}
+
+// TestShardCrossEngineResume alternates hops between two independently
+// built engines over the same trace — the multi-process case, where
+// each worker holds its own engine instance.
+func TestShardCrossEngineResume(t *testing.T) {
+	seed := int64(3)
+	prog, _, tr := fuzzProgram(t, seed)
+	opts := optionsForSeed(seed)
+	engA, err := slice.NewParallel(prog, tr, opts, slice.ParallelOptions{Workers: 1, WindowSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := slice.NewParallel(prog, tr, opts, slice.ParallelOptions{Workers: 3, WindowSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, crit := range criteriaOf(t, tr) {
+		mono, err := engA.Slice(crit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _ := chainShards(t, []*slice.ParallelSlicer{engA, engB}, crit, 1)
+		got, err := engB.SummarizeState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := slice.Summarize(mono); got != want {
+			t.Fatalf("crit %d: cross-engine %+v != monolithic %+v", ci, got, want)
+		}
+	}
+}
+
+// TestShardStateVersionGuard: a state with a wrong version must be
+// rejected, not misinterpreted.
+func TestShardStateVersionGuard(t *testing.T) {
+	eng, tr := shardEngine(t, 2)
+	crit := criteriaOf(t, tr)[0]
+	bound, _ := eng.StartBound(crit)
+	st, err := eng.SliceShard(crit, nil, eng.NextShardLo(bound, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done {
+		t.Skip("trace too small to suspend")
+	}
+	st.V = 99
+	if _, err := eng.SliceShard(crit, st, 0); err == nil {
+		t.Fatal("version-skewed state accepted")
+	}
+}

@@ -148,6 +148,17 @@ type Options struct {
 	// A fired watchdog abandons the attempt's goroutine — pair it with a
 	// vm deadline limit so the abandoned replay also stops itself.
 	Watchdog time.Duration
+	// RetryBudget caps the total wall-clock the phase may spend across
+	// attempts and backoff sleeps (0 = no cap). Once launching another
+	// retry could not complete inside the budget — elapsed time plus the
+	// pending sleep reaches it — the phase fails with the last attempt's
+	// error instead of retrying. The session daemon derives it from the
+	// session's quota deadline, so a retry storm can never outlive the
+	// watchdog allowance the client was promised.
+	RetryBudget time.Duration
+	// Now replaces time.Now in tests (paired with Sleep for fully
+	// deterministic budget accounting).
+	Now func() time.Time
 	// OnRetry observes each retry decision (attempt just failed, err why).
 	OnRetry func(attempt int, err error)
 	// Sleep replaces time.Sleep in tests.
@@ -166,6 +177,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Sleep == nil {
 		o.Sleep = time.Sleep
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 	if o.Jitter < 0 {
 		o.Jitter = 0
@@ -190,6 +204,35 @@ func (o Options) jittered(b time.Duration) time.Duration {
 	return time.Duration(float64(b) * f)
 }
 
+// DecorrelatedJitter returns the next sleep of a decorrelated-jitter
+// backoff sequence: drawn uniformly from [base, 3·prev] and capped at
+// max. Unlike exponential backoff with symmetric jitter, successive
+// sleeps are decoupled from the retry ordinal, so a population of
+// clients hammering the same recovering peer (the fleet coordinator's
+// per-worker retries) spreads out instead of re-synchronising at every
+// doubling step. Pass prev = 0 (or base) for the first retry; feed each
+// result back as the next prev. rnd replaces the uniform [0,1) source
+// in tests; nil uses the global math/rand source.
+func DecorrelatedJitter(prev, base, max time.Duration, rnd func() float64) time.Duration {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if prev < base {
+		prev = base
+	}
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	d := base + time.Duration(rnd()*float64(3*prev-base))
+	if d > max {
+		d = max
+	}
+	return d
+}
+
 // Attempt records one supervised execution of the phase function.
 type Attempt struct {
 	N    int    `json:"n"`
@@ -208,6 +251,9 @@ type Report struct {
 	Recovered     bool  `json:"recovered,omitempty"`
 	Degraded      bool  `json:"degraded,omitempty"`
 	RecoveredStep int64 `json:"recovered_step,omitempty"`
+	// BudgetExhausted marks a failure where retries remained under
+	// MaxAttempts but the RetryBudget wall-clock cap stopped them.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
 	// Kind and Failure describe the final failure when the phase did not
 	// succeed at all.
 	Kind    Kind   `json:"kind,omitempty"`
@@ -248,6 +294,7 @@ func Run(phase Phase, opts Options, fn func() error) (*Report, error) {
 	o := opts.withDefaults()
 	rep := &Report{Phase: phase}
 	backoff := o.Backoff
+	start := o.Now()
 	var err error
 	for attempt := 1; ; attempt++ {
 		err = runOnce(phase, o.Watchdog, fn)
@@ -260,10 +307,17 @@ func Run(phase Phase, opts Options, fn func() error) (*Report, error) {
 		if !kind.Retryable() || attempt >= o.MaxAttempts {
 			break
 		}
+		sleep := o.jittered(backoff)
+		if o.RetryBudget > 0 && o.Now().Sub(start)+sleep >= o.RetryBudget {
+			// Another retry could not complete inside the wall-clock
+			// budget; fail now rather than outlive the promised deadline.
+			rep.BudgetExhausted = true
+			break
+		}
 		if o.OnRetry != nil {
 			o.OnRetry(attempt, err)
 		}
-		o.Sleep(o.jittered(backoff))
+		o.Sleep(sleep)
 		if backoff *= 2; backoff > o.BackoffMax {
 			backoff = o.BackoffMax
 		}

@@ -277,3 +277,117 @@ func TestReportJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRetryBudgetStopsRetries pins the wall-clock cap: with an
+// injected clock where each attempt costs 40ms and each backoff sleep
+// 10ms, a 100ms budget admits attempt 1 (40ms) + sleep (10ms) +
+// attempt 2 (40ms) = 90ms, and then refuses the next retry because
+// 90ms + 10ms reaches the budget — even though MaxAttempts would allow
+// ten attempts.
+func TestRunRetryBudgetStopsRetries(t *testing.T) {
+	now := time.Unix(1000, 0)
+	calls := 0
+	rep, err := Run(PhaseSlice, Options{
+		MaxAttempts: 10,
+		Backoff:     10 * time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+		RetryBudget: 100 * time.Millisecond,
+		Now:         func() time.Time { return now },
+		Sleep:       func(d time.Duration) { now = now.Add(d) },
+	}, func() error {
+		calls++
+		now = now.Add(40 * time.Millisecond)
+		return errors.New("transient")
+	})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (budget should stop the third attempt)", calls)
+	}
+	if !rep.BudgetExhausted {
+		t.Fatalf("report not marked budget-exhausted: %+v", rep)
+	}
+	var se *SessionError
+	if !errors.As(err, &se) || se.Attempts != 2 {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+// TestRunRetryBudgetCountsSleeps: the pending backoff sleep itself is
+// charged against the budget, so a sleep that would cross the deadline
+// is never taken (retries cannot outlive the watchdog allowance by
+// sleeping right up to it and then running one more attempt).
+func TestRunRetryBudgetCountsSleeps(t *testing.T) {
+	now := time.Unix(1000, 0)
+	slept := time.Duration(0)
+	_, err := Run(PhaseSlice, Options{
+		MaxAttempts: 10,
+		Backoff:     60 * time.Millisecond,
+		RetryBudget: 50 * time.Millisecond,
+		Now:         func() time.Time { return now },
+		Sleep: func(d time.Duration) {
+			slept += d
+			now = now.Add(d)
+		},
+	}, func() error { return errors.New("transient") })
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if slept != 0 {
+		t.Fatalf("slept %v; the first 60ms backoff already exceeds the 50ms budget", slept)
+	}
+}
+
+// TestRunZeroBudgetMeansUnlimited: the zero value keeps today's
+// behaviour (MaxAttempts alone bounds the retries).
+func TestRunZeroBudgetMeansUnlimited(t *testing.T) {
+	calls := 0
+	_, err := Run(PhaseSlice, Options{
+		MaxAttempts: 4,
+		Sleep:       func(time.Duration) {},
+	}, func() error {
+		calls++
+		return errors.New("transient")
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("err=%v calls=%d, want 4 attempts", err, calls)
+	}
+}
+
+// TestDecorrelatedJitter pins the sequence's bounds: every sleep lies
+// in [base, min(3·prev, max)], and a saturated sequence stays at max.
+func TestDecorrelatedJitter(t *testing.T) {
+	base, max := 10*time.Millisecond, 400*time.Millisecond
+	// rnd = 1 (upper edge): prev doubles-and-a-half each step until max.
+	up := func() float64 { return 0.9999999 }
+	prev := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		d := DecorrelatedJitter(prev, base, max, up)
+		if d < base || d > max {
+			t.Fatalf("step %d: %v outside [%v, %v]", i, d, base, max)
+		}
+		lim := 3 * prev
+		if prev < base {
+			lim = 3 * base
+		}
+		if lim > max {
+			lim = max
+		}
+		if d > lim {
+			t.Fatalf("step %d: %v exceeds 3·prev cap %v", i, d, lim)
+		}
+		prev = d
+	}
+	if prev != max {
+		t.Fatalf("saturated sequence ended at %v, want cap %v", prev, max)
+	}
+	// rnd = 0 (lower edge): always the base.
+	if d := DecorrelatedJitter(123*time.Millisecond, base, max, func() float64 { return 0 }); d != base {
+		t.Fatalf("lower edge: %v, want %v", d, base)
+	}
+	// nil rnd must not panic and must respect the bounds.
+	if d := DecorrelatedJitter(0, base, max, nil); d < base || d > max {
+		t.Fatalf("nil rnd: %v outside [%v, %v]", d, base, max)
+	}
+}

@@ -116,6 +116,23 @@ func (ls LocSpace) Index(l Loc) (int, bool) {
 	return 0, false
 }
 
+// LocAt is the inverse of Index: it reconstructs the location at dense
+// table index i. It exists for callers that must externalise a
+// direct-indexed table keyed by this space — the windowed slice query
+// serialises its live demand set as (location, requester) pairs when a
+// shard boundary hands the computation to another process.
+func (ls LocSpace) LocAt(i int) Loc {
+	n := int64(i)
+	if n < ls.MemSpan {
+		return Loc(n)
+	}
+	n -= ls.MemSpan
+	if n < ls.StackSpan {
+		return Loc(ls.StackLo + n)
+	}
+	return regLocBase | Loc(n-ls.StackSpan)
+}
+
 // DefIndex maps every dependence location to the ascending global
 // positions of its dynamic definitions. It is the stitched form of the
 // per-window dependence shards: a demand "who last defined location l
