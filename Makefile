@@ -53,3 +53,11 @@ fleet-soak:
 # Regenerate BENCH_durability.json (crash-safe write overhead).
 bench-durability:
 	$(GO) run ./cmd/drbench -experiment durbench
+
+# Bounded scenario-matrix smoke under the race detector: the Table 1
+# bug kernels explored by Maple across 8 seeds each, with replay and
+# slice-closure assertions, plus the matrix engine's own determinism
+# tests. Writes the grid artifact to matrix-grid.json for CI upload.
+matrix-smoke:
+	$(GO) test -race -count=1 ./internal/matrix/
+	$(GO) run -race ./cmd/drmatrix run -q -json matrix-grid.json scenarios/table1.yaml

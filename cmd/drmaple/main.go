@@ -46,7 +46,7 @@ func run(file, workload string, seed, quantum int64, input string, runs int, out
 	if err != nil {
 		return err
 	}
-	res, err := drdebug.FindBug(prog, drdebug.LogConfig{
+	res, err := drdebug.FindBug(nil, prog, drdebug.LogConfig{
 		Seed: seed, MeanQuantum: quantum, Input: in, RandSeed: seed,
 	}, drdebug.MapleOptions{ProfileRuns: runs})
 	if err != nil {

@@ -20,6 +20,7 @@
 package drdebug
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -221,9 +222,10 @@ func NewDebugger(prog *Program, cfg LogConfig) *Debugger {
 
 // FindBug runs the Maple workflow (profiling + active scheduling with
 // logging) until the program fails, returning the failing pinball ready
-// for replay-based debugging.
-func FindBug(prog *Program, cfg LogConfig, opts MapleOptions) (*MapleResult, error) {
-	return maple.FindBug(prog, cfg, opts)
+// for replay-based debugging. Cancelling ctx (or letting its deadline
+// pass) stops the exploration mid-run; nil means no cancellation.
+func FindBug(ctx context.Context, prog *Program, cfg LogConfig, opts MapleOptions) (*MapleResult, error) {
+	return maple.FindBug(ctx, prog, cfg, opts)
 }
 
 // WorkloadByName returns one of the registered benchmark programs (the

@@ -25,7 +25,7 @@ func main() {
 	// Expose the race. Maple profiles a few runs, predicts untested
 	// inter-thread orderings and forces them; every attempt is logged so
 	// the failing one is immediately a replayable pinball.
-	res, err := drdebug.FindBug(prog, drdebug.LogConfig{
+	res, err := drdebug.FindBug(nil, prog, drdebug.LogConfig{
 		Seed: 1, MeanQuantum: 20, Input: wl.Input(3, 40),
 	}, drdebug.MapleOptions{ProfileRuns: 4})
 	if err != nil {

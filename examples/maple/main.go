@@ -50,7 +50,7 @@ func main() {
 	fmt.Printf("%d/5 plain schedules pass — the bug hides\n", passes)
 
 	// Maple: profile, predict the flipped ordering, force it.
-	res, err := drdebug.FindBug(prog, drdebug.LogConfig{Seed: 1, MeanQuantum: 500}, drdebug.MapleOptions{ProfileRuns: 4})
+	res, err := drdebug.FindBug(nil, prog, drdebug.LogConfig{Seed: 1, MeanQuantum: 500}, drdebug.MapleOptions{ProfileRuns: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -136,7 +136,7 @@ func exposeBug(w *workloads.Workload, cfg *Config, size int64) (*core.Session, i
 			return s, seed, nil
 		}
 	}
-	res, err := maple.FindBug(prog, pinplay.LogConfig{Seed: cfg.Seed, MeanQuantum: 20, Input: input, MaxSteps: 100_000_000}, maple.Options{})
+	res, err := maple.FindBug(nil, prog, pinplay.LogConfig{Seed: cfg.Seed, MeanQuantum: 20, Input: input, MaxSteps: 100_000_000}, maple.Options{})
 	if err != nil {
 		return nil, 0, err
 	}

@@ -11,6 +11,7 @@
 package maple
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -96,7 +97,12 @@ type Result struct {
 
 // ProfilePhase runs the profiler. Every run is logged; if a run happens
 // to fail outright, the failing pinball is returned alongside the profile.
-func ProfilePhase(prog *isa.Program, cfg pinplay.LogConfig, opts Options) (*Profile, *pinball.Pinball, error) {
+// Cancelling ctx stops the exploration between (and inside) runs; the
+// phase then returns ctx.Err().
+func ProfilePhase(ctx context.Context, prog *isa.Program, cfg pinplay.LogConfig, opts Options) (*Profile, *pinball.Pinball, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	runs := opts.ProfileRuns
 	if runs <= 0 {
 		runs = 4
@@ -104,10 +110,13 @@ func ProfilePhase(prog *isa.Program, cfg pinplay.LogConfig, opts Options) (*Prof
 	prof := &Profile{Observed: make(map[IRoot]int), Runs: runs}
 	var failing *pinball.Pinball
 	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("maple: profiling cancelled after %d of %d runs: %w", i, runs, err)
+		}
 		p := &profiler{last: make(map[int64]lastAccess), observed: prof.Observed}
 		runCfg := cfg
 		runCfg.Seed = cfg.Seed + int64(i)*7919
-		pb, err := logRun(prog, vm.NewRandomScheduler(runCfg.Seed, mq(runCfg)), runCfg, p, opts.MaxSteps)
+		pb, err := logRun(ctx, prog, vm.NewRandomScheduler(runCfg.Seed, mq(runCfg)), runCfg, p, opts.MaxSteps)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -146,8 +155,9 @@ func mq(cfg pinplay.LogConfig) int64 {
 }
 
 // logRun executes prog under the given scheduler with recording on from
-// the start, returning the whole-execution pinball.
-func logRun(prog *isa.Program, sched vm.Scheduler, cfg pinplay.LogConfig, extra vm.Tracer, maxSteps int64) (*pinball.Pinball, error) {
+// the start, returning the whole-execution pinball. A cancelled ctx
+// stops the machine mid-run (via vm.Limits) and surfaces as ctx's error.
+func logRun(ctx context.Context, prog *isa.Program, sched vm.Scheduler, cfg pinplay.LogConfig, extra vm.Tracer, maxSteps int64) (*pinball.Pinball, error) {
 	if maxSteps <= 0 {
 		maxSteps = 200_000_000
 	}
@@ -156,11 +166,17 @@ func logRun(prog *isa.Program, sched vm.Scheduler, cfg pinplay.LogConfig, extra 
 		Env:      vm.NewNativeEnv(cfg.Input, cfg.RandSeed),
 		MaxSteps: maxSteps,
 	})
+	if ctx != nil && ctx.Done() != nil {
+		m.SetLimits(vm.Limits{Ctx: ctx})
+	}
 	if as, ok := sched.(*activeScheduler); ok {
 		as.m = m
 	}
 	rec := pinplay.StartRecordingWith(m, extra)
 	m.Run()
+	if m.Stopped() == vm.StopCancelled {
+		return nil, fmt.Errorf("maple: run cancelled: %w", ctx.Err())
+	}
 	pb := rec.Finish(m, m.Stopped().String())
 	pb.Kind = pinball.KindWhole
 	return pb, nil
@@ -169,8 +185,14 @@ func logRun(prog *isa.Program, sched vm.Scheduler, cfg pinplay.LogConfig, extra 
 // FindBug runs the full Maple workflow: profile, predict, then force each
 // predicted iRoot with the active scheduler until a run fails. The
 // failing run's pinball is returned ready for replay-based debugging.
-func FindBug(prog *isa.Program, cfg pinplay.LogConfig, opts Options) (*Result, error) {
-	prof, failing, err := ProfilePhase(prog, cfg, opts)
+// Cancelling ctx deadline-bounds the whole exploration: the current run
+// is stopped from the VM's stepping loop and FindBug returns ctx.Err()
+// instead of waiting out MaxSteps on every remaining candidate.
+func FindBug(ctx context.Context, prog *isa.Program, cfg pinplay.LogConfig, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prof, failing, err := ProfilePhase(ctx, prog, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -182,10 +204,14 @@ func FindBug(prog *isa.Program, cfg pinplay.LogConfig, opts Options) (*Result, e
 		return res, nil
 	}
 	for _, root := range prof.Predicted {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("maple: exploration cancelled after %d of %d attempts: %w",
+				res.Attempts, len(prof.Predicted), err)
+		}
 		res.Attempts++
 		watch := &rootWatcher{root: root}
 		sched := &activeScheduler{root: root, watch: watch}
-		pb, err := logRun(prog, sched, cfg, watch, opts.MaxSteps)
+		pb, err := logRun(ctx, prog, sched, cfg, watch, opts.MaxSteps)
 		if err != nil {
 			return nil, err
 		}

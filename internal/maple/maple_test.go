@@ -1,7 +1,10 @@
 package maple_test
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/core"
@@ -44,7 +47,7 @@ int main() {
 
 func TestProfilePhaseObservesAndPredicts(t *testing.T) {
 	prog := compileT(t, orderBugSrc)
-	prof, failing, err := maple.ProfilePhase(prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 500}, maple.Options{ProfileRuns: 4})
+	prof, failing, err := maple.ProfilePhase(context.Background(), prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 500}, maple.Options{ProfileRuns: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +79,7 @@ func TestProfilePhaseObservesAndPredicts(t *testing.T) {
 
 func TestFindBugExposesOrderViolation(t *testing.T) {
 	prog := compileT(t, orderBugSrc)
-	res, err := maple.FindBug(prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 500}, maple.Options{ProfileRuns: 4})
+	res, err := maple.FindBug(context.Background(), prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 500}, maple.Options{ProfileRuns: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +117,7 @@ func TestMapleToDrDebugIntegration(t *testing.T) {
 	// End-to-end: Maple exposes and records the bug; DrDebug opens the
 	// pinball and slices the failure down to the unsynchronised read.
 	prog := compileT(t, orderBugSrc)
-	res, err := maple.FindBug(prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 500}, maple.Options{ProfileRuns: 4})
+	res, err := maple.FindBug(context.Background(), prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 500}, maple.Options{ProfileRuns: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +169,7 @@ int main() {
 	assert(total == 3);
 	return 0;
 }`)
-	res, err := maple.FindBug(prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 50}, maple.Options{ProfileRuns: 3})
+	res, err := maple.FindBug(context.Background(), prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 50}, maple.Options{ProfileRuns: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,5 +178,47 @@ int main() {
 	}
 	if res.RootsPredicted == 0 {
 		t.Error("correct program with real interleavings should still predict candidate roots")
+	}
+}
+
+// TestFindBugContextCancellation: a pre-cancelled context stops the
+// exploration immediately, and a deadline cancels a run from inside the
+// VM's stepping loop instead of waiting out MaxSteps.
+func TestFindBugContextCancellation(t *testing.T) {
+	prog := compileT(t, orderBugSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := maple.FindBug(ctx, prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 500}, maple.Options{ProfileRuns: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled FindBug err = %v, want context.Canceled", err)
+	}
+	if _, _, err := maple.ProfilePhase(ctx, prog, pinplay.LogConfig{Seed: 1}, maple.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ProfilePhase err = %v, want context.Canceled", err)
+	}
+
+	// An endless program under an already-expired deadline: without the
+	// in-run limit this would spin for the full MaxSteps default.
+	spin := compileT(t, `
+int flag;
+int worker(int u) {
+	while (flag == 0) { yield(); }
+	return 0;
+}
+int main() {
+	int t = spawn(worker, 0);
+	int i;
+	for (i = 0; i < 1000000000; i = i) { i = i; yield(); }
+	flag = 1;
+	join(t);
+	return 0;
+}`)
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	start := time.Now()
+	_, err := maple.FindBug(dctx, spin, pinplay.LogConfig{Seed: 1, MeanQuantum: 100}, maple.Options{ProfileRuns: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadlined FindBug err = %v, want context.DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("deadline cancellation took %v; exploration was not cut short", took)
 	}
 }

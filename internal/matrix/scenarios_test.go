@@ -1,0 +1,57 @@
+package matrix
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedScenariosParse loads every committed scenario file: the
+// corpus must always parse and expand, so a format change can never
+// strand scenarios/.
+func TestCommittedScenariosParse(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("found %d scenario files, want at least table1, smoke, faults", len(files))
+	}
+	for _, f := range files {
+		spec, err := LoadSpec(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if cells := spec.Cells(); len(cells) == 0 {
+			t.Errorf("%s: expands to zero cells", f)
+		}
+	}
+}
+
+// TestTable1ScenarioPasses executes the committed Table 1 suite — the
+// acceptance criterion: all three paper bugs reproduce via Maple seed
+// exploration, replay divergence-free, and slice closed.
+func TestTable1ScenarioPasses(t *testing.T) {
+	spec, err := LoadSpec("../../scenarios/table1.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grid.Pass {
+		var buf bytes.Buffer
+		grid.RenderText(&buf)
+		t.Fatalf("table1 suite failed:\n%s", buf.String())
+	}
+	if grid.Counts.Cells != 24 || grid.Counts.Pass != 24 {
+		t.Fatalf("counts = %+v, want 24/24 passing", grid.Counts)
+	}
+	for _, s := range grid.Scenarios {
+		if s.Exposed != s.Cells {
+			t.Errorf("%s: %d/%d cells exposed the bug", s.Name, s.Exposed, s.Cells)
+		}
+	}
+}

@@ -1,0 +1,594 @@
+package matrix
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is a parsed scenario matrix file: a suite of scenarios, each of
+// which expands into the cross product of its axes.
+type Spec struct {
+	// Suite names the matrix (defaults to the file's base name).
+	Suite string
+	// Scenarios in file order.
+	Scenarios []*Scenario
+}
+
+// Scenario is one declarative scenario: a workload plus axis lists whose
+// cross product becomes the cells, execution knobs, and the expected
+// outcome assertions.
+type Scenario struct {
+	// Name identifies the scenario in the grid (required, unique).
+	Name string
+	// Workload names a registered workload (internal/workloads) or a
+	// mini-C source file path relative to the spec file.
+	Workload string
+
+	// Axes. Every list must be non-empty after defaults are applied.
+	Threads    []int64 // 0 = the workload's DefaultThreads
+	Sizes      []int64
+	Seeds      []int64  // list or "lo..hi" range
+	Quanta     []int64  // mean preemption quantum
+	Schedulers []string // "random" | "maple"
+	Faults     []string // "none" | "file:<name>" | "pinball:<name>"
+
+	// Execution knobs.
+	Region      Region // skip/length region selection (random scheduler)
+	Limits      Limits // per-run execution bounds
+	Timeout     time.Duration
+	ProfileRuns int // maple profiling runs (0 = maple default)
+
+	// Expect holds the assertions evaluated against each cell and the
+	// scenario's aggregate.
+	Expect Expect
+}
+
+// Region selects the recorded region in PinPlay skip/length form.
+type Region struct {
+	Skip   int64 `json:"skip,omitempty"`
+	Length int64 `json:"length,omitempty"`
+}
+
+// Limits bounds each cell's executions.
+type Limits struct {
+	// Steps is the instruction budget per run (0 = scenario default).
+	Steps int64
+	// Pages caps replay resident memory in pages (0 = none).
+	Pages int
+}
+
+// Expect declares a scenario's assertions. Zero values mean "don't
+// check" except where noted.
+type Expect struct {
+	// Outcome constrains how each cell's recorded run must end:
+	// "exit" (clean stop), "failure" (the bug's symptom), or "any"
+	// (default — per-cell outcome free, aggregate via Found).
+	Outcome string
+	// Found aggregates bug exposure across the scenario's cells:
+	// "any" (at least one cell captured a failure), "all", "none",
+	// or "" (no aggregate check).
+	Found string
+	// Replay: "clean" (default — replay every captured pinball and
+	// require zero divergences), or "none" to skip replay.
+	Replay string
+	// Slice: "closed" computes the failure slice of every cell that
+	// captured a failure and checks non-emptiness, the closure
+	// properties, and that the slice is smaller than the region;
+	// "none" (default) skips slicing.
+	Slice string
+	// MinMembers is the minimum failure-slice size (with Slice:closed).
+	MinMembers int
+	// Fault: "detected" (default when a cell has a fault axis value
+	// other than none) requires the injected corruption to surface as a
+	// typed load/validate error or a failed replay; "none" skips.
+	Fault string
+	// Output: "identical" requires all clean-exit cells of the scenario
+	// to produce identical program output (a schedule-independence
+	// check); "" skips.
+	Output string
+	// ExitCode, when >= 0, is the exact cell exit code every cell must
+	// report. Use -1 (default) to skip.
+	ExitCode int
+}
+
+// SchedulerRandom and SchedulerMaple are the scheduler axis values.
+const (
+	SchedulerRandom = "random"
+	SchedulerMaple  = "maple"
+)
+
+// FaultNone is the fault axis value meaning "no injection".
+const FaultNone = "none"
+
+// Cell is one expanded point of a scenario's cross product.
+type Cell struct {
+	Scenario *Scenario
+	// Index is the cell's position in the scenario's deterministic
+	// expansion order.
+	Index     int
+	Scheduler string
+	Fault     string
+	Threads   int64
+	Size      int64
+	Quantum   int64
+	Seed      int64
+}
+
+// Axes renders the cell's non-seed coordinates for grouping ("t3 s40
+// q20 maple" or "t3 s40 q20 random file:flip-magic").
+func (c *Cell) Axes() string {
+	s := fmt.Sprintf("t%d s%d q%d %s", c.Threads, c.Size, c.Quantum, c.Scheduler)
+	if c.Fault != FaultNone {
+		s += " " + c.Fault
+	}
+	return s
+}
+
+// LoadSpec reads and parses a scenario matrix file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: %w", err)
+	}
+	spec, err := ParseSpec(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("matrix: %s: %w", path, err)
+	}
+	if spec.Suite == "" {
+		spec.Suite = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return spec, nil
+}
+
+// ParseSpec parses scenario matrix YAML.
+func ParseSpec(src string) (*Spec, error) {
+	root, err := parseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	spec := &Spec{}
+	var defaults map[string]any
+	for _, k := range sortedKeys(root) {
+		switch k {
+		case "suite":
+			if spec.Suite, err = scalarOf(root[k], "suite"); err != nil {
+				return nil, err
+			}
+		case "defaults":
+			m, ok := root[k].(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("defaults must be a mapping")
+			}
+			defaults = m
+		case "scenarios":
+			// handled below, after defaults are known
+		default:
+			return nil, fmt.Errorf("unknown top-level key %q", k)
+		}
+	}
+	raw, ok := root["scenarios"].([]any)
+	if !ok || len(raw) == 0 {
+		return nil, fmt.Errorf("spec needs a non-empty 'scenarios' sequence")
+	}
+	if defaults != nil {
+		if err := checkScenarioKeys(defaults, true); err != nil {
+			return nil, fmt.Errorf("defaults: %w", err)
+		}
+	}
+	seen := map[string]bool{}
+	for i, rs := range raw {
+		m, ok := rs.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("scenario %d: must be a mapping", i)
+		}
+		sc, err := decodeScenario(m, defaults)
+		if err != nil {
+			name, _ := scalarOf(m["name"], "name")
+			if name == "" {
+				name = fmt.Sprintf("#%d", i)
+			}
+			return nil, fmt.Errorf("scenario %s: %w", name, err)
+		}
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		spec.Scenarios = append(spec.Scenarios, sc)
+	}
+	return spec, nil
+}
+
+var scenarioKeys = map[string]bool{
+	"name": true, "workload": true, "threads": true, "sizes": true,
+	"seeds": true, "quantum": true, "schedulers": true, "faults": true,
+	"region": true, "limits": true, "timeout": true, "profile_runs": true,
+	"expect": true,
+}
+
+func checkScenarioKeys(m map[string]any, isDefaults bool) error {
+	for _, k := range sortedKeys(m) {
+		if !scenarioKeys[k] {
+			return fmt.Errorf("unknown key %q", k)
+		}
+		if isDefaults && (k == "name" || k == "workload") {
+			return fmt.Errorf("%q is not allowed in defaults", k)
+		}
+	}
+	return nil
+}
+
+// decodeScenario decodes one scenario mapping, with defaults filling
+// unset keys.
+func decodeScenario(m, defaults map[string]any) (*Scenario, error) {
+	if err := checkScenarioKeys(m, false); err != nil {
+		return nil, err
+	}
+	get := func(k string) (any, bool) {
+		if v, ok := m[k]; ok {
+			return v, true
+		}
+		v, ok := defaults[k]
+		return v, ok
+	}
+	sc := &Scenario{
+		Threads:    []int64{0},
+		Sizes:      []int64{0},
+		Seeds:      []int64{1},
+		Quanta:     []int64{20},
+		Schedulers: []string{SchedulerRandom},
+		Faults:     []string{FaultNone},
+		Timeout:    60 * time.Second,
+		Expect:     Expect{Outcome: "any", Replay: "clean", ExitCode: -1},
+	}
+	var err error
+	if sc.Name, err = scalarOf(m["name"], "name"); err != nil || sc.Name == "" {
+		return nil, fmt.Errorf("scenario needs a name")
+	}
+	if sc.Workload, err = scalarOf(m["workload"], "workload"); err != nil || sc.Workload == "" {
+		return nil, fmt.Errorf("scenario needs a workload")
+	}
+	if v, ok := get("threads"); ok {
+		if sc.Threads, err = int64ListOf(v, "threads"); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := get("sizes"); ok {
+		if sc.Sizes, err = int64ListOf(v, "sizes"); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := get("seeds"); ok {
+		if sc.Seeds, err = seedsOf(v); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := get("quantum"); ok {
+		if sc.Quanta, err = int64ListOf(v, "quantum"); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := get("schedulers"); ok {
+		kinds, err := stringListOf(v, "schedulers")
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range kinds {
+			if k != SchedulerRandom && k != SchedulerMaple {
+				return nil, fmt.Errorf("unknown scheduler %q (want %s or %s)", k, SchedulerRandom, SchedulerMaple)
+			}
+		}
+		sc.Schedulers = kinds
+	}
+	if v, ok := get("faults"); ok {
+		faults, err := stringListOf(v, "faults")
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range faults {
+			if err := checkFaultName(f); err != nil {
+				return nil, err
+			}
+		}
+		sc.Faults = faults
+	}
+	if v, ok := get("region"); ok {
+		rm, ok := v.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("region must be a mapping {skip, length}")
+		}
+		for _, k := range sortedKeys(rm) {
+			var err error
+			switch k {
+			case "skip":
+				sc.Region.Skip, err = int64Of(rm[k], "region.skip")
+			case "length":
+				sc.Region.Length, err = int64Of(rm[k], "region.length")
+			default:
+				err = fmt.Errorf("unknown region key %q", k)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if v, ok := get("limits"); ok {
+		lm, ok := v.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("limits must be a mapping {steps, pages}")
+		}
+		for _, k := range sortedKeys(lm) {
+			var err error
+			switch k {
+			case "steps":
+				sc.Limits.Steps, err = int64Of(lm[k], "limits.steps")
+			case "pages":
+				var p int64
+				p, err = int64Of(lm[k], "limits.pages")
+				sc.Limits.Pages = int(p)
+			default:
+				err = fmt.Errorf("unknown limits key %q", k)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if v, ok := get("timeout"); ok {
+		s, err := scalarOf(v, "timeout")
+		if err != nil {
+			return nil, err
+		}
+		if sc.Timeout, err = time.ParseDuration(s); err != nil || sc.Timeout <= 0 {
+			return nil, fmt.Errorf("bad timeout %q", s)
+		}
+	}
+	if v, ok := get("profile_runs"); ok {
+		p, err := int64Of(v, "profile_runs")
+		if err != nil {
+			return nil, err
+		}
+		sc.ProfileRuns = int(p)
+	}
+	if v, ok := get("expect"); ok {
+		if err := decodeExpect(v, &sc.Expect); err != nil {
+			return nil, err
+		}
+	}
+	// A fault axis without an explicit fault assertion defaults to
+	// "detected" — injecting corruption that nothing checks is a
+	// scenario-authoring mistake.
+	if sc.Expect.Fault == "" {
+		sc.Expect.Fault = "none"
+		for _, f := range sc.Faults {
+			if f != FaultNone {
+				sc.Expect.Fault = "detected"
+			}
+		}
+	}
+	return sc, nil
+}
+
+func decodeExpect(v any, e *Expect) error {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return fmt.Errorf("expect must be a mapping")
+	}
+	enum := func(k, got string, allowed ...string) (string, error) {
+		for _, a := range allowed {
+			if got == a {
+				return got, nil
+			}
+		}
+		return "", fmt.Errorf("expect.%s: %q is not one of %s", k, got, strings.Join(allowed, "|"))
+	}
+	for _, k := range sortedKeys(m) {
+		s, err := scalarOf(m[k], "expect."+k)
+		if err != nil {
+			return err
+		}
+		switch k {
+		case "outcome":
+			e.Outcome, err = enum(k, s, "exit", "failure", "any")
+		case "found":
+			e.Found, err = enum(k, s, "any", "all", "none", "")
+		case "replay":
+			e.Replay, err = enum(k, s, "clean", "none")
+		case "slice":
+			e.Slice, err = enum(k, s, "closed", "none")
+		case "min_members":
+			var n int64
+			n, err = int64Of(m[k], "expect.min_members")
+			e.MinMembers = int(n)
+		case "fault":
+			e.Fault, err = enum(k, s, "detected", "none")
+		case "output":
+			e.Output, err = enum(k, s, "identical", "")
+		case "exit_code":
+			var n int64
+			n, err = int64Of(m[k], "expect.exit_code")
+			e.ExitCode = int(n)
+		default:
+			err = fmt.Errorf("unknown expect key %q", k)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkFaultName(f string) error {
+	if f == FaultNone {
+		return nil
+	}
+	kind, name, ok := strings.Cut(f, ":")
+	if !ok || name == "" || (kind != "file" && kind != "pinball") {
+		return fmt.Errorf("bad fault %q (want none, file:<name> or pinball:<name>)", f)
+	}
+	for _, known := range FaultNames() {
+		if f == known {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown fault %q (drmatrix faults lists the registry)", f)
+}
+
+// Expand returns the scenario's cells in deterministic nested-axis
+// order: scheduler, fault, threads, size, quantum, seed (seed innermost
+// so grids group a seed sweep on one row).
+func (sc *Scenario) Expand() []*Cell {
+	var cells []*Cell
+	for _, sched := range sc.Schedulers {
+		for _, fault := range sc.Faults {
+			for _, th := range sc.Threads {
+				for _, size := range sc.Sizes {
+					for _, q := range sc.Quanta {
+						for _, seed := range sc.Seeds {
+							cells = append(cells, &Cell{
+								Scenario: sc, Index: len(cells),
+								Scheduler: sched, Fault: fault,
+								Threads: th, Size: size, Quantum: q, Seed: seed,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Cells expands every scenario, in file order.
+func (s *Spec) Cells() []*Cell {
+	var out []*Cell
+	for _, sc := range s.Scenarios {
+		out = append(out, sc.Expand()...)
+	}
+	return out
+}
+
+// Digest is a stable content digest of the expanded spec, recorded in
+// the grid artifact as provenance.
+func (s *Spec) Digest() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "suite=%s\n", s.Suite)
+	for _, sc := range s.Scenarios {
+		fmt.Fprintf(h, "scenario=%s workload=%s region=%+v limits=%+v timeout=%s profile=%d expect=%+v\n",
+			sc.Name, sc.Workload, sc.Region, sc.Limits, sc.Timeout, sc.ProfileRuns, sc.Expect)
+		for _, c := range sc.Expand() {
+			fmt.Fprintf(h, "cell=%d %s seed=%d\n", c.Index, c.Axes(), c.Seed)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// --- scalar decoding helpers ---
+
+func scalarOf(v any, what string) (string, error) {
+	if v == nil {
+		return "", nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("%s must be a scalar", what)
+	}
+	return s, nil
+}
+
+func int64Of(v any, what string) (int64, error) {
+	s, ok := v.(string)
+	if !ok {
+		return 0, fmt.Errorf("%s must be an integer", what)
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad integer %q", what, s)
+	}
+	return n, nil
+}
+
+// int64ListOf accepts a single integer or a flow/block list of them.
+func int64ListOf(v any, what string) ([]int64, error) {
+	switch t := v.(type) {
+	case string:
+		n, err := int64Of(t, what)
+		if err != nil {
+			return nil, err
+		}
+		return []int64{n}, nil
+	case []any:
+		if len(t) == 0 {
+			return nil, fmt.Errorf("%s must not be empty", what)
+		}
+		out := make([]int64, 0, len(t))
+		for _, e := range t {
+			n, err := int64Of(e, what)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%s must be an integer or a list", what)
+}
+
+func stringListOf(v any, what string) ([]string, error) {
+	switch t := v.(type) {
+	case string:
+		return []string{t}, nil
+	case []any:
+		if len(t) == 0 {
+			return nil, fmt.Errorf("%s must not be empty", what)
+		}
+		out := make([]string, 0, len(t))
+		for _, e := range t {
+			s, ok := e.(string)
+			if !ok {
+				return nil, fmt.Errorf("%s entries must be scalars", what)
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%s must be a scalar or a list", what)
+}
+
+// seedsOf accepts a list of seeds or an inclusive "lo..hi" range (the
+// notation that makes "hunt hundreds of seeds" a one-line edit).
+func seedsOf(v any) ([]int64, error) {
+	if s, ok := v.(string); ok {
+		if lo, hi, found := strings.Cut(s, ".."); found {
+			l, err1 := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+			h, err2 := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+			if err1 != nil || err2 != nil || h < l {
+				return nil, fmt.Errorf("bad seed range %q (want lo..hi)", s)
+			}
+			if h-l+1 > 100_000 {
+				return nil, fmt.Errorf("seed range %q expands to %d cells; cap is 100000", s, h-l+1)
+			}
+			out := make([]int64, 0, h-l+1)
+			for i := l; i <= h; i++ {
+				out = append(out, i)
+			}
+			return out, nil
+		}
+	}
+	out, err := int64ListOf(v, "seeds")
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int64]bool, len(out))
+	for _, s := range out {
+		if seen[s] {
+			return nil, fmt.Errorf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	return out, nil
+}

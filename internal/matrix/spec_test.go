@@ -1,0 +1,201 @@
+package matrix
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSpec = `
+suite: sample
+defaults:
+  quantum: [20, 40]
+  timeout: 5s
+scenarios:
+  - name: bug-hunt
+    workload: pbzip2
+    threads: [3]
+    sizes: [40]
+    seeds: 1..4
+    schedulers: maple
+    expect:
+      found: all
+      slice: closed
+      min_members: 3
+  - name: smoke
+    workload: blackscholes
+    seeds: [7, 9]
+    expect:
+      outcome: exit
+      output: identical
+`
+
+func TestParseSpecDecodesScenarios(t *testing.T) {
+	spec, err := ParseSpec(sampleSpec)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Suite != "sample" || len(spec.Scenarios) != 2 {
+		t.Fatalf("suite=%q scenarios=%d", spec.Suite, len(spec.Scenarios))
+	}
+	bug := spec.Scenarios[0]
+	if bug.Name != "bug-hunt" || bug.Workload != "pbzip2" {
+		t.Fatalf("scenario 0 = %+v", bug)
+	}
+	if !reflect.DeepEqual(bug.Seeds, []int64{1, 2, 3, 4}) {
+		t.Errorf("seed range: %v", bug.Seeds)
+	}
+	// defaults merge in for unset keys...
+	if !reflect.DeepEqual(bug.Quanta, []int64{20, 40}) {
+		t.Errorf("quantum default: %v", bug.Quanta)
+	}
+	if bug.Timeout != 5*time.Second {
+		t.Errorf("timeout default: %v", bug.Timeout)
+	}
+	if !reflect.DeepEqual(bug.Schedulers, []string{SchedulerMaple}) {
+		t.Errorf("schedulers: %v", bug.Schedulers)
+	}
+	if bug.Expect.Found != "all" || bug.Expect.Slice != "closed" || bug.Expect.MinMembers != 3 {
+		t.Errorf("expect: %+v", bug.Expect)
+	}
+	// ...and built-in defaults fill the rest.
+	if bug.Expect.Replay != "clean" || bug.Expect.ExitCode != -1 || bug.Expect.Fault != "none" {
+		t.Errorf("built-in expect defaults: %+v", bug.Expect)
+	}
+	smoke := spec.Scenarios[1]
+	if smoke.Expect.Outcome != "exit" || smoke.Expect.Output != "identical" {
+		t.Errorf("smoke expect: %+v", smoke.Expect)
+	}
+	if !reflect.DeepEqual(smoke.Threads, []int64{0}) { // 0 = workload default
+		t.Errorf("smoke threads: %v", smoke.Threads)
+	}
+}
+
+func TestParseSpecFaultDefaultsToDetected(t *testing.T) {
+	spec, err := ParseSpec(`
+scenarios:
+  - name: f
+    workload: pbzip2
+    faults: [none, file:flip-magic]
+`)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if got := spec.Scenarios[0].Expect.Fault; got != "detected" {
+		t.Fatalf("expect.fault = %q, want detected (auto-default with a fault axis)", got)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no-scenarios", "suite: x\n", "non-empty 'scenarios'"},
+		{"unknown-top", "bogus: 1\nscenarios:\n  - name: a\n    workload: pbzip2\n", `unknown top-level key "bogus"`},
+		{"unknown-scenario-key", "scenarios:\n  - name: a\n    workload: pbzip2\n    wat: 1\n", `unknown key "wat"`},
+		{"no-name", "scenarios:\n  - workload: pbzip2\n", "needs a name"},
+		{"no-workload", "scenarios:\n  - name: a\n", "needs a workload"},
+		{"dup-name", "scenarios:\n  - name: a\n    workload: pbzip2\n  - name: a\n    workload: aget\n", "duplicate scenario name"},
+		{"bad-scheduler", "scenarios:\n  - name: a\n    workload: pbzip2\n    schedulers: pct\n", "unknown scheduler"},
+		{"bad-fault", "scenarios:\n  - name: a\n    workload: pbzip2\n    faults: file:nope\n", "unknown fault"},
+		{"bad-fault-shape", "scenarios:\n  - name: a\n    workload: pbzip2\n    faults: flip-magic\n", "bad fault"},
+		{"bad-seed-range", "scenarios:\n  - name: a\n    workload: pbzip2\n    seeds: 9..3\n", "bad seed range"},
+		{"huge-seed-range", "scenarios:\n  - name: a\n    workload: pbzip2\n    seeds: 1..2000000\n", "cap is 100000"},
+		{"dup-seed", "scenarios:\n  - name: a\n    workload: pbzip2\n    seeds: [3, 3]\n", "duplicate seed"},
+		{"bad-expect", "scenarios:\n  - name: a\n    workload: pbzip2\n    expect:\n      found: maybe\n", "expect.found"},
+		{"bad-timeout", "scenarios:\n  - name: a\n    workload: pbzip2\n    timeout: fast\n", "bad timeout"},
+		{"defaults-name", "defaults:\n  name: a\nscenarios:\n  - name: a\n    workload: pbzip2\n", "not allowed in defaults"},
+		{"empty-list", "scenarios:\n  - name: a\n    workload: pbzip2\n    threads: []\n", "must not be empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.src)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestExpandOrderIsDeterministic(t *testing.T) {
+	spec, err := ParseSpec(`
+scenarios:
+  - name: x
+    workload: pbzip2
+    threads: [2, 3]
+    seeds: [10, 11]
+    schedulers: [random, maple]
+`)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	cells := spec.Cells()
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	// Scheduler is the outermost axis, seed the innermost.
+	var got []string
+	for _, c := range cells {
+		got = append(got, c.Axes()+" "+strconv.FormatInt(c.Seed, 10))
+	}
+	want := []string{
+		"t2 s0 q20 random 10", "t2 s0 q20 random 11",
+		"t3 s0 q20 random 10", "t3 s0 q20 random 11",
+		"t2 s0 q20 maple 10", "t2 s0 q20 maple 11",
+		"t3 s0 q20 maple 10", "t3 s0 q20 maple 11",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expansion order:\n got  %v\n want %v", got, want)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has Index %d", i, c.Index)
+		}
+	}
+}
+
+func TestSpecDigestStable(t *testing.T) {
+	a, err := ParseSpec(sampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec(sampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same source, different digests: %s vs %s", a.Digest(), b.Digest())
+	}
+	c, err := ParseSpec(strings.Replace(sampleSpec, "seeds: 1..4", "seeds: 1..5", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("different specs share a digest")
+	}
+}
+
+func TestFaultNamesCoverRegistries(t *testing.T) {
+	names := FaultNames()
+	if len(names) == 0 {
+		t.Fatal("no fault names")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate fault name %s", n)
+		}
+		seen[n] = true
+		if !strings.HasPrefix(n, "file:") && !strings.HasPrefix(n, "pinball:") {
+			t.Fatalf("fault name %q has no registry prefix", n)
+		}
+		if err := checkFaultName(n); err != nil {
+			t.Fatalf("registry name %q rejected: %v", n, err)
+		}
+	}
+}

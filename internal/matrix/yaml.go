@@ -1,0 +1,347 @@
+// Package matrix turns scenario coverage from code into data: a
+// declarative YAML scenario format (workload, thread counts, input
+// sizes, schedule seeds, scheduler kind including Maple's active
+// scheduler, fault-injection knobs, execution limits, and expected
+// outcome assertions), a runner that expands the cross product and
+// executes the cells in parallel under panic isolation and per-cell
+// timeouts, and a deterministic pass/fail grid artifact (JSON and a
+// rendered text table) with per-cell provenance.
+//
+// The YAML support is a deliberately small, dependency-free subset —
+// block mappings and sequences by two-space indentation, flow lists
+// [a, b] and flow maps {k: v}, quoted and bare scalars, # comments —
+// which covers every scenario file shape the format defines and keeps
+// parse errors positioned by line.
+package matrix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// node is a parsed YAML value: map[string]any (mapping), []any
+// (sequence), or string (scalar; typing happens at decode).
+type node = any
+
+// yamlError positions a parse failure.
+type yamlError struct {
+	Line int
+	Msg  string
+}
+
+func (e *yamlError) Error() string { return fmt.Sprintf("yaml: line %d: %s", e.Line, e.Msg) }
+
+func yerr(line int, format string, args ...any) error {
+	return &yamlError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// yline is one significant source line.
+type yline struct {
+	n      int // 1-based source line number
+	indent int
+	text   string // content with indentation stripped, comments removed
+}
+
+// parseYAML parses the subset into a node tree (top level must be a
+// mapping).
+func parseYAML(src string) (map[string]any, error) {
+	var lines []yline
+	for i, raw := range strings.Split(src, "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, yerr(i+1, "tabs are not allowed in indentation; use spaces")
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if trimmed == "" {
+			continue
+		}
+		lines = append(lines, yline{n: i + 1, indent: len(text) - len(trimmed), text: strings.TrimRight(trimmed, " ")})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	v, next, err := parseBlock(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, yerr(lines[next].n, "unexpected de-indented content")
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, yerr(lines[0].n, "top level must be a mapping")
+	}
+	return m, nil
+}
+
+// stripComment removes a trailing # comment, respecting quotes.
+func stripComment(s string) string {
+	inQ := byte(0)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inQ != 0:
+			if c == inQ {
+				inQ = 0
+			}
+		case c == '\'' || c == '"':
+			inQ = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines at exactly this indentation into a
+// mapping or sequence, returning the index of the first line it did not
+// consume.
+func parseBlock(lines []yline, i, indent int) (node, int, error) {
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseSequence(lines, i, indent)
+	}
+	return parseMapping(lines, i, indent)
+}
+
+func parseMapping(lines []yline, i, indent int) (node, int, error) {
+	m := map[string]any{}
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, i, yerr(ln.n, "unexpected extra indentation")
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, i, yerr(ln.n, "sequence item inside a mapping")
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, i, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, yerr(ln.n, "duplicate key %q", key)
+		}
+		if rest != "" {
+			v, err := parseFlow(rest, ln.n)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i++
+			continue
+		}
+		// Value is the nested block on the following deeper lines; a key
+		// with nothing nested is an empty scalar.
+		i++
+		if i >= len(lines) || lines[i].indent <= indent {
+			m[key] = ""
+			continue
+		}
+		v, next, err := parseBlock(lines, i, lines[i].indent)
+		if err != nil {
+			return nil, i, err
+		}
+		m[key] = v
+		i = next
+	}
+	return m, i, nil
+}
+
+func parseSequence(lines []yline, i, indent int) (node, int, error) {
+	var seq []any
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, i, yerr(ln.n, "unexpected extra indentation")
+		}
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, i, yerr(ln.n, "expected sequence item")
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest == "" {
+			// Item is the nested block on the following deeper lines.
+			i++
+			if i >= len(lines) || lines[i].indent <= indent {
+				return nil, i, yerr(ln.n, "empty sequence item")
+			}
+			v, next, err := parseBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			seq = append(seq, v)
+			i = next
+			continue
+		}
+		if k, after, ok := tryKey(rest); ok {
+			// "- key: ..." starts an inline mapping item; its remaining
+			// keys sit on the following lines, indented past the dash.
+			item := map[string]any{}
+			if after != "" {
+				v, err := parseFlow(after, ln.n)
+				if err != nil {
+					return nil, i, err
+				}
+				item[k] = v
+			} else {
+				item[k] = ""
+			}
+			i++
+			if i < len(lines) && lines[i].indent > indent {
+				more, next, err := parseMapping(lines, i, lines[i].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				for mk, mv := range more.(map[string]any) {
+					if _, dup := item[mk]; dup {
+						return nil, i, yerr(ln.n, "duplicate key %q", mk)
+					}
+					item[mk] = mv
+				}
+				i = next
+			}
+			seq = append(seq, item)
+			continue
+		}
+		v, err := parseFlow(rest, ln.n)
+		if err != nil {
+			return nil, i, err
+		}
+		seq = append(seq, v)
+		i++
+	}
+	return seq, i, nil
+}
+
+// splitKey splits "key: value" (or "key:") on the first unquoted colon.
+func splitKey(ln yline) (key, rest string, err error) {
+	k, after, ok := tryKey(ln.text)
+	if !ok {
+		return "", "", yerr(ln.n, "expected 'key: value'")
+	}
+	return k, after, nil
+}
+
+// tryKey reports whether s begins with a mapping key ("key:" followed by
+// end-of-line or a space).
+func tryKey(s string) (key, rest string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' || c == '\'' || c == '[' || c == '{' {
+			return "", "", false // quoted/flow scalars are not keys here
+		}
+		if c == ':' {
+			if i+1 == len(s) {
+				return strings.TrimSpace(s[:i]), "", true
+			}
+			if s[i+1] == ' ' {
+				return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+			}
+			return "", "", false // "a:b" scalars (e.g. fault names) stay scalars
+		}
+	}
+	return "", "", false
+}
+
+// parseFlow parses an inline value: flow sequence, flow mapping, or
+// scalar.
+func parseFlow(s string, line int) (node, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, yerr(line, "unterminated flow sequence %q", s)
+		}
+		var out []any
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			v, err := parseFlow(part, line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "{"):
+		if !strings.HasSuffix(s, "}") {
+			return nil, yerr(line, "unterminated flow mapping %q", s)
+		}
+		m := map[string]any{}
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			k, rest, ok := tryKey(strings.TrimSpace(part))
+			if !ok {
+				// Flow maps also allow "k:v" without the space.
+				if idx := strings.IndexByte(part, ':'); idx >= 0 {
+					k, rest, ok = strings.TrimSpace(part[:idx]), strings.TrimSpace(part[idx+1:]), true
+				}
+			}
+			if !ok || k == "" {
+				return nil, yerr(line, "bad flow mapping entry %q", part)
+			}
+			if _, dup := m[k]; dup {
+				return nil, yerr(line, "duplicate key %q", k)
+			}
+			v, err := parseFlow(rest, line)
+			if err != nil {
+				return nil, err
+			}
+			m[k] = v
+		}
+		return m, nil
+	}
+	return unquote(s), nil
+}
+
+// splitFlow splits a flow body on top-level commas.
+func splitFlow(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var parts []string
+	depth, start := 0, 0
+	inQ := byte(0)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inQ != 0:
+			if c == inQ {
+				inQ = 0
+			}
+		case c == '\'' || c == '"':
+			inQ = c
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// sortedKeys returns a mapping's keys in stable order (parse trees are
+// Go maps, so every walk that can produce an error or output sorts
+// first).
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,128 @@
+package matrix
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLBlockShapes(t *testing.T) {
+	src := `
+suite: demo   # trailing comment
+# full-line comment
+defaults:
+  quantum: 20
+  seeds: [1, 2, 3]
+scenarios:
+  - name: one
+    workload: pbzip2
+    expect:
+      found: all
+  - name: two
+    workload: aget
+    faults:
+      - file:flip-magic
+      - pinball:swap-quantum-tid
+`
+	got, err := parseYAML(src)
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	want := map[string]any{
+		"suite": "demo",
+		"defaults": map[string]any{
+			"quantum": "20",
+			"seeds":   []any{"1", "2", "3"},
+		},
+		"scenarios": []any{
+			map[string]any{
+				"name":     "one",
+				"workload": "pbzip2",
+				"expect":   map[string]any{"found": "all"},
+			},
+			map[string]any{
+				"name":     "two",
+				"workload": "aget",
+				"faults":   []any{"file:flip-magic", "pinball:swap-quantum-tid"},
+			},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tree mismatch:\n got  %#v\n want %#v", got, want)
+	}
+}
+
+func TestParseYAMLFlowAndQuotes(t *testing.T) {
+	src := `
+a: [1, [2, 3], {k: v}]
+b: "hash # not a comment"
+c: 'single'
+d: {x: 1, y: [2]}
+e: plain:scalar
+`
+	got, err := parseYAML(src)
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	if want := []any{"1", []any{"2", "3"}, map[string]any{"k": "v"}}; !reflect.DeepEqual(got["a"], want) {
+		t.Errorf("a = %#v, want %#v", got["a"], want)
+	}
+	if got["b"] != "hash # not a comment" {
+		t.Errorf("b = %q", got["b"])
+	}
+	if got["c"] != "single" {
+		t.Errorf("c = %q", got["c"])
+	}
+	if want := map[string]any{"x": "1", "y": []any{"2"}}; !reflect.DeepEqual(got["d"], want) {
+		t.Errorf("d = %#v", got["d"])
+	}
+	// "a:b" without a trailing space is a scalar, not a nested key —
+	// that is what keeps fault names like pinball:swap-quantum-tid whole.
+	if got["e"] != "plain:scalar" {
+		t.Errorf("e = %q", got["e"])
+	}
+}
+
+func TestParseYAMLEmptyDoc(t *testing.T) {
+	got, err := parseYAML("\n# only comments\n\n")
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want empty mapping, got %#v", got)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"tab", "a:\n\tb: 1\n", "tabs are not allowed"},
+		{"dup-key", "a: 1\na: 2\n", "duplicate key"},
+		{"bad-indent", "a:\n  b: 1\n   c: 2\n", "extra indentation"},
+		{"seq-in-map", "a: 1\n- b\n", "sequence item inside a mapping"},
+		{"no-colon", "just a scalar line\n", "expected 'key: value'"},
+		{"unterminated-flow", "a: [1, 2\n", "unterminated flow sequence"},
+		{"unterminated-map", "a: {k: v\n", "unterminated flow mapping"},
+		{"empty-seq-item", "a:\n  -\n", "empty sequence item"},
+		{"top-seq", "- a\n- b\n", "top level must be a mapping"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML(tc.src)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseYAMLErrorsCarryLineNumbers(t *testing.T) {
+	_, err := parseYAML("a: 1\nb: 2\nb: 3\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-3 error, got %v", err)
+	}
+}

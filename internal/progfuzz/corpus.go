@@ -1,0 +1,21 @@
+package progfuzz
+
+// CorpusSeeds are the seeds of the committed regression corpus in
+// corpus/seed-<n>.c. The files are the generator's exact output for
+// CorpusConfig(seed): a corpus test regenerates and byte-compares them,
+// so any change to the generator that would silently shift
+// differential-slicer coverage shows up as a corpus diff that must be
+// committed deliberately.
+var CorpusSeeds = []int64{1, 2, 3, 4, 5, 7, 8, 9, 11, 12}
+
+// CorpusConfig is the canonical generation config for a corpus seed —
+// the same derivation the differential slicer tests use, so the corpus
+// pins exactly the program shapes those tests sweep.
+func CorpusConfig(seed int64) Config {
+	return Config{
+		Seed:    seed,
+		Stmts:   6 + int(seed%7),
+		Funcs:   int(seed % 3),
+		Threads: seed%4 == 0,
+	}
+}

@@ -1,0 +1,59 @@
+int g0 = 41;
+int g1 = 13;
+int g2 = 16;
+int g3 = 27;
+int arr0[16];
+int arr1[16];
+int helper0(int p0, int p1) {
+	int v1_2 = 49;
+	int d1 = 0;
+	do {
+		g0 = ((arr1[2] + arr0[12]) - (-98 * arr1[14]));
+		d1 = d1 + 1;
+	} while (d1 < 2);
+	int d2 = 0;
+	do {
+		g3 = (arr0[2] / 2);
+		d2 = d2 + 1;
+	} while (d2 < 6);
+	return ((p1 << 7) != g1 ? g0 : (-69 - -27));
+}
+int main() {
+	int v1_0 = 21;
+	int v1_1 = 29;
+	int v1_2 = 9;
+	int v1_3 = 28;
+	switch ((arr1[13] + arr1[4]) % 4) {
+	case 0:
+		int i3;
+		for (i3 = 0; i3 < 9; i3++) {
+			write((-66 * arr0[10]));
+		}
+		break;
+	case 1:
+		g3 = arr0[6] + 1;
+		break;
+	case 2:
+		arr1[((arr0[1] % 7) % 16 + 16) % 16] = (arr0[0] * arr0[9]);
+		break;
+	case 3:
+		g2 = g0;
+		break;
+	}
+	int d4 = 0;
+	do {
+		int d5 = 0;
+		do {
+			arr1[0] = ((-20 / 8) * v1_0);
+			d5 = d5 + 1;
+		} while (d5 < 2);
+		d4 = d4 + 1;
+	} while (d4 < 4);
+	write(g0);
+	write(g1);
+	write(g2);
+	write(g3);
+	write(arr0[12]);
+	write(arr1[7]);
+	return 0;
+}

@@ -1,0 +1,54 @@
+int g0 = 64;
+int g1 = 26;
+int arr0[16];
+int helper0(int p0, int p1) {
+	int v1_2 = 7;
+	arr0[((-6 / 5) % 16 + 16) % 16] = (g0 <= (p1 % 1) ? 70 : 78);
+	p0 = (g0 + (-97 + -32));
+	arr0[4] = -21;
+	arr0[14] = (44 != 92 ? (-5 * -94) : p1);
+	arr0[12] = p0;
+	return ((v1_2 << 4) / 6);
+}
+int helper1(int p0, int p1) {
+	int v1_2 = 9;
+	int v1_3 = 24;
+	arr0[4] = ((arr0[6] & 86) % 15);
+	write((-5 | arr0[13]));
+	p1 = (((v1_2 << 5) <= (v1_3 & v1_3) ? arr0[12] : p0) - (arr0[8] + 21));
+	int d1 = 0;
+	do {
+		arr0[1] = ((g0 + 83) / 7);
+		d1 = d1 + 1;
+	} while (d1 < 3);
+	return arr0[11];
+}
+int main() {
+	int v1_0 = 34;
+	int v1_1 = 10;
+	int v1_2 = 34;
+	arr0[((arr0[4] * arr0[14]) % 16 + 16) % 16] = (arr0[5] % 1);
+	v1_2 = ((20 - g1) - (16 - -62));
+	arr0[14] = v1_0 + 1;
+	write((arr0[3] % 8));
+	if ((16 / 1) <= (-68 - 6)) {
+		v1_0 = ((v1_0 / 3) * arr0[0]);
+	} else {
+		v1_1 = ((arr0[12] + arr0[10]) | arr0[1]);
+	}
+	if ((g1 ^ arr0[1]) < (-17 << 5)) {
+		arr0[12] = helper0((-64 / 4), (v1_0 | -87));
+	}
+	int i2;
+	for (i2 = 0; i2 < 12; i2++) {
+		int d3 = 0;
+		do {
+			v1_2 = ((v1_2 + arr0[6]) % 15);
+			d3 = d3 + 1;
+		} while (d3 < 2);
+	}
+	write(g0);
+	write(g1);
+	write(arr0[10]);
+	return 0;
+}

@@ -1,0 +1,46 @@
+int g0 = 33;
+int g1 = 9;
+int arr0[16];
+int arr1[16];
+int fuzzMtx;
+int shared;
+int fuzzWorker(int id) {
+	int v1_1 = 39;
+	int v1_2 = 11;
+	int fi;
+	for (fi = 0; fi < 23; fi++) {
+		lock(&fuzzMtx);
+		shared = shared + (76 % 4);
+		unlock(&fuzzMtx);
+	}
+	return 0;
+}
+int main() {
+	int v1_0 = 46;
+	int v1_1 = 26;
+	int fz1 = spawn(fuzzWorker, 1);
+	int fz2 = spawn(fuzzWorker, 2);
+	v1_0 = arr0[2] + 1;
+	g0 = ((g1 << 3) % 4);
+	g1 = ((v1_0 / 4) * v1_1);
+	v1_1 = g1;
+	if (((35 ^ -98) == (40 + -72) ? arr0[6] : 44) != (89 % 11)) {
+		int i1;
+		for (i1 = 0; i1 < 4; i1++) {
+			arr0[4] = arr1[3];
+		}
+	} else {
+		v1_0 = arr1[0];
+	}
+	write((-46 / 2));
+	g0 = (arr0[9] << 6);
+	arr0[8] = v1_1;
+	join(fz1);
+	join(fz2);
+	write(shared);
+	write(g0);
+	write(g1);
+	write(arr0[3]);
+	write(arr1[3]);
+	return 0;
+}

@@ -1,0 +1,67 @@
+int g0 = 49;
+int g1 = 11;
+int arr0[16];
+int arr1[16];
+int helper0(int p0, int p1) {
+	int v1_2 = 24;
+	int i1;
+	for (i1 = 0; i1 < 7; i1++) {
+		arr1[3] = arr1[2];
+	}
+	arr1[(89 % 16 + 16) % 16] = -22;
+	g0 = g0 + 1;
+	return (g1 > g0 ? arr0[3] : (67 / 8));
+}
+int helper1(int p0, int p1) {
+	int v1_2 = 16;
+	int v1_3 = 13;
+	int v1_4 = 3;
+	int d2 = 0;
+	do {
+		g0 = ((v1_3 * arr0[6]) - (g1 / 1));
+		d2 = d2 + 1;
+	} while (d2 < 5);
+	int d3 = 0;
+	do {
+		p1 = ((98 * -16) ^ arr1[7]);
+		d3 = d3 + 1;
+	} while (d3 < 2);
+	return ((-67 | 69) % 11);
+}
+int main() {
+	int v1_0 = 27;
+	int v1_1 = 12;
+	int v1_2 = 31;
+	g1 = v1_0 + 1;
+	arr1[((96 << 7) % 16 + 16) % 16] = arr0[5];
+	v1_1 = g1;
+	g0 = ((arr0[9] % 9) - (g1 * v1_2));
+	int d4 = 0;
+	do {
+		arr1[5] = ((-48 - arr0[15]) % 8);
+		d4 = d4 + 1;
+	} while (d4 < 4);
+	switch ((46 / 7) % 4) {
+	case 0:
+		arr1[((arr1[14] + 69) % 16 + 16) % 16] = (4 >> 7);
+		break;
+	case 1:
+		write(v1_1);
+		break;
+	case 2:
+		v1_1 = ((arr1[3] * arr0[12]) ^ g0);
+		break;
+	case 3:
+		int d5 = 0;
+		do {
+			v1_1 = (g0 + g0);
+			d5 = d5 + 1;
+		} while (d5 < 6);
+		break;
+	}
+	write(g0);
+	write(g1);
+	write(arr0[6]);
+	write(arr1[4]);
+	return 0;
+}

@@ -1,0 +1,43 @@
+int g0 = 74;
+int g1 = 80;
+int g2 = 64;
+int g3 = 2;
+int arr0[16];
+int arr1[16];
+int main() {
+	int v1_0 = 33;
+	int v1_1 = 6;
+	int v1_2 = 39;
+	if ((-6 + arr0[12]) != (68 & -28)) {
+		write(arr1[6]);
+	} else {
+		v1_1 = ((arr0[15] - g2) - (arr0[15] % 11));
+	}
+	int d1 = 0;
+	do {
+		switch (arr1[0] % 3) {
+		case 0:
+			write(((arr0[12] / 6) != (v1_0 + g1) ? arr1[13] : arr1[13]));
+			break;
+		case 1:
+			v1_2 = arr0[13];
+			break;
+		case 2:
+			g2 = ((14 / 3) / 9);
+			break;
+		}
+		d1 = d1 + 1;
+	} while (d1 < 1);
+	int d2 = 0;
+	do {
+		g3 = ((80 & 55) - (g2 / 6));
+		d2 = d2 + 1;
+	} while (d2 < 5);
+	write(g0);
+	write(g1);
+	write(g2);
+	write(g3);
+	write(arr0[14]);
+	write(arr1[9]);
+	return 0;
+}

@@ -1,0 +1,71 @@
+int g0 = 11;
+int g1 = 47;
+int arr0[16];
+int arr1[16];
+int fuzzMtx;
+int shared;
+int helper0(int p0, int p1) {
+	int v1_2 = 42;
+	int v1_3 = 32;
+	g0 = (5 * p1);
+	int d1 = 0;
+	do {
+		if (43 == (g1 / 7)) {
+			write((g0 & arr1[1]));
+		} else {
+			p0 = ((p1 + -34) * -10);
+		}
+		d1 = d1 + 1;
+	} while (d1 < 3);
+	return ((arr1[2] + v1_3) % 11);
+}
+int fuzzWorker(int id) {
+	int v1_1 = 19;
+	int v1_2 = 43;
+	int fi;
+	for (fi = 0; fi < 9; fi++) {
+		lock(&fuzzMtx);
+		shared = shared + (arr0[3] >= (arr1[1] & v1_2) ? g1 : -66);
+		unlock(&fuzzMtx);
+	}
+	return 0;
+}
+int main() {
+	int v1_0 = 14;
+	int v1_1 = 14;
+	int v1_2 = 19;
+	int fz1 = spawn(fuzzWorker, 1);
+	int fz2 = spawn(fuzzWorker, 2);
+	g1 = arr1[15] + 1;
+	int d2 = 0;
+	do {
+		switch ((g1 >> 6) % 4) {
+		case 0:
+			arr1[14] = (((arr0[0] % 12) != (arr1[7] * g0) ? -4 : v1_2) - (v1_0 + arr0[4]));
+			break;
+		case 1:
+			arr0[2] = (-39 / 1);
+			break;
+		case 2:
+			v1_2 = (v1_0 - (arr1[8] - g0));
+			break;
+		case 3:
+			g0 = helper0((9 * 12), ((v1_1 - -89) <= (v1_1 * g1) ? v1_2 : arr0[1]));
+			break;
+		default:
+			v1_2 = ((arr1[7] * -79) / 2);
+			break;
+		}
+		d2 = d2 + 1;
+	} while (d2 < 2);
+	g0 = ((-89 + g1) / 5);
+	arr0[6] = helper0((g0 / 3), (arr1[10] / 7));
+	join(fz1);
+	join(fz2);
+	write(shared);
+	write(g0);
+	write(g1);
+	write(arr0[12]);
+	write(arr1[13]);
+	return 0;
+}

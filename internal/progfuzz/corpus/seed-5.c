@@ -1,0 +1,97 @@
+int g0 = 8;
+int g1 = 72;
+int g2 = 35;
+int arr0[16];
+int helper0(int p0, int p1) {
+	int v1_2 = 25;
+	int v1_3 = 38;
+	g1 = -59;
+	arr0[(v1_3 % 16 + 16) % 16] = (g1 / 2);
+	if ((99 % 11) > (arr0[5] * 3)) {
+		g2 = (g2 - (66 % 5));
+	} else {
+		p1 = ((g0 + g2) <= (-94 - arr0[6]) ? (g0 * v1_2) : (-9 + g0));
+	}
+	return ((v1_2 | g2) - (-39 | g1));
+}
+int helper1(int p0, int p1) {
+	int v1_2 = 32;
+	int v1_3 = 4;
+	int v1_4 = 32;
+	g0 = (arr0[8] * 54);
+	g1 = arr0[7];
+	v1_4 = helper0((arr0[8] + -84), (arr0[3] % 12));
+	g1 = ((v1_4 | -78) >> 1);
+	g0 = arr0[3];
+	return ((g1 / 1) & g0);
+}
+int main() {
+	int v1_0 = 20;
+	int v1_1 = 21;
+	int d1 = 0;
+	do {
+		v1_0 = arr0[1];
+		d1 = d1 + 1;
+	} while (d1 < 2);
+	arr0[1] = 64;
+	g0 = ((g0 - arr0[2]) + (arr0[12] >> 2));
+	arr0[((arr0[10] / 2) % 16 + 16) % 16] = (arr0[13] + arr0[3]);
+	if ((v1_0 * 39) != (-19 + v1_0)) {
+		write((arr0[0] % 7));
+	}
+	int i2;
+	for (i2 = 0; i2 < 13; i2++) {
+		arr0[7] = (((2 + arr0[12]) >= ((v1_0 / 1) < g1 ? 26 : v1_1) ? arr0[5] : arr0[1]) % 11);
+	}
+	switch ((64 ^ v1_1) % 5) {
+	case 0:
+		v1_1 = arr0[11];
+		break;
+	case 1:
+		switch ((v1_0 * 25) % 3) {
+		case 0:
+			write((-17 / 8));
+			break;
+		case 1:
+			g1 = arr0[11];
+			break;
+		case 2:
+			g0 = ((arr0[10] + -30) > (arr0[15] % 8) ? (-47 - arr0[12]) : arr0[9]);
+			break;
+		}
+		break;
+	case 2:
+		g2 = ((g2 << 4) / 7);
+		break;
+	case 3:
+		int i3;
+		for (i3 = 0; i3 < 6; i3++) {
+			arr0[9] = ((-8 % 11) < (g2 >= (arr0[9] * -58) ? -20 : v1_1) ? (arr0[9] + 20) : v1_0);
+		}
+		break;
+	case 4:
+		switch ((52 << 5) % 4) {
+		case 0:
+			g2 = -57;
+			break;
+		case 1:
+			g1 = ((-81 >> 3) % 10);
+			break;
+		case 2:
+			arr0[4] = helper0(arr0[2], (arr0[11] * 54));
+			break;
+		case 3:
+			write((((v1_1 == (arr0[8] - v1_1) ? arr0[15] : 24) < (g2 * v1_0) ? g2 : arr0[4]) == g0 ? arr0[13] : v1_1));
+			break;
+		}
+		break;
+	default:
+		g1 = helper1((g2 % 4), (v1_0 + -79));
+		break;
+	}
+	write(g0);
+	write(g1);
+	write(g2);
+	write(arr0[8]);
+	return 0;
+}

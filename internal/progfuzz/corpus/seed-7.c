@@ -1,0 +1,38 @@
+int g0 = 15;
+int g1 = 33;
+int g2 = 89;
+int g3 = 48;
+int arr0[16];
+int helper0(int p0, int p1) {
+	int v1_2 = 11;
+	int v1_3 = 24;
+	g3 = (arr0[6] % 1);
+	int d1 = 0;
+	do {
+		int i2;
+		for (i2 = 0; i2 < 5; i2++) {
+			g0 = ((v1_2 / 3) >> 1);
+		}
+		d1 = d1 + 1;
+	} while (d1 < 3);
+	return ((v1_2 % 1) / 1);
+}
+int main() {
+	int v1_0 = 26;
+	int v1_1 = 46;
+	int v1_2 = 36;
+	v1_2 = ((arr0[8] * -26) / 4);
+	g1 = ((g0 * g3) & arr0[7]);
+	arr0[((-3 % 11) % 16 + 16) % 16] = -52;
+	int i3;
+	for (i3 = 0; i3 < 7; i3++) {
+		g3 = ((-68 * v1_2) >> 4);
+	}
+	v1_0 = helper0(-89, (arr0[14] * -28));
+	write(g0);
+	write(g1);
+	write(g2);
+	write(g3);
+	write(arr0[6]);
+	return 0;
+}

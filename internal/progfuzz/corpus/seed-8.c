@@ -1,0 +1,60 @@
+int g0 = 34;
+int g1 = 74;
+int g2 = 16;
+int arr0[16];
+int fuzzMtx;
+int shared;
+int helper0(int p0, int p1) {
+	int v1_2 = 46;
+	int i1;
+	for (i1 = 0; i1 < 13; i1++) {
+		g1 = g1;
+	}
+	write((arr0[0] % 10));
+	return 62;
+}
+int helper1(int p0, int p1) {
+	int v1_2 = 25;
+	int v1_3 = 26;
+	p0 = ((v1_2 * arr0[10]) / 5);
+	arr0[5] = ((6 << 5) / 3);
+	p0 = helper0((p1 + arr0[0]), (v1_2 % 2));
+	return ((p0 * -66) / 9);
+}
+int fuzzWorker(int id) {
+	int v1_1 = 17;
+	int v1_2 = 40;
+	int fi;
+	for (fi = 0; fi < 13; fi++) {
+		lock(&fuzzMtx);
+		shared = shared + (g1 * arr0[8]);
+		unlock(&fuzzMtx);
+	}
+	return 0;
+}
+int main() {
+	int v1_0 = 44;
+	int v1_1 = 36;
+	int v1_2 = 9;
+	int fz1 = spawn(fuzzWorker, 1);
+	int fz2 = spawn(fuzzWorker, 2);
+	if ((g2 * v1_0) > (arr0[11] * v1_1)) {
+		write(((-40 * 77) != (v1_0 - v1_2) ? -15 : g2));
+	}
+	v1_2 = (((-72 / 6) <= (arr0[6] - -10) ? arr0[9] : -16) + (g2 / 3));
+	write((g0 >> 6));
+	g1 = ((arr0[10] / 3) + -77);
+	write(((arr0[7] % 10) <= ((arr0[1] % 14) != ((-9 & arr0[3]) <= (arr0[11] - -4) ? arr0[9] : 6) ? -78 : arr0[5]) ? arr0[14] : arr0[6]));
+	int i2;
+	for (i2 = 0; i2 < 5; i2++) {
+		write(arr0[0]);
+	}
+	join(fz1);
+	join(fz2);
+	write(shared);
+	write(g0);
+	write(g1);
+	write(g2);
+	write(arr0[4]);
+	return 0;
+}

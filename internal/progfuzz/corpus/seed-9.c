@@ -1,0 +1,36 @@
+int g0 = 51;
+int g1 = 79;
+int g2 = 15;
+int g3 = 4;
+int arr0[16];
+int main() {
+	int v1_0 = 31;
+	int v1_1 = 33;
+	arr0[14] = (-13 % 5);
+	int d1 = 0;
+	do {
+		g1 = v1_0 + 1;
+		d1 = d1 + 1;
+	} while (d1 < 3);
+	arr0[12] = ((arr0[9] / 9) / 5);
+	arr0[((-41 | arr0[9]) % 16 + 16) % 16] = arr0[8];
+	if ((-66 & g1) != g1) {
+		int d2 = 0;
+		do {
+			g2 = ((arr0[1] % 14) % 6);
+			d2 = d2 + 1;
+		} while (d2 < 3);
+	} else {
+		if ((g1 - 1) != (-92 + arr0[14])) {
+			g1 = (arr0[11] > (arr0[12] % 6) ? (-82 % 9) : (arr0[8] % 1));
+		} else {
+			arr0[15] = ((g2 * g3) + (g3 / 5));
+		}
+	}
+	write(g0);
+	write(g1);
+	write(g2);
+	write(g3);
+	write(arr0[0]);
+	return 0;
+}

@@ -1,0 +1,41 @@
+package progfuzz
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestCorpusPinned regenerates every committed corpus program and
+// byte-compares it against corpus/seed-<n>.c: the corpus is the
+// generator's frozen output, so generator drift cannot silently change
+// what the differential slicer tests cover.
+func TestCorpusPinned(t *testing.T) {
+	for _, seed := range CorpusSeeds {
+		path := fmt.Sprintf("corpus/seed-%d.c", seed)
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed %d: %v (regenerate the corpus and commit the diff)", seed, err)
+		}
+		got := Generate(CorpusConfig(seed))
+		if got != string(want) {
+			t.Errorf("seed %d: generator output diverged from committed %s — "+
+				"if the generator change is intentional, regenerate the corpus and commit the diff",
+				seed, path)
+		}
+	}
+}
+
+// TestCorpusShapesAreDiverse sanity-checks the seed set still exercises
+// both threaded and single-threaded programs.
+func TestCorpusShapesAreDiverse(t *testing.T) {
+	threaded := 0
+	for _, seed := range CorpusSeeds {
+		if CorpusConfig(seed).Threads {
+			threaded++
+		}
+	}
+	if threaded == 0 || threaded == len(CorpusSeeds) {
+		t.Fatalf("corpus has %d/%d threaded programs; want a mix", threaded, len(CorpusSeeds))
+	}
+}

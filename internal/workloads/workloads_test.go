@@ -116,7 +116,7 @@ func exposeBug(t *testing.T, name string, threads, size int64) *core.Session {
 			return s
 		}
 	}
-	res, err := maple.FindBug(prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 20, Input: input, MaxSteps: 50_000_000}, maple.Options{})
+	res, err := maple.FindBug(nil, prog, pinplay.LogConfig{Seed: 1, MeanQuantum: 20, Input: input, MaxSteps: 50_000_000}, maple.Options{})
 	if err == nil && res.Exposed {
 		return core.Open(prog, res.Pinball)
 	}
@@ -176,6 +176,50 @@ func TestTable1BugsReproduce(t *testing.T) {
 			}
 			if m2.Stopped() != vm.StopFailure {
 				t.Errorf("slice replay should reproduce the failure, got %v", m2.Stopped())
+			}
+		})
+	}
+}
+
+// TestRegistryRecordReplayClean is the table-driven registry sweep: every
+// registered workload must compile, record a pinball at its
+// DefaultThreads with a small input, and replay divergence-free —
+// including the bug kernels, whose captured failures (if a given seed
+// happens to expose one) must still replay deterministically.
+func TestRegistryRecordReplayClean(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := w.Program()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			cfg := pinplay.LogConfig{
+				Seed: 1, MeanQuantum: 50, RandSeed: 1,
+				Input:    w.Input(w.DefaultThreads, 12),
+				MaxSteps: 50_000_000,
+			}
+			pb, err := pinplay.Log(prog, cfg, pinplay.RegionSpec{})
+			if err != nil {
+				t.Fatalf("record: %v", err)
+			}
+			m, rep, err := pinplay.ReplayWith(prog, pb, pinplay.ReplayOptions{})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if len(rep.Divergences) != 0 {
+				t.Fatalf("%d divergences on replay", len(rep.Divergences))
+			}
+			// A recorded failure must be reproduced; a clean recording
+			// must not fail on replay (the machine may sit at region end
+			// rather than a formal exit stop — divergence checking above
+			// is the authoritative verdict).
+			if pb.Failure != nil && m.Stopped() != vm.StopFailure {
+				t.Fatalf("recorded a failure but replay stopped with %v", m.Stopped())
+			}
+			if pb.Failure == nil && m.Stopped() == vm.StopFailure {
+				t.Fatalf("clean recording failed on replay: %v", m.Failure())
 			}
 		})
 	}
