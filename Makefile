@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench chaos soak fleet-soak bench-durability
+.PHONY: all build vet test race verify bench chaos soak fleet-soak bench-durability ring-chaos bench-ring matrix-smoke
 
 all: verify
 
@@ -53,6 +53,19 @@ fleet-soak:
 # Regenerate BENCH_durability.json (crash-safe write overhead).
 bench-durability:
 	$(GO) run ./cmd/drbench -experiment durbench
+
+# Flight-recorder chaos under the race detector: ring eviction and
+# gap-bridging differential tests, tampered window hashes and resume
+# recipes (every policy must yield a typed degraded outcome, never a
+# clean exit), plus the ring scenario matrix (exact bridges, provenance
+# slicing, ring fault rows).
+ring-chaos:
+	$(GO) test -race -count=1 -run 'Ring|Bridge|Gap' ./internal/pinplay/... ./internal/pinball/... ./internal/faultinject/... ./internal/core/... ./internal/slice/...
+	$(GO) run -race ./cmd/drmatrix run -json ring-grid.json scenarios/ring.yaml
+
+# Regenerate BENCH_ring.json (flight-recorder ring overhead).
+bench-ring:
+	$(GO) run ./cmd/drbench -experiment ringbench
 
 # Bounded scenario-matrix smoke under the race detector: the Table 1
 # bug kernels explored by Maple across 8 seeds each, with replay and

@@ -8,6 +8,7 @@
 //	drbench -experiment fig11 -scale 10     # 10x longer regions
 //	drbench -experiment slicebench -workers 8 -json BENCH_slice.json
 //	drbench -experiment durbench               # durability write overhead
+//	drbench -experiment ringbench              # flight-recorder ring overhead
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: table1, table2, table3, fig11, fig12, fig13, fig14, slicing, slicebench, durbench, ablation, all")
+			"one of: table1, table2, table3, fig11, fig12, fig13, fig14, slicing, slicebench, ringbench, durbench, ablation, all")
 		scale    = flag.Int64("scale", 1, "multiply all region lengths by this factor")
 		threads  = flag.Int64("threads", 4, "worker thread count")
 		slices   = flag.Int("slices", 10, "slicing criteria per region")
@@ -76,6 +77,21 @@ func run(experiment string, cfg bench.Config, workers int, jsonPath string) erro
 				path = "BENCH_slice.json"
 			}
 			if err := bench.WriteSliceBenchJSON(report, path); err != nil {
+				return err
+			}
+			fmt.Printf("JSON report written to %s\n", path)
+			return nil
+		}},
+		{"ringbench", func(c bench.Config) error {
+			report, err := bench.RingBench(c)
+			if err != nil {
+				return err
+			}
+			path := jsonPath
+			if path == "" {
+				path = "BENCH_ring.json"
+			}
+			if err := bench.WriteRingBenchJSON(report, path); err != nil {
 				return err
 			}
 			fmt.Printf("JSON report written to %s\n", path)

@@ -9,7 +9,9 @@
 //
 // Exit codes: 0 success, 1 usage/tool error, 2 the pinball file failed
 // to load (or salvage), 3 a replay of the pinball failed, 4 the session
-// ran but on a salvaged (partial) pinball.
+// ran but on a salvaged (partial) pinball, 9 the session ran but some of
+// its flight-recorder content is estimated (a bridged window failed hash
+// verification).
 package main
 
 import (
@@ -53,8 +55,8 @@ func run(file, workload string, seed, quantum int64, input, pinballPath, script 
 		Seed: seed, MeanQuantum: quantum, Input: in, RandSeed: seed,
 	})
 	salvaged := false
+	var sess *drdebug.Session
 	if pinballPath != "" {
-		var sess *drdebug.Session
 		if salvage {
 			var rep *drdebug.SalvageReport
 			sess, rep, err = drdebug.LoadSessionSalvage(prog, pinballPath)
@@ -72,6 +74,10 @@ func run(file, workload string, seed, quantum int64, input, pinballPath, script 
 		d.UseSession(sess)
 		fmt.Printf("loaded pinball %s (%d instructions); starting in replay mode\n",
 			pinballPath, sess.Pinball.RegionInstrs)
+		if sess.Pinball.Gapped() {
+			fmt.Printf("flight-recorder pinball: %d evicted windows (%d instructions) will be bridged on first replay\n",
+				len(sess.Pinball.Evictions), sess.Pinball.GapInstrs())
+		}
 	}
 	if script != "" {
 		// Batch mode: run the command file, like gdb -x.
@@ -85,25 +91,32 @@ func run(file, workload string, seed, quantum int64, input, pinballPath, script 
 				continue
 			}
 			if cmd == "quit" || cmd == "q" {
-				return degradedOK(salvaged)
+				return degradedOK(sess, salvaged)
 			}
 			fmt.Printf("(drdebug) %s\n", cmd)
 			if err := d.Execute(cmd, os.Stdout); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
 		}
-		return degradedOK(salvaged)
+		return degradedOK(sess, salvaged)
 	}
 	fmt.Printf("DrDebug on %s — type help for commands\n", prog.Name)
 	if err := d.Run(os.Stdin, os.Stdout); err != nil {
 		return err
 	}
-	return degradedOK(salvaged)
+	return degradedOK(sess, salvaged)
 }
 
 // degradedOK turns a successful run on a salvaged pinball into the
-// degraded-mode exit (code 4) so scripts can tell partial results apart.
-func degradedOK(salvaged bool) error {
+// degraded-mode exit (code 4), and a session that bridged flight-recorder
+// gaps with hash-unverified content into the estimated exit (code 9), so
+// scripts can tell partial results apart.
+func degradedOK(sess *drdebug.Session, salvaged bool) error {
+	if sess != nil {
+		if gr := sess.GapReport(); gr.Degraded() {
+			return fmt.Errorf("session carries estimated flight-recorder content: %w", cli.ErrEstimated)
+		}
+	}
 	if salvaged {
 		return fmt.Errorf("session ran on a salvaged pinball: %w", cli.ErrDegraded)
 	}

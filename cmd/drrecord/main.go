@@ -38,18 +38,20 @@ func main() {
 		ckEvery  = flag.Int64("checkpoint-every", 0, "divergence-checkpoint cadence in per-thread instructions (0 = default, negative = disable)")
 		journal  = flag.String("journal", "", "also journal the recording to this path while it runs (crash-safe: a crash leaves a salvageable file for drrepair)")
 		jEvery   = flag.Int64("journal-every", 0, "journal flush cadence in region instructions (0 = default; smaller = finer crash granularity, more fsyncs)")
+		ringB    = flag.Int64("ring-bytes", 0, "flight-recorder mode: keep the recording within this byte budget, evicting the oldest windows (0 = record everything)")
+		sample   = flag.Int64("sample", 0, "flight-recorder sampling: keep 1 window in N, evict the rest (0/1 = keep all); implies flight-recorder mode")
 		out      = flag.String("o", "out.pinball", "output pinball path")
 	)
 	flag.Parse()
 
 	if err := run(*file, *workload, *seed, *quantum, *input, *skip, *length,
-		*fromLoc, *toLoc, *fromNth, *toNth, *untilF, *maxSeed, *ckEvery, *journal, *jEvery, *out); err != nil {
+		*fromLoc, *toLoc, *fromNth, *toNth, *untilF, *maxSeed, *ckEvery, *journal, *jEvery, *ringB, *sample, *out); err != nil {
 		os.Exit(cli.Fail("drrecord", err))
 	}
 }
 
 func run(file, workload string, seed, quantum int64, input string, skip, length int64,
-	fromLoc, toLoc string, fromNth, toNth int64, untilFailure bool, maxSeed, ckEvery int64, journal string, jEvery int64, out string) error {
+	fromLoc, toLoc string, fromNth, toNth int64, untilFailure bool, maxSeed, ckEvery int64, journal string, jEvery, ringBytes, ringSample int64, out string) error {
 	prog, _, err := cli.LoadProgram(file, workload)
 	if err != nil {
 		return err
@@ -59,7 +61,8 @@ func run(file, workload string, seed, quantum int64, input string, skip, length 
 		return err
 	}
 	cfg := drdebug.LogConfig{Seed: seed, MeanQuantum: quantum, Input: in, RandSeed: seed,
-		CheckpointEvery: ckEvery, JournalPath: journal, JournalEvery: jEvery}
+		CheckpointEvery: ckEvery, JournalPath: journal, JournalEvery: jEvery,
+		RingBytes: ringBytes, RingSample: ringSample}
 
 	var sess *drdebug.Session
 	if fromLoc != "" {
@@ -108,5 +111,9 @@ func run(file, workload string, seed, quantum int64, input string, skip, length 
 	sz, _ := pb.EncodedSize()
 	fmt.Printf("pinball %s: %d instructions (%d main thread), end=%s, %d checkpoints, %d bytes compressed\n",
 		out, pb.RegionInstrs, pb.MainInstrs, pb.EndReason, len(pb.Checkpoints), sz)
+	if pb.RingBytes > 0 || pb.SampleKeep > 1 || pb.Gapped() {
+		fmt.Printf("flight recorder: %d windows evicted (%d instructions bridgeable on replay), budget %d bytes, sample 1-in-%d\n",
+			len(pb.Evictions), pb.GapInstrs(), pb.RingBytes, max(pb.SampleKeep, 1))
+	}
 	return nil
 }

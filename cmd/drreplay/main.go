@@ -16,9 +16,17 @@
 //
 // Exit codes: 0 success, 1 usage/tool error, 2 the pinball file failed
 // to load (or salvage), 3 the pinball loaded but its replay failed (the
-// first divergent window is printed to stderr), 4 the replay completed
-// only in degraded mode (salvaged pinball or checkpoint-anchored
-// recovery), 5 the replay panicked, 6 the watchdog fired.
+// first divergent window is printed to stderr; for a flight-recorder
+// pinball this includes a bridged window failing hash verification), 4
+// the replay completed only in degraded mode (salvaged pinball or
+// checkpoint-anchored recovery), 5 the replay panicked, 6 the watchdog
+// fired, 9 the replay completed but carried estimated flight-recorder
+// content (-degraded let a hash-unverified bridge through).
+//
+// Flight-recorder pinballs (recorded with drrecord -ring-bytes/-sample)
+// replay through gap bridging: evicted windows are re-derived by
+// re-execution and verified against their retained hashes. The bridge
+// summary is printed after the replay.
 package main
 
 import (
@@ -53,7 +61,10 @@ func main() {
 	opts := drdebug.ReplayOptions{
 		Degraded: *degraded,
 		NoVerify: *noVerify,
-		Limits:   cli.Limits(*budget, *deadline),
+		// In degraded mode a bridged window that fails hash verification
+		// becomes estimated content (exit 9) instead of aborting the replay.
+		BridgeEstimates: *degraded,
+		Limits:          cli.Limits(*budget, *deadline),
 	}
 	sup := drdebug.SupervisorOptions{MaxAttempts: *retries, Watchdog: *watchdog}
 	if err := run(*file, *workload, *pinballP, *check, *stats, *salvage, *report, sup, opts); err != nil {
@@ -113,13 +124,21 @@ func run(file, workload, pinballPath string, check, stats bool, salvage bool, re
 		fmt.Printf("checked %d divergence checkpoints: %d divergent windows (degraded mode)\n",
 			rep.Checked, len(rep.Divergences))
 	}
+	if br := rep.Bridge; br != nil {
+		fmt.Printf("bridged %d evicted windows (%d instructions re-derived): %d exact, %d estimated\n",
+			br.Windows, br.GapInstrs, br.Exact, len(br.Estimated))
+		for _, ev := range br.Estimated {
+			fmt.Fprintf(os.Stderr, "drreplay: window %d (steps %d..%d) failed hash verification; content is estimated\n",
+				ev.ID, ev.FromStep, ev.ToStep)
+		}
+	}
 	if f := m.Failure(); f != nil {
 		fmt.Printf("reproduced failure: %v\n", f)
 	}
 	if out := m.Output(); len(out) > 0 {
 		fmt.Printf("program output: %v\n", out)
 	}
-	if check && !res.Degraded { // must come after the replay above so both share the load cost
+	if check && !res.Degraded && !rep.Bridge.Degraded() { // must come after the replay above so both share the load cost
 		m2, err := drdebug.Replay(prog, pb)
 		if err != nil {
 			return err
@@ -128,6 +147,9 @@ func run(file, workload, pinballPath string, check, stats bool, salvage bool, re
 			return fmt.Errorf("replays reached different states — determinism violated")
 		}
 		fmt.Println("determinism check passed: two replays reached identical memory")
+	}
+	if rep.Bridge.Degraded() {
+		return fmt.Errorf("replay finished, but %w", cli.ErrEstimated)
 	}
 	if salvaged || res.Degraded {
 		return fmt.Errorf("replay finished, but %w", cli.ErrDegraded)
@@ -165,6 +187,10 @@ func printStats(pb *drdebug.Pinball) {
 		len(pb.Quanta), avgQuantum(pb))
 	fmt.Printf("  syscalls:       %d logged\n", len(pb.Syscalls))
 	fmt.Printf("  order edges:    %d shared-memory constraints\n", len(pb.OrderEdges))
+	if pb.Gapped() || pb.RingBytes > 0 {
+		fmt.Printf("  flight record:  %d evicted windows (%d instructions to bridge), budget %d bytes\n",
+			len(pb.Evictions), pb.GapInstrs(), pb.RingBytes)
+	}
 	if pb.CheckpointEvery > 0 {
 		fmt.Printf("  checkpoints:    %d (every %d per-thread instructions)\n",
 			len(pb.Checkpoints), pb.CheckpointEvery)

@@ -53,6 +53,8 @@ type fixture struct {
 	div0    string
 	divMid  string
 	journal string
+	ring    string
+	ringBad string
 }
 
 func makeFixture(t *testing.T) *fixture {
@@ -120,6 +122,29 @@ func makeFixture(t *testing.T) *fixture {
 	if err := os.WriteFile(f.journal, jdata[:secs[len(secs)-1].Off], 0o644); err != nil {
 		t.Fatal(err)
 	}
+
+	// Flight-recorder variants: the same workload under a ring budget
+	// tight enough to evict windows, intact and with one retained window
+	// hash flipped (bridge verification must fail for that window).
+	rcfg := exitConfig()
+	rcfg.RingBytes = 400
+	rcfg.JournalEvery = 64
+	rpb, err := pinplay.Log(prog, rcfg, pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatalf("ring log: %v", err)
+	}
+	if !rpb.Gapped() {
+		t.Fatalf("ring budget evicted nothing (region %d instructions)", rpb.RegionInstrs)
+	}
+	f.ring = filepath.Join(dir, "ring.pinball")
+	if err := rpb.Save(f.ring); err != nil {
+		t.Fatal(err)
+	}
+	rpb.Evictions[len(rpb.Evictions)/2].Hash ^= 1
+	f.ringBad = filepath.Join(dir, "ringbad.pinball")
+	if err := rpb.Save(f.ringBad); err != nil {
+		t.Fatal(err)
+	}
 	return f
 }
 
@@ -146,6 +171,10 @@ func TestExitCodes(t *testing.T) {
 		{name: "divergence-degraded-recovery", pinball: f.divMid,
 			sup: drdebug.SupervisorOptions{MaxAttempts: 2}, want: cli.ExitDegraded},
 		{name: "salvaged-journal-degraded", pinball: f.journal, salvage: true, sup: one, want: cli.ExitDegraded},
+		{name: "ring-exact-bridge-clean", pinball: f.ring, sup: one, want: 0},
+		{name: "ring-bad-hash-strict", pinball: f.ringBad, sup: one, want: cli.ExitDiverged},
+		{name: "ring-bad-hash-estimated", pinball: f.ringBad, sup: one,
+			opts: drdebug.ReplayOptions{Degraded: true, BridgeEstimates: true}, want: cli.ExitEstimated},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			err := run(f.src, "", tc.pinball, false, false, tc.salvage, "", tc.sup, tc.opts)

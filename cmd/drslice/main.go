@@ -15,7 +15,9 @@
 // Exit codes: 0 success, 1 usage/tool error, 2 the pinball file failed
 // to load (or salvage), 3 the pinball loaded but a replay of it failed
 // (divergence checkpoint, schedule mismatch, or an execution limit hit),
-// 4 the slice was computed but from a salvaged pinball (-salvage).
+// 4 the slice was computed but from a salvaged pinball (-salvage), 9 the
+// slice crosses flight-recorder gaps whose content is estimated (every
+// non-exact dependence edge is tagged with its provenance).
 package main
 
 import (
@@ -101,6 +103,13 @@ func run(file, workload, pinballPath, varName string, tid, line, nth int,
 	}
 	fmt.Printf("slice computed in %.3fs: %d of %d dynamic instructions\n",
 		time.Since(start).Seconds(), sl.Stats.Members, sl.Stats.TraceLen)
+	if br := sess.GapReport(); br != nil {
+		fmt.Printf("flight recorder: bridged %d evicted windows (%d instructions re-derived): %d exact, %d estimated\n",
+			br.Windows, br.GapInstrs, br.Exact, len(br.Estimated))
+	}
+	if sl.Prov != nil {
+		fmt.Printf("provenance: %s\n", sl.Prov)
+	}
 	fmt.Printf("precision: %d CFG refinements, %d save/restore pairs, %d bypasses, LP %d/%d blocks skipped\n",
 		sl.Stats.CFGRefinements, sl.Stats.VerifiedPairs, sl.Stats.PrunedBypasses,
 		sl.Stats.LPBlocksSkip, sl.Stats.LPBlocksSkip+sl.Stats.LPBlocksVisit)
@@ -145,6 +154,9 @@ func run(file, workload, pinballPath, varName string, tid, line, nth int,
 		}
 		fmt.Printf("slice pinball %s: %d instructions (%.1f%% of region), %d exclusion regions\n",
 			outPB, spb.RegionInstrs, 100*float64(spb.RegionInstrs)/float64(sess.Pinball.RegionInstrs), len(ex))
+	}
+	if sl.Prov != nil && sl.Prov.Degraded() {
+		return fmt.Errorf("slice crosses hash-unverified flight-recorder gaps: %w", cli.ErrEstimated)
 	}
 	if salvaged {
 		return fmt.Errorf("slice computed from a salvaged pinball: %w", cli.ErrDegraded)

@@ -32,6 +32,10 @@ import (
 //	8 — the fleet answered correctly, but only after re-dispatching the
 //	    work away from a dead or straggling worker; the result is
 //	    trustworthy, the fleet is degraded
+//	9 — the run completed, but the result contains estimated content: a
+//	    flight-recorder slice crossed an evicted window whose re-derived
+//	    content failed hash verification, so some dependence edges are
+//	    best-effort estimates rather than proven replays
 const (
 	ExitUsage         = 1
 	ExitBadPinball    = 2
@@ -41,12 +45,20 @@ const (
 	ExitHung          = 6
 	ExitUnavailable   = 7
 	ExitFleetDegraded = 8
+	ExitEstimated     = 9
 )
 
 // ErrDegraded marks runs that finished, but only by degrading: the tool
 // produced results from a salvaged pinball or a checkpoint-anchored
 // partial replay. Wrap it so scripts get exit code 4 instead of 0.
 var ErrDegraded = errors.New("completed in degraded mode")
+
+// ErrEstimated marks runs whose result carries estimated (hash-
+// unverified) flight-recorder content — e.g. a slice with estimated
+// dependence edges. Wrap it so scripts get exit code 9 instead of 0. It
+// outranks ErrDegraded: an estimated result is weaker than a degraded
+// but fully verified one.
+var ErrEstimated = errors.New("completed with estimated content")
 
 // ExitCode classifies err into the shared exit codes.
 func ExitCode(err error) int {
@@ -55,6 +67,8 @@ func ExitCode(err error) int {
 	switch {
 	case err == nil:
 		return 0
+	case errors.Is(err, ErrEstimated):
+		return ExitEstimated
 	case errors.Is(err, ErrDegraded):
 		return ExitDegraded
 	case errors.As(err, &pe):

@@ -29,6 +29,8 @@ func DialSessionTimeout(addr string, d time.Duration) (*SessionClient, error) {
 func SessionExitCode(resp *sessiond.Response) int {
 	if resp.OK {
 		switch resp.Code {
+		case sessiond.CodeEstimated:
+			return ExitEstimated
 		case sessiond.CodeDegraded, sessiond.CodeSalvaged:
 			return ExitDegraded
 		case sessiond.CodeRedispatched:

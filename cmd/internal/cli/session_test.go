@@ -19,6 +19,7 @@ func TestSessionExitCodeTable(t *testing.T) {
 		{"salvaged", sessiond.Response{OK: true, Code: sessiond.CodeSalvaged}, ExitDegraded},
 		{"degraded replay", sessiond.Response{OK: true, Code: sessiond.CodeDegraded}, ExitDegraded},
 		{"fleet redispatched", sessiond.Response{OK: true, Code: sessiond.CodeRedispatched}, ExitFleetDegraded},
+		{"estimated content", sessiond.Response{OK: true, Code: sessiond.CodeEstimated}, ExitEstimated},
 
 		{"corrupt pinball", sessiond.Response{Code: sessiond.CodeCorrupt}, ExitBadPinball},
 		{"divergence", sessiond.Response{Code: sessiond.CodeDivergence}, ExitDiverged},
@@ -47,7 +48,7 @@ func TestSessionExitCodeTable(t *testing.T) {
 // table rather than colliding with an existing class.
 func TestExitCodesDistinct(t *testing.T) {
 	codes := []int{ExitUsage, ExitBadPinball, ExitDiverged, ExitDegraded,
-		ExitPanic, ExitHung, ExitUnavailable, ExitFleetDegraded}
+		ExitPanic, ExitHung, ExitUnavailable, ExitFleetDegraded, ExitEstimated}
 	seen := make(map[int]bool)
 	for i, c := range codes {
 		if c != i+1 {

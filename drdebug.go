@@ -105,6 +105,32 @@ type (
 	SupervisorReport = supervisor.Report
 	// SupervisedReplayResult is what a supervised replay hands back.
 	SupervisedReplayResult = supervisor.ReplayResult
+	// Eviction is one evicted flight-recorder window in a ring pinball's
+	// gap manifest (retained hash included for bridge verification).
+	Eviction = pinball.Eviction
+	// Recipe is the recording configuration a gapped pinball retains so
+	// gap bridging can re-derive evicted windows.
+	Recipe = pinball.Recipe
+	// RingStats reports what flight-recorder mode kept and evicted.
+	RingStats = pinplay.RingStats
+	// BridgeReport summarises a gap-bridging replay: windows re-derived,
+	// instructions re-executed, and which windows failed verification.
+	BridgeReport = pinplay.BridgeReport
+	// BridgeError is the typed failure of a gap bridge whose re-derived
+	// window hash did not match the retained one.
+	BridgeError = pinplay.BridgeError
+	// Provenance tags trace content and slice edges as exact, bridged, or
+	// estimated (flight-recorder mode).
+	Provenance = tracer.Provenance
+	// ProvSummary is a slice's provenance breakdown.
+	ProvSummary = slice.ProvSummary
+)
+
+// Provenance levels, re-exported.
+const (
+	ProvExact     = tracer.ProvExact
+	ProvBridged   = tracer.ProvBridged
+	ProvEstimated = tracer.ProvEstimated
 )
 
 // Typed failure classes, re-exported so tools can classify errors with
@@ -123,6 +149,9 @@ var (
 	ErrLimit = pinplay.ErrLimit
 	// ErrUnsalvageable marks damaged pinball files Salvage cannot repair.
 	ErrUnsalvageable = pinball.ErrUnsalvageable
+	// ErrBridge marks gap-bridging replays whose re-derived window failed
+	// hash verification (a subclass of ErrReplay).
+	ErrBridge = pinplay.ErrBridge
 )
 
 // Timeout builds Limits bounding an execution by an instruction budget

@@ -199,3 +199,31 @@ func TestAblation(t *testing.T) {
 		}
 	}
 }
+
+func TestRingBench(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyConfig(&out)
+	// The capture-size win needs window content to dominate the ring's
+	// fixed overhead (recipe + eviction manifest), so this experiment
+	// runs a longer region than the other tiny-scale tests.
+	cfg.RegionLenLarge = 200_000
+	report, err := bench.RingBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(report.Rows))
+	}
+	for _, r := range report.Rows {
+		if r.Evicted == 0 || r.GapInstrs == 0 {
+			t.Errorf("%s/%d: ring evicted nothing", r.Workload, r.RingBudget)
+		}
+		if !r.BridgeExact {
+			t.Errorf("%s/%d: gap bridge not exact", r.Workload, r.RingBudget)
+		}
+		if r.RingBytes >= r.FullBytes {
+			t.Errorf("%s/%d: ring capture %d not smaller than full %d",
+				r.Workload, r.RingBudget, r.RingBytes, r.FullBytes)
+		}
+	}
+}

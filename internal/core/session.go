@@ -36,6 +36,14 @@ type Session struct {
 	opts     slice.Options
 	limits   vm.Limits
 	sup      supervisor.Options
+
+	// Flight-recorder support: a gapped pinball is materialised once into
+	// eff by gap-bridging re-execution (BridgePinball); bridge is that
+	// run's verification report. Every replay-driven operation then works
+	// on the complete effective pinball, and traces/slices carry the gap
+	// overlay for provenance tagging.
+	eff    *pinball.Pinball
+	bridge *pinplay.BridgeReport
 }
 
 // SetSupervisor configures the retry/watchdog policy ReplaySupervised
@@ -108,11 +116,49 @@ func (s *Session) SetParallelWorkers(n int) {
 	}
 }
 
+// effective returns the pinball replays should run against: the
+// session's own pinball, or — for a flight-recorder pinball with
+// evicted windows — the complete pinball materialised by gap bridging.
+// Materialisation happens once; hash-verification failures degrade to
+// estimated windows (reported by GapReport) rather than failing, while
+// checkpoint divergence (a corrupted recipe) is a hard typed error.
+func (s *Session) effective() (*pinball.Pinball, error) {
+	if !s.Pinball.Gapped() {
+		return s.Pinball, nil
+	}
+	if s.eff != nil {
+		return s.eff, nil
+	}
+	eff, brep, err := pinplay.BridgePinball(s.Prog, s.Pinball, pinplay.ReplayOptions{Limits: s.limits})
+	if err != nil {
+		return nil, fmt.Errorf("core: bridging flight-recorder gaps: %w", err)
+	}
+	s.eff, s.bridge = eff, brep
+	return eff, nil
+}
+
+// Bridge forces materialisation of a flight-recorder pinball and
+// returns the gap report (nil for ordinary pinballs).
+func (s *Session) Bridge() (*pinplay.BridgeReport, error) {
+	if _, err := s.effective(); err != nil {
+		return nil, err
+	}
+	return s.bridge, nil
+}
+
+// GapReport returns the gap-bridging report when the session has
+// materialised a flight-recorder pinball, nil otherwise.
+func (s *Session) GapReport() *pinplay.BridgeReport { return s.bridge }
+
 // Replay deterministically re-executes the session's pinball, with an
 // optional observer, and returns the machine at the end of the region.
 // Divergence checkpoints recorded in the pinball are verified.
 func (s *Session) Replay(t vm.Tracer) (*vm.Machine, error) {
-	m, _, err := pinplay.ReplayWith(s.Prog, s.Pinball, pinplay.ReplayOptions{Tracer: t, Limits: s.limits})
+	pb, err := s.effective()
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := pinplay.ReplayWith(s.Prog, pb, pinplay.ReplayOptions{Tracer: t, Limits: s.limits})
 	return m, err
 }
 
@@ -122,7 +168,11 @@ func (s *Session) Replay(t vm.Tracer) (*vm.Machine, error) {
 // checkpoint-anchored partial replay (result.Degraded). The result's
 // Report is non-nil in every outcome.
 func (s *Session) ReplaySupervised(t vm.Tracer) (*supervisor.ReplayResult, error) {
-	return supervisor.Replay(s.Prog, s.Pinball, s.sup,
+	pb, err := s.effective()
+	if err != nil {
+		return nil, err
+	}
+	return supervisor.Replay(s.Prog, pb, s.sup,
 		pinplay.ReplayOptions{Tracer: t, Limits: s.limits})
 }
 
@@ -145,9 +195,16 @@ func LoadSessionSalvage(prog *isa.Program, pinballPath string) (*Session, *pinba
 }
 
 // ReplayMachine returns an un-run machine positioned at region entry; the
-// interactive debugger drives it instruction by instruction.
+// interactive debugger drives it instruction by instruction. For a
+// flight-recorder pinball the machine replays the materialised effective
+// pinball; if bridging fails the original gapped pinball is used and the
+// machine will surface the inconsistency as divergence.
 func (s *Session) ReplayMachine(t vm.Tracer) *vm.Machine {
-	return pinplay.NewReplayMachine(s.Prog, s.Pinball, t)
+	pb, err := s.effective()
+	if err != nil {
+		pb = s.Pinball
+	}
+	return pinplay.NewReplayMachine(s.Prog, pb, t)
 }
 
 // Trace returns the session's dynamic-information trace (def/use events,
@@ -157,12 +214,16 @@ func (s *Session) Trace() (*tracer.Trace, error) {
 	if s.trace != nil {
 		return s.trace, nil
 	}
+	pb, err := s.effective()
+	if err != nil {
+		return nil, err
+	}
 	// The collector needs the replay machine to construct itself, so it is
 	// patched in through the OnMachine hook (the replay owns machine
 	// construction now that it also wires in checkpoint validation).
 	var col *tracer.Collector
 	hook := &lateTracer{}
-	_, _, err := pinplay.ReplayWith(s.Prog, s.Pinball, pinplay.ReplayOptions{
+	_, _, err = pinplay.ReplayWith(s.Prog, pb, pinplay.ReplayOptions{
 		Tracer: hook, Limits: s.limits,
 		OnMachine: func(m *vm.Machine) {
 			col = tracer.NewCollector(m)
@@ -175,6 +236,19 @@ func (s *Session) Trace() (*tracer.Trace, error) {
 	tr := col.Trace()
 	if err := tr.BuildGlobal(); err != nil {
 		return nil, err
+	}
+	// Flight-recorder pinball: overlay the gap spans so slices can tag
+	// every dependence that crosses an evicted window.
+	if s.Pinball.Gapped() {
+		est := make(map[int64]bool, len(s.bridge.Estimated))
+		for _, e := range s.bridge.Estimated {
+			est[e.ID] = true
+		}
+		gaps := make([]tracer.GapSpan, 0, len(s.Pinball.Evictions))
+		for _, e := range s.Pinball.Evictions {
+			gaps = append(gaps, tracer.GapSpan{From: e.FromStep, To: e.ToStep, Estimated: est[e.ID]})
+		}
+		tr.SetGaps(gaps)
 	}
 	s.trace = tr
 	return tr, nil
@@ -217,9 +291,13 @@ func (s *Session) ParallelSlicer() (*slice.ParallelSlicer, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := slice.CachedParallel(s.Pinball.ID(), s.Prog, tr, s.opts, slice.ParallelOptions{
+	pb, err := s.effective()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := slice.CachedParallel(pb.ID(), s.Prog, tr, s.opts, slice.ParallelOptions{
 		Workers:    s.workers,
-		WindowSize: pinplay.WindowSize(s.Pinball),
+		WindowSize: pinplay.WindowSize(pb),
 		Ctx:        s.limits.Ctx,
 	})
 	if err != nil {
@@ -285,13 +363,23 @@ func (s *Session) ResolveCriterion(varName string, tid int, line int32, nth int)
 	return slice.LastEventOf(tr, s.Pinball.Failure.Tid)
 }
 
-// SliceFor computes the backward slice for an arbitrary criterion.
+// SliceFor computes the backward slice for an arbitrary criterion. For
+// flight-recorder sessions the result is provenance-annotated: every
+// member and edge that touches a bridged or estimated window is tagged,
+// and the slice carries a provenance summary.
 func (s *Session) SliceFor(crit tracer.Ref) (*slice.Slice, error) {
-	sl, err := s.Querier()
+	q, err := s.Querier()
 	if err != nil {
 		return nil, err
 	}
-	return sl.Slice(crit)
+	sl, err := q.Slice(crit)
+	if err != nil {
+		return nil, err
+	}
+	if s.trace != nil && len(s.trace.Gaps) > 0 {
+		slice.AnnotateProvenance(s.trace, sl)
+	}
+	return sl, nil
 }
 
 // SliceForVariable computes the slice of the last read of a named global
@@ -333,8 +421,12 @@ func (s *Session) ExecutionSlice(sl *slice.Slice) (*pinball.Pinball, []pinball.E
 	if err != nil {
 		return nil, nil, err
 	}
+	pb, err := s.effective()
+	if err != nil {
+		return nil, nil, err
+	}
 	ex := slice.BuildExclusions(tr, sl)
-	spb, err := pinplay.RelogWith(s.Prog, s.Pinball, ex, pinplay.ReplayOptions{Limits: s.limits})
+	spb, err := pinplay.RelogWith(s.Prog, pb, ex, pinplay.ReplayOptions{Limits: s.limits})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -383,11 +475,7 @@ func DualSlice(failing, passing *Session, varName string) (*dualslice.Diff, erro
 		if !found {
 			crit = tr.Global[len(tr.Global)-1]
 		}
-		slicer, err := s.Querier()
-		if err != nil {
-			return nil, nil, err
-		}
-		sl, err := slicer.Slice(crit)
+		sl, err := s.SliceFor(crit)
 		return tr, sl, err
 	}
 	ftr, fsl, err := sliceIn(failing)

@@ -390,3 +390,54 @@ func PinballCorruptors() []PinballCorruptor {
 		},
 	}
 }
+
+// RingCorruptors returns the flight-recorder tampering suite. Every
+// corruptor applies only to gapped (ring) pinballs — Apply reports false
+// for ordinary recordings — and must be caught the same two-layered way:
+// Validate rejects the structurally broken ones, and a replay of the rest
+// fails typed (a BridgeError or divergence), never silently succeeding
+// with wrong content.
+func RingCorruptors() []PinballCorruptor {
+	return []PinballCorruptor{
+		{
+			// Flip one retained window hash. The bridge re-derives the
+			// window bit-for-bit correctly, but verification against the
+			// tampered hash must fail: an exact bridge becomes a typed
+			// degraded outcome, never a clean exit.
+			Name: "flip-eviction-hash",
+			Apply: func(pb *pinball.Pinball) bool {
+				if !pb.Gapped() {
+					return false
+				}
+				pb.Evictions[len(pb.Evictions)/2].Hash ^= 1
+				return true
+			},
+		},
+		{
+			// Tamper the bridge recipe's scheduler state: re-execution
+			// takes a different interleaving, so the re-derived windows
+			// diverge from the retained hashes (or a checkpoint fires).
+			Name: "tamper-ring-recipe",
+			Apply: func(pb *pinball.Pinball) bool {
+				if !pb.Gapped() || pb.Recipe == nil {
+					return false
+				}
+				pb.Recipe.SchedState ^= 1
+				return true
+			},
+		},
+		{
+			// Drop the recipe entirely: a gapped pinball without its
+			// bridge recipe cannot be replayed and is structurally
+			// invalid — Validate must reject it at load time.
+			Name: "drop-ring-recipe",
+			Apply: func(pb *pinball.Pinball) bool {
+				if !pb.Gapped() || pb.Recipe == nil {
+					return false
+				}
+				pb.Recipe = nil
+				return true
+			},
+		},
+	}
+}

@@ -1,0 +1,169 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/pinball"
+	"repro/internal/pinplay"
+)
+
+// makeRingPinball records the detection workload in flight-recorder mode
+// with a budget tight enough to force evictions, and proves the clean
+// pinball bridges exactly before any tampering.
+func makeRingPinball(t *testing.T) *pinball.Pinball {
+	t.Helper()
+	prog := compileT(t)
+	cfg := logConfig()
+	cfg.RingBytes = 400
+	cfg.JournalEvery = 150
+	pb, err := pinplay.Log(prog, cfg, pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatalf("ring log: %v", err)
+	}
+	if !pb.Gapped() {
+		t.Fatalf("ring budget %d evicted nothing (region %d instructions)", cfg.RingBytes, pb.RegionInstrs)
+	}
+	_, rep, err := pinplay.ReplayWith(prog, pb, boundedOpts())
+	if err != nil {
+		t.Fatalf("clean bridged replay failed: %v", err)
+	}
+	if rep.Bridge == nil || rep.Bridge.Exact != len(pb.Evictions) {
+		t.Fatalf("clean bridge not exact: %+v", rep.Bridge)
+	}
+	return pb
+}
+
+// TestRingCorruptorsDetected proves every flight-recorder corruptor is
+// caught: Validate rejects the structurally broken pinballs, and a strict
+// replay of the rest fails with a typed error inside the bounded budget.
+// No tampered ring pinball ever replays cleanly.
+func TestRingCorruptorsDetected(t *testing.T) {
+	prog := compileT(t)
+	pb := makeRingPinball(t)
+	for _, c := range RingCorruptors() {
+		bad, err := Clone(pb)
+		if err != nil {
+			t.Fatalf("%s: clone: %v", c.Name, err)
+		}
+		if !c.Apply(bad) {
+			t.Errorf("%s: corruptor not applicable to a ring pinball", c.Name)
+			continue
+		}
+		if err := bad.Validate(); err != nil {
+			if !errors.Is(err, pinball.ErrCorrupt) {
+				t.Errorf("%s: Validate error %v, want ErrCorrupt", c.Name, err)
+			}
+			continue
+		}
+		start := time.Now()
+		_, _, err = pinplay.ReplayWith(prog, bad, boundedOpts())
+		if err == nil {
+			t.Errorf("%s: tampered ring pinball replayed cleanly", c.Name)
+			continue
+		}
+		if !errors.Is(err, pinplay.ErrReplay) {
+			t.Errorf("%s: error %v does not wrap ErrReplay", c.Name, err)
+		}
+		if el := time.Since(start); el > 10*time.Second {
+			t.Errorf("%s: detection took %v", c.Name, el)
+		}
+	}
+}
+
+// TestRingCorruptorsNotApplicableToFullRecordings pins the guard: ring
+// corruptors must refuse ordinary (gap-free) pinballs instead of
+// mutating fields that do not exist there.
+func TestRingCorruptorsNotApplicableToFullRecordings(t *testing.T) {
+	prog := compileT(t)
+	pb, err := pinplay.Log(prog, logConfig(), pinplay.RegionSpec{})
+	if err != nil {
+		t.Fatalf("log: %v", err)
+	}
+	for _, c := range RingCorruptors() {
+		bad, err := Clone(pb)
+		if err != nil {
+			t.Fatalf("%s: clone: %v", c.Name, err)
+		}
+		if c.Apply(bad) {
+			t.Errorf("%s: applied to a gap-free pinball", c.Name)
+		}
+	}
+}
+
+// TestFlippedWindowHashNeverCleanExit is the fail-safe contract for
+// bridge verification: flipping one retained window hash turns an exact
+// bridge into a typed degraded outcome under every policy. Strict
+// replay fails with a BridgeError naming the window; the estimates
+// policy completes but reports the window as estimated content — in no
+// configuration does the tampered pinball produce a clean result.
+func TestFlippedWindowHashNeverCleanExit(t *testing.T) {
+	prog := compileT(t)
+	pb := makeRingPinball(t)
+	bad, err := Clone(pb)
+	if err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+	tampered := bad.Evictions[len(bad.Evictions)/2].ID
+	bad.Evictions[len(bad.Evictions)/2].Hash ^= 1
+	if err := bad.Validate(); err != nil {
+		t.Fatalf("hash flip should not be structurally detectable: %v", err)
+	}
+
+	// Strict policy: typed error, classified as both a bridge failure
+	// and a replay failure, pinned to the tampered window.
+	_, _, err = pinplay.ReplayWith(prog, bad, boundedOpts())
+	if err == nil {
+		t.Fatal("strict replay of a hash-flipped ring pinball succeeded")
+	}
+	if !errors.Is(err, pinplay.ErrBridge) || !errors.Is(err, pinplay.ErrReplay) {
+		t.Fatalf("error %v does not wrap ErrBridge and ErrReplay", err)
+	}
+	var be *pinplay.BridgeError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a BridgeError", err)
+	}
+	if be.Ev.ID != tampered {
+		t.Fatalf("BridgeError names window %d, want %d", be.Ev.ID, tampered)
+	}
+
+	// Estimates policy: the replay completes, but the outcome is typed
+	// degraded — the tampered window is reported as estimated.
+	opts := boundedOpts()
+	opts.BridgeEstimates = true
+	_, rep, err := pinplay.ReplayWith(prog, bad, opts)
+	if err != nil {
+		t.Fatalf("estimates replay failed: %v", err)
+	}
+	if rep.Bridge == nil || !rep.Bridge.Degraded() {
+		t.Fatalf("estimates replay not reported degraded: %+v", rep.Bridge)
+	}
+	if len(rep.Bridge.Estimated) != 1 || rep.Bridge.Estimated[0].ID != tampered {
+		t.Fatalf("estimated windows %v, want exactly window %d", rep.Bridge.Estimated, tampered)
+	}
+	if rep.Bridge.Exact != len(bad.Evictions)-1 {
+		t.Fatalf("exact windows %d, want %d", rep.Bridge.Exact, len(bad.Evictions)-1)
+	}
+}
+
+// TestTamperedRecipeEnvDetected covers the environment half of the
+// recipe: corrupting the resumed rand() state changes what the bridged
+// re-execution observes, and verification must catch it.
+func TestTamperedRecipeEnvDetected(t *testing.T) {
+	prog := compileT(t)
+	pb := makeRingPinball(t)
+	bad, err := Clone(pb)
+	if err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+	bad.Recipe.EnvPos++
+	if err := bad.Validate(); err != nil {
+		t.Skipf("Validate already rejects the tampered recipe: %v", err)
+	}
+	if _, _, err := pinplay.ReplayWith(prog, bad, boundedOpts()); err == nil {
+		t.Fatal("replay with tampered recipe environment succeeded")
+	} else if !errors.Is(err, pinplay.ErrReplay) {
+		t.Fatalf("error %v does not wrap ErrReplay", err)
+	}
+}

@@ -591,6 +591,7 @@ func (co *Coordinator) distributedSlice(req *sessiond.Request, key string) sessi
 					Deps:           int(sr.Deps),
 					PrunedBypasses: int(sr.Pruned),
 					Digest:         sr.Digest,
+					Prov:           sr.Prov,
 				})}
 		}
 		state = sr.State

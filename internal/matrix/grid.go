@@ -48,6 +48,13 @@ type CellResult struct {
 	SliceMembers int  `json:"slice_members,omitempty"`
 	SliceTrace   int  `json:"slice_trace,omitempty"`
 	SliceClosed  bool `json:"slice_closed,omitempty"`
+	// Flight-recorder facts (scenarios with ring_bytes set).
+	RingEvicted int   `json:"ring_evicted,omitempty"`
+	RingGap     int64 `json:"ring_gap,omitempty"`
+	// Slice edge-provenance breakdown (expect.slice: provenance).
+	ProvExactEdges     int `json:"prov_exact_edges,omitempty"`
+	ProvBridgedEdges   int `json:"prov_bridged_edges,omitempty"`
+	ProvEstimatedEdges int `json:"prov_estimated_edges,omitempty"`
 	// FaultDetected reports which defence layer caught an injected
 	// fault ("detected:decode|validate|replay|fault", "missed",
 	// "inapplicable").
@@ -248,10 +255,12 @@ func (g *Grid) digest() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "suite=%s spec=%s\n", g.Suite, g.SpecDigest)
 	for _, c := range g.Cells {
-		fmt.Fprintf(h, "%s|%s|%s|%d|%d|%d|%d|%s|%d|%s|%s|%v|%d|%d|%v|%s|%s|%s\n",
+		fmt.Fprintf(h, "%s|%s|%s|%d|%d|%d|%d|%s|%d|%s|%s|%v|%d|%d|%v|%d|%d|%d|%d|%d|%s|%s|%s\n",
 			c.Scenario, c.Scheduler, c.Fault, c.Threads, c.Size, c.Quantum, c.Seed,
 			c.Outcome, c.ExitCode, c.Pinball, c.Replay, c.Output,
-			c.SliceMembers, c.SliceTrace, c.SliceClosed, c.FaultDetected, c.Status, c.Reason)
+			c.SliceMembers, c.SliceTrace, c.SliceClosed,
+			c.RingEvicted, c.RingGap, c.ProvExactEdges, c.ProvBridgedEdges, c.ProvEstimatedEdges,
+			c.FaultDetected, c.Status, c.Reason)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

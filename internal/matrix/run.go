@@ -32,6 +32,7 @@ const (
 	CellDiverged   = 3 // replay diverged or hit an execution limit
 	CellPanic      = 5 // a phase panicked (isolated by the supervisor)
 	CellHung       = 6 // the watchdog killed a hung cell
+	CellEstimated  = 9 // the cell's slice carries estimated ring content
 )
 
 // FaultNames lists the fault axis values the scenario format accepts,
@@ -46,6 +47,9 @@ func FaultNames() []string {
 		if !c.SliceOnly {
 			out = append(out, "pinball:"+c.Name)
 		}
+	}
+	for _, c := range faultinject.RingCorruptors() {
+		out = append(out, "pinball:"+c.Name)
 	}
 	return out
 }
@@ -228,6 +232,7 @@ func (r *runner) executeCell(ctx context.Context, c *Cell, res *CellResult) erro
 	cfg := pinplay.LogConfig{
 		Seed: c.Seed, MeanQuantum: c.Quantum, Input: input,
 		RandSeed: c.Seed, MaxSteps: sc.Limits.Steps,
+		RingBytes: sc.RingBytes, RingSample: sc.Sample, JournalEvery: sc.Window,
 	}
 
 	// Record.
@@ -257,6 +262,10 @@ func (r *runner) executeCell(ctx context.Context, c *Cell, res *CellResult) erro
 		return nil
 	}
 	res.Pinball = pb.ID()
+	if pb.Gapped() {
+		res.RingEvicted = len(pb.Evictions)
+		res.RingGap = pb.GapInstrs()
+	}
 	if pb.Failure != nil {
 		res.Outcome = "failure"
 		res.Exposed = true
@@ -291,8 +300,11 @@ func (r *runner) executeCell(ctx context.Context, c *Cell, res *CellResult) erro
 		}
 	}
 
-	// Failure slice + closure check.
-	if sc.Expect.Slice == "closed" && pb.Failure != nil && res.Replay != "diverged" {
+	// Failure slice + closure check (the closure checker also verifies
+	// provenance annotations against a recomputation from the trace's
+	// gap spans).
+	wantSlice := sc.Expect.Slice == "closed" || sc.Expect.Slice == "provenance"
+	if wantSlice && pb.Failure != nil && res.Replay != "diverged" {
 		sess := core.Open(prog, pb)
 		sl, err := sess.SliceAtFailure()
 		if err != nil {
@@ -300,6 +312,14 @@ func (r *runner) executeCell(ctx context.Context, c *Cell, res *CellResult) erro
 		}
 		res.SliceMembers = sl.Stats.Members
 		res.SliceTrace = sl.Stats.TraceLen
+		if sl.Prov != nil {
+			res.ProvExactEdges = sl.Prov.ExactEdges
+			res.ProvBridgedEdges = sl.Prov.BridgedEdges
+			res.ProvEstimatedEdges = sl.Prov.EstimatedEdges
+			if sl.Prov.Degraded() {
+				res.ExitCode = CellEstimated
+			}
+		}
 		slicer, err := sess.Slicer()
 		if err != nil {
 			return err
@@ -395,6 +415,11 @@ func findPinballCorruptor(name string) (faultinject.PinballCorruptor, bool) {
 			return c, true
 		}
 	}
+	for _, c := range faultinject.RingCorruptors() {
+		if c.Name == name {
+			return c, true
+		}
+	}
 	return faultinject.PinballCorruptor{}, false
 }
 
@@ -449,11 +474,12 @@ func evaluateCell(c *Cell, res *CellResult) {
 	if e.Replay == "clean" && res.Replay == "diverged" {
 		fail("replay diverged")
 	}
-	if e.Slice == "closed" && res.Outcome == "failure" && res.Fault == "" {
+	if (e.Slice == "closed" || e.Slice == "provenance") && res.Outcome == "failure" && res.Fault == "" {
 		min := e.MinMembers
 		if min < 1 {
 			min = 1
 		}
+		provEdges := res.ProvExactEdges + res.ProvBridgedEdges + res.ProvEstimatedEdges
 		switch {
 		case !res.SliceClosed:
 			fail("slice closure violated: %s", res.Reason)
@@ -461,6 +487,10 @@ func evaluateCell(c *Cell, res *CellResult) {
 			fail("slice has %d members, want >= %d", res.SliceMembers, min)
 		case res.SliceMembers >= res.SliceTrace:
 			fail("slice (%d) not smaller than region (%d)", res.SliceMembers, res.SliceTrace)
+		case e.Slice == "provenance" && res.RingEvicted > 0 && provEdges == 0:
+			fail("flight-recorder slice carries no provenance annotation")
+		case e.Slice == "provenance" && res.RingEvicted == 0 && provEdges > 0:
+			fail("gap-free slice carries provenance annotation")
 		}
 	}
 	if e.Fault == "detected" && res.Fault != "" && res.FaultDetected == "missed" {

@@ -42,6 +42,13 @@ type Scenario struct {
 	Limits      Limits // per-run execution bounds
 	Timeout     time.Duration
 	ProfileRuns int // maple profiling runs (0 = maple default)
+	// RingBytes/Sample switch the cell recordings to flight-recorder
+	// mode: retained content is bounded by the byte budget and/or
+	// sampled 1-in-N, evicted windows are bridged on replay. Window
+	// sets the ring window granularity in instructions (0 = default).
+	RingBytes int64
+	Sample    int64
+	Window    int64
 
 	// Expect holds the assertions evaluated against each cell and the
 	// scenario's aggregate.
@@ -79,7 +86,10 @@ type Expect struct {
 	// Slice: "closed" computes the failure slice of every cell that
 	// captured a failure and checks non-emptiness, the closure
 	// properties, and that the slice is smaller than the region;
-	// "none" (default) skips slicing.
+	// "provenance" additionally requires flight-recorder slices to be
+	// annotated (every gap-crossing edge tagged, closure's provenance
+	// check green) and records the edge-provenance breakdown; "none"
+	// (default) skips slicing.
 	Slice string
 	// MinMembers is the minimum failure-slice size (with Slice:closed).
 	MinMembers int
@@ -207,6 +217,7 @@ var scenarioKeys = map[string]bool{
 	"name": true, "workload": true, "threads": true, "sizes": true,
 	"seeds": true, "quantum": true, "schedulers": true, "faults": true,
 	"region": true, "limits": true, "timeout": true, "profile_runs": true,
+	"ring_bytes": true, "sample": true, "window": true,
 	"expect": true,
 }
 
@@ -354,6 +365,37 @@ func decodeScenario(m, defaults map[string]any) (*Scenario, error) {
 		}
 		sc.ProfileRuns = int(p)
 	}
+	if v, ok := get("ring_bytes"); ok {
+		if sc.RingBytes, err = int64Of(v, "ring_bytes"); err != nil {
+			return nil, err
+		}
+		if sc.RingBytes < 0 {
+			return nil, fmt.Errorf("ring_bytes must be >= 0")
+		}
+	}
+	if v, ok := get("window"); ok {
+		if sc.Window, err = int64Of(v, "window"); err != nil {
+			return nil, err
+		}
+		if sc.Window < 0 {
+			return nil, fmt.Errorf("window must be >= 0")
+		}
+	}
+	if v, ok := get("sample"); ok {
+		if sc.Sample, err = int64Of(v, "sample"); err != nil {
+			return nil, err
+		}
+		if sc.Sample < 0 {
+			return nil, fmt.Errorf("sample must be >= 0")
+		}
+	}
+	if sc.RingBytes > 0 || sc.Sample > 1 {
+		for _, s := range sc.Schedulers {
+			if s == SchedulerMaple {
+				return nil, fmt.Errorf("ring_bytes/sample require the random scheduler: the flight recorder's resume recipe cannot capture maple's forcing scheduler")
+			}
+		}
+	}
 	if v, ok := get("expect"); ok {
 		if err := decodeExpect(v, &sc.Expect); err != nil {
 			return nil, err
@@ -399,7 +441,7 @@ func decodeExpect(v any, e *Expect) error {
 		case "replay":
 			e.Replay, err = enum(k, s, "clean", "none")
 		case "slice":
-			e.Slice, err = enum(k, s, "closed", "none")
+			e.Slice, err = enum(k, s, "closed", "provenance", "none")
 		case "min_members":
 			var n int64
 			n, err = int64Of(m[k], "expect.min_members")
@@ -478,8 +520,8 @@ func (s *Spec) Digest() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "suite=%s\n", s.Suite)
 	for _, sc := range s.Scenarios {
-		fmt.Fprintf(h, "scenario=%s workload=%s region=%+v limits=%+v timeout=%s profile=%d expect=%+v\n",
-			sc.Name, sc.Workload, sc.Region, sc.Limits, sc.Timeout, sc.ProfileRuns, sc.Expect)
+		fmt.Fprintf(h, "scenario=%s workload=%s region=%+v limits=%+v timeout=%s profile=%d ring=%d/%d/%d expect=%+v\n",
+			sc.Name, sc.Workload, sc.Region, sc.Limits, sc.Timeout, sc.ProfileRuns, sc.RingBytes, sc.Sample, sc.Window, sc.Expect)
 		for _, c := range sc.Expand() {
 			fmt.Fprintf(h, "cell=%d %s seed=%d\n", c.Index, c.Axes(), c.Seed)
 		}

@@ -68,6 +68,11 @@ const (
 	secOrder       = byte(5)
 	secSlice       = byte(6)
 	secCheckpoints = byte(7)
+	// secRing carries the flight-recorder payload (ringV1): budget,
+	// sampling policy, eviction manifest and bridge recipe. Written by v2
+	// saves of ring pinballs and as the commit-time manifest frame of v3
+	// ring journals. Ids 8-12 are the v3 chunk frames (journal.go).
+	secRing = byte(13)
 )
 
 // sectionHeaderLen is id + length + crc.
@@ -181,6 +186,8 @@ func (p *Pinball) encode(w io.Writer) error {
 		{secOrder, p.OrderEdges, len(p.OrderEdges) == 0},
 		{secSlice, sliceV1{p.Exclusions, p.Injections}, len(p.Exclusions) == 0 && len(p.Injections) == 0},
 		{secCheckpoints, p.Checkpoints, len(p.Checkpoints) == 0},
+		{secRing, ringV1{p.RingBytes, p.SampleKeep, p.Evictions, p.Recipe},
+			p.RingBytes == 0 && p.SampleKeep == 0 && len(p.Evictions) == 0 && p.Recipe == nil},
 	}
 	var manifest []byte
 	for _, s := range sections {
@@ -337,6 +344,7 @@ func (f frame) decode(dst any) error {
 func (f frame) apply(p *Pinball, meta *metaV1) error {
 	var dst any
 	var sl sliceV1
+	var ring ringV1
 	switch f.id {
 	case secMeta:
 		dst = meta
@@ -352,14 +360,20 @@ func (f frame) apply(p *Pinball, meta *metaV1) error {
 		dst = &sl
 	case secCheckpoints:
 		dst = &p.Checkpoints
+	case secRing:
+		dst = &ring
 	default:
 		return nil
 	}
 	if err := f.decode(dst); err != nil {
 		return err
 	}
-	if f.id == secSlice {
+	switch f.id {
+	case secSlice:
 		p.Exclusions, p.Injections = sl.Exclusions, sl.Injections
+	case secRing:
+		p.RingBytes, p.SampleKeep = ring.RingBytes, ring.SampleKeep
+		p.Evictions, p.Recipe = ring.Evictions, ring.Recipe
 	}
 	return nil
 }

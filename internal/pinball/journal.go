@@ -35,6 +35,9 @@ const (
 	secOrderChunk      = byte(10) // []vm.OrderEdge delta
 	secCheckpointChunk = byte(11) // []Checkpoint delta
 	secCommit          = byte(12) // metaV1, authoritative, terminates the journal
+	// Ring (flight-recorder) frames; secRing = 13 lives in format.go.
+	secRecipe     = byte(14) // Recipe, written right after the state frame
+	secRingWindow = byte(15) // ringWindowV1, one per sealed flush window
 )
 
 // journalHeaderLen is the v3 file header: magic + version + kind.
@@ -142,10 +145,34 @@ func (w *JournalWriter) AppendChunk(quanta []vm.Quantum, syscalls []vm.SyscallRe
 	return w.err
 }
 
+// AppendRecipe seals the bridge-recipe frame. Ring recordings write it
+// immediately after the header sections, so even a journal torn at the
+// first flush still knows how to re-derive the region by re-execution.
+func (w *JournalWriter) AppendRecipe(r *Recipe) error {
+	w.appendFrame(secRecipe, r)
+	w.maybeSync()
+	return w.err
+}
+
+// AppendWindowSeal records that the ring recorder sealed flush window id
+// covering global region steps [fromStep, toStep) with the given windowed
+// event hash. The window's content stays in the in-memory ring (it may
+// yet be evicted); only retained content is written at commit. Together
+// with the recipe frame this makes an interrupted ring journal fully
+// recoverable: every sealed window becomes a verifiable gap.
+func (w *JournalWriter) AppendWindowSeal(id, fromStep, toStep int64, hash uint64) error {
+	w.appendFrame(secRingWindow, ringWindowV1{ID: id, FromStep: fromStep, ToStep: toStep, Hash: hash})
+	w.maybeSync()
+	return w.err
+}
+
 // Commit writes the authoritative meta from the finished pinball,
 // fsyncs and closes the journal — only then is the file a complete,
 // loadable pinball.
 func (w *JournalWriter) Commit(final *Pinball) error {
+	if final.RingBytes != 0 || final.SampleKeep != 0 || len(final.Evictions) > 0 || final.Recipe != nil {
+		w.appendFrame(secRing, ringV1{final.RingBytes, final.SampleKeep, final.Evictions, final.Recipe})
+	}
 	w.appendFrame(secCommit, final.meta(nil))
 	if w.err == nil {
 		if err := w.f.Sync(); err != nil {
@@ -177,6 +204,11 @@ type journalParts struct {
 	p         *Pinball
 	frames    int
 	end       int64 // byte offset just past the last good frame
+
+	// Ring (flight-recorder) journal state: ringMode is set by the recipe
+	// frame; windows accumulates every window-seal frame, in order.
+	ringMode bool
+	windows  []ringWindowV1
 }
 
 // readJournalFrames walks the journal's frames from the top of file,
@@ -259,6 +291,29 @@ func (j *journalParts) applyFrame(f frame) error {
 			return err
 		}
 		j.p.Checkpoints = append(j.p.Checkpoints, c...)
+	case secRecipe:
+		var r Recipe
+		if err := f.decode(&r); err != nil {
+			return err
+		}
+		j.p.Recipe = &r
+		j.ringMode = true
+	case secRingWindow:
+		var wv ringWindowV1
+		if err := f.decode(&wv); err != nil {
+			return err
+		}
+		j.windows = append(j.windows, wv)
+	case secRing:
+		var rg ringV1
+		if err := f.decode(&rg); err != nil {
+			return err
+		}
+		j.p.RingBytes, j.p.SampleKeep = rg.RingBytes, rg.SampleKeep
+		j.p.Evictions = rg.Evictions
+		if rg.Recipe != nil {
+			j.p.Recipe = rg.Recipe
+		}
 	}
 	return nil // checksum-verified unknown section: skip
 }

@@ -102,6 +102,17 @@ type Pinball struct {
 	// Empty for legacy pinballs and when checkpointing was disabled.
 	CheckpointEvery int64
 	Checkpoints     []Checkpoint
+
+	// Flight-recorder (ring) fields. RingBytes is the configured retained
+	// byte budget (0 = ring mode off); SampleKeep the keep-1-in-N window
+	// sampling policy (0 or 1 = keep every window). Evictions lists the
+	// windows the recorder dropped, ascending by step span; Recipe carries
+	// the region-entry nondeterminism state that lets a replayer re-derive
+	// them. See ring.go.
+	RingBytes  int64
+	SampleKeep int64
+	Evictions  []Eviction
+	Recipe     *Recipe
 }
 
 // DefaultCheckpointEvery is the default per-thread checkpoint cadence in
@@ -174,8 +185,11 @@ func (p *Pinball) Validate() error {
 		}
 		total += q.Count
 	}
-	if total != p.RegionInstrs {
-		return bad("schedule covers %d instructions but region claims %d", total, p.RegionInstrs)
+	if err := p.validateRing(bad); err != nil {
+		return err
+	}
+	if total+p.GapInstrs() != p.RegionInstrs {
+		return bad("schedule covers %d instructions plus %d evicted but region claims %d", total, p.GapInstrs(), p.RegionInstrs)
 	}
 	for i, s := range p.Syscalls {
 		if s.Tid < 0 || s.Tid >= vm.MaxThreads {
@@ -214,8 +228,8 @@ func (p *Pinball) Validate() error {
 		if cp.Seq <= lastSeq[cp.Tid] {
 			return bad("checkpoint %d for thread %d out of order (seq %d)", i, cp.Tid, cp.Seq)
 		}
-		if cp.Step < 1 || cp.Step > total {
-			return bad("checkpoint %d at step %d outside region of %d", i, cp.Step, total)
+		if cp.Step < 1 || cp.Step > total+p.GapInstrs() {
+			return bad("checkpoint %d at step %d outside region of %d", i, cp.Step, total+p.GapInstrs())
 		}
 		lastSeq[cp.Tid] = cp.Seq
 	}
@@ -283,6 +297,26 @@ func (p *Pinball) ID() string {
 		fold(int64(ex.Tid))
 		fold(ex.FromIdx)
 		fold(ex.ToIdx)
+	}
+	fold(p.RingBytes)
+	fold(p.SampleKeep)
+	for _, e := range p.Evictions {
+		fold(e.ID)
+		fold(e.FromStep)
+		fold(e.ToStep)
+		fold(int64(e.Hash))
+	}
+	if r := p.Recipe; r != nil {
+		fold(int64(r.SchedState))
+		fold(r.MeanQ)
+		fold(int64(r.CurTid))
+		fold(r.CurLeft)
+		fold(int64(r.EnvRand))
+		fold(r.EnvClock)
+		fold(r.EnvPos)
+		for _, v := range r.EnvInput {
+			fold(v)
+		}
 	}
 	return fmt.Sprintf("%016x", h)
 }

@@ -61,6 +61,11 @@ type SalvageReport struct {
 	// Unverified is set when the recovered pinball lost its divergence
 	// checkpoints: it replays, but replay cannot be validated windows-wise.
 	Unverified bool `json:"unverified,omitempty"`
+	// Evicted counts the sealed flight-recorder windows recovered as
+	// evictions from an interrupted ring journal: their content was still
+	// in the recorder's memory when the recording died, so replay must
+	// re-derive every one of them by gap bridging.
+	Evicted int `json:"evicted,omitempty"`
 }
 
 // Summary renders the report as a short human-readable block.
@@ -85,6 +90,9 @@ func (r *SalvageReport) Summary() string {
 	}
 	if r.Unverified {
 		s += "\ndivergence checkpoints were lost: replay of the salvaged pinball is unverified"
+	}
+	if r.Evicted > 0 {
+		s += fmt.Sprintf("\nring journal: %d sealed windows recovered as evictions; replay will re-derive them by gap bridging", r.Evicted)
 	}
 	return s
 }
@@ -232,7 +240,14 @@ func salvageJournal(data []byte, rep *SalvageReport) (*Pinball, *SalvageReport, 
 		return nil, rep, fmt.Errorf("%w: the provisional meta frame did not survive", ErrUnsalvageable)
 	case p.State == nil:
 		return nil, rep, fmt.Errorf("%w: the initial state frame did not survive", ErrUnsalvageable)
-	case len(p.Quanta) == 0:
+	}
+	if parts.ringMode && !(parts.committed && scanErr == nil) {
+		// A ring journal defers retained window content to commit time, so
+		// an interrupted one has no schedule chunks to truncate — instead
+		// every sealed window becomes a verifiable eviction.
+		return salvageRing(parts, rep)
+	}
+	if len(p.Quanta) == 0 {
 		return nil, rep, fmt.Errorf("%w: no schedule chunk survived", ErrUnsalvageable)
 	}
 	p.applyMeta(parts.meta)
@@ -268,6 +283,56 @@ func salvageJournal(data []byte, rep *SalvageReport) (*Pinball, *SalvageReport, 
 	rep.SalvagedInstrs = p.RegionInstrs
 	if err := p.Validate(); err != nil {
 		return nil, rep, fmt.Errorf("%w: salvaged content is inconsistent: %v", ErrUnsalvageable, err)
+	}
+	return p, rep, nil
+}
+
+// salvageRing reconstructs an interrupted ring-mode journal as a fully
+// evicted pinball: initial state, recipe, every divergence checkpoint and
+// every sealed window's span+hash survive on disk, while all window
+// content (still in the recorder's in-memory ring when the recording
+// died) is re-derived at replay time by gap bridging and verified against
+// the retained hashes.
+func salvageRing(parts *journalParts, rep *SalvageReport) (*Pinball, *SalvageReport, error) {
+	p := parts.p
+	if len(parts.windows) == 0 {
+		return nil, rep, fmt.Errorf("%w: ring journal has no sealed window to anchor a recovery", ErrUnsalvageable)
+	}
+	p.applyMeta(parts.meta)
+	rep.OriginalInstrs = parts.meta.RegionInstrs // 0 unless the commit frame survived
+
+	var end int64
+	evs := make([]Eviction, 0, len(parts.windows))
+	for _, w := range parts.windows {
+		evs = append(evs, Eviction{ID: w.ID, FromStep: w.FromStep, ToStep: w.ToStep, Hash: w.Hash})
+		if w.ToStep > end {
+			end = w.ToStep
+		}
+	}
+	// Drop any content frames that did survive (a torn commit can leave a
+	// partial content tail): without the eviction manifest there is no
+	// proof of which windows they cover, and bridging re-derives them
+	// anyway.
+	p.Quanta, p.Syscalls, p.OrderEdges = nil, nil, nil
+	p.Evictions = evs
+	p.RegionInstrs, p.MainInstrs = end, 0
+
+	cps := p.Checkpoints[:0:0]
+	for _, cp := range p.Checkpoints {
+		if cp.Step <= end {
+			cps = append(cps, cp)
+		}
+	}
+	p.Checkpoints = cps
+	p.EndReason = "salvaged"
+	p.Failure = nil
+
+	rep.Truncated = true
+	rep.CheckpointStep = end
+	rep.SalvagedInstrs = end
+	rep.Evicted = len(evs)
+	if err := p.Validate(); err != nil {
+		return nil, rep, fmt.Errorf("%w: salvaged ring content is inconsistent: %v", ErrUnsalvageable, err)
 	}
 	return p, rep, nil
 }

@@ -51,6 +51,18 @@ type LogConfig struct {
 	// JournalNoSync disables the per-flush fsync (faster, but a flushed
 	// window is only durable against process crashes, not power loss).
 	JournalNoSync bool
+	// RingBytes switches recording to flight-recorder mode: the retained
+	// event streams are bounded to this many estimated bytes, oldest flush
+	// windows evicted first (checkpoints and each evicted window's span +
+	// divergence hash are always kept, so replay can re-derive and verify
+	// the gaps). 0 = full-trace recording.
+	RingBytes int64
+	// RingSample is the ring's sampling policy: keep 1 window in N
+	// (0 or 1 = keep every window the budget allows). Sampling alone (with
+	// RingBytes 0) also enables flight-recorder mode. The final window of
+	// a region is always retained. The flush-window cadence is
+	// JournalEvery, journal or not.
+	RingSample int64
 }
 
 // DefaultJournalFlushEvery is the default journal flush cadence in
@@ -74,12 +86,31 @@ func (c LogConfig) every() int64 {
 
 func (c LogConfig) env() *vm.NativeEnv { return vm.NewNativeEnv(c.Input, c.RandSeed) }
 
-func (c LogConfig) sched() vm.Scheduler {
+func (c LogConfig) sched() *vm.RandomScheduler {
 	mq := c.MeanQuantum
 	if mq <= 0 {
 		mq = 1000
 	}
 	return vm.NewRandomScheduler(c.Seed, mq)
+}
+
+// captureRecipe snapshots the resumable nondeterminism state at region
+// entry: generator states, environment cursors and the machine's
+// in-flight scheduling quantum. Gap bridging replays the region against
+// exactly this state.
+func captureRecipe(m *vm.Machine, sched *vm.RandomScheduler, env *vm.NativeEnv, input []int64) *pinball.Recipe {
+	tid, left := m.InFlightQuantum()
+	es := env.State()
+	return &pinball.Recipe{
+		SchedState: sched.State(),
+		MeanQ:      sched.MeanQ,
+		CurTid:     tid,
+		CurLeft:    left,
+		EnvInput:   append([]int64(nil), input...),
+		EnvPos:     int64(es.InputPos),
+		EnvRand:    es.RandState,
+		EnvClock:   es.Clock,
+	}
 }
 
 // recordTracer accumulates the nondeterministic events a pinball stores,
@@ -89,9 +120,11 @@ type recordTracer struct {
 	syscalls []vm.SyscallRecord
 	edges    []vm.OrderEdge
 	ck       *checkpointer // nil when checkpointing is disabled
+	ring     *ringState    // nil when flight-recorder mode is off
 
 	// Journal flushing: every flushEvery instructions flush() seals the
-	// accumulated deltas to the attached journal. Zero when no journal.
+	// accumulated deltas to the attached journal (in ring mode, seals the
+	// open ring window). Zero when neither is active.
 	flushEvery int64
 	sinceFlush int64
 	flush      func()
@@ -102,6 +135,10 @@ func (r *recordTracer) OnOrderEdge(e vm.OrderEdge)     { r.edges = append(r.edge
 func (r *recordTracer) OnInstr(ev *vm.InstrEvent) {
 	if r.ck != nil {
 		r.ck.observe(ev)
+	}
+	if r.ring != nil {
+		r.ring.hash = foldEvent(r.ring.hash, ev)
+		r.ring.step++
 	}
 	if r.flush != nil {
 		r.sinceFlush++
@@ -121,7 +158,8 @@ func Log(prog *isa.Program, cfg LogConfig, spec RegionSpec) (*pinball.Pinball, e
 	if maxSteps == 0 {
 		maxSteps = 2_000_000_000
 	}
-	m := vm.New(prog, vm.Config{Sched: cfg.sched(), Env: cfg.env(), MaxSteps: maxSteps})
+	sched, env := cfg.sched(), cfg.env()
+	m := vm.New(prog, vm.Config{Sched: sched, Env: env, MaxSteps: maxSteps})
 
 	// Fast-forward: the logger "does only minimal instrumentation before
 	// the region, so fast-forwarding proceeds at Pin-only speed".
@@ -138,6 +176,13 @@ func Log(prog *isa.Program, cfg LogConfig, spec RegionSpec) (*pinball.Pinball, e
 	rec := startRecording(m, cfg.every())
 	if cfg.JournalPath != "" {
 		if err := rec.AttachJournal(cfg.JournalPath, kind, cfg.JournalEvery, !cfg.JournalNoSync); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.RingBytes > 0 || cfg.RingSample > 1 {
+		// Flight-recorder mode: capture the scheduler/environment state the
+		// region continues from, so evicted windows stay re-derivable.
+		if err := rec.EnableRing(cfg.RingBytes, cfg.RingSample, cfg.JournalEvery, captureRecipe(m, sched, env, cfg.Input)); err != nil {
 			return nil, err
 		}
 	}
@@ -197,6 +242,11 @@ type Recorder struct {
 	sIdx int
 	eIdx int
 	cIdx int
+
+	// ring is non-nil in flight-recorder mode (EnableRing); it takes over
+	// the tracer's flush hook, so journal chunk flushing and ring sealing
+	// never run together.
+	ring *ringState
 }
 
 // StartRecording snapshots the machine state and begins capturing
@@ -256,6 +306,11 @@ func (r *Recorder) Finish(m *vm.Machine, endReason string) *pinball.Pinball {
 	if r.tracer.ck != nil {
 		pb.CheckpointEvery = r.every
 		pb.Checkpoints = r.tracer.ck.cps
+	}
+	if r.ring != nil {
+		// Ring mode: the retained streams live in the sealed windows, not
+		// in the tracer's (reset-at-seal) accumulators.
+		r.finishRing(pb)
 	}
 	m.SetTracer(nil)
 	return pb
@@ -330,7 +385,16 @@ func (r *Recorder) CommitJournal(pb *pinball.Pinball) error {
 	if r.jw == nil {
 		return nil
 	}
-	r.flushJournal()
+	if r.ring != nil {
+		// Ring mode defers retained window content to commit time: only
+		// now is it known which windows survived eviction. The manifest
+		// frame (budget, sampling, evictions, recipe) rides in the commit.
+		for _, w := range r.ring.windows {
+			r.jw.AppendChunk(w.quanta, w.syscalls, w.edges, nil)
+		}
+	} else {
+		r.flushJournal()
+	}
 	err := r.jw.Commit(pb)
 	r.jw = nil
 	return err

@@ -40,7 +40,14 @@ type ReplayOptions struct {
 	OnDivergence func(Divergence)
 	// Limits bounds the replay (instruction budget, wall-clock deadline,
 	// memory cap, cancellation). The zero value imposes no bounds.
+	// Gap-bridging replays additionally clamp the instruction budget to
+	// the recorded region length, so a tampered recipe cannot hang them.
 	Limits vm.Limits
+	// BridgeEstimates switches gap-bridge hash verification from fail-fast
+	// (BridgeError) to carry-on: windows whose re-derived hash mismatches
+	// are listed as estimated in the bridge report and the replay
+	// completes. Checkpoint divergences still follow the Degraded policy.
+	BridgeEstimates bool
 	// OnMachine, if set, is called with the replay machine after it is
 	// built and before the first instruction executes — the hook for
 	// observers that need the machine to construct themselves (e.g. the
@@ -53,6 +60,9 @@ type ReplayReport struct {
 	Executed    int64
 	Checked     int // checkpoints compared
 	Divergences []Divergence
+	// Bridge is set when the pinball had evicted windows and the replay
+	// ran as a gap bridge.
+	Bridge *BridgeReport
 }
 
 // NewReplayMachine builds a machine that runs off a pinball: initial
@@ -116,6 +126,11 @@ func Replay(prog *isa.Program, pb *pinball.Pinball, tracer vm.Tracer) (*vm.Machi
 func ReplayWith(prog *isa.Program, pb *pinball.Pinball, opts ReplayOptions) (*vm.Machine, *ReplayReport, error) {
 	if pb.Kind == pinball.KindSlice {
 		return ReplaySliceWith(prog, pb, opts)
+	}
+	if pb.Gapped() {
+		// Flight-recorder pinball: the recorded streams have holes, so the
+		// replay runs as a verified native re-execution instead.
+		return replayBridged(prog, pb, opts)
 	}
 	m, v := newValidatedMachine(prog, pb, opts)
 	total := pb.TotalQuantumInstrs()

@@ -33,6 +33,7 @@ package sessiond
 import (
 	"encoding/json"
 
+	"repro/internal/slice"
 	"repro/internal/supervisor"
 )
 
@@ -96,6 +97,11 @@ const (
 	// after the fleet re-dispatched work away from a dead or straggling
 	// worker — scripts can detect degraded service (ExitFleetDegraded).
 	CodeRedispatched = "redispatched"
+	// CodeEstimated marks a result carrying estimated flight-recorder
+	// content: the session bridged evicted ring windows and at least one
+	// failed hash verification, so parts of the answer are best-effort
+	// estimates (ExitEstimated).
+	CodeEstimated = "estimated"
 )
 
 // Request is one client request, one JSON object per line.
@@ -188,12 +194,17 @@ type Response struct {
 	Report *supervisor.Report `json:"report,omitempty"`
 }
 
-// ReplayResult is OpReplay's payload.
+// ReplayResult is OpReplay's payload. The Bridged/Estimated fields are
+// the flight-recorder gap summary when the pinball had evicted windows.
 type ReplayResult struct {
 	Executed      int64 `json:"executed"`
 	Checked       int   `json:"checked"`
 	Degraded      bool  `json:"degraded,omitempty"`
 	RecoveredStep int64 `json:"recovered_step,omitempty"`
+
+	BridgedWindows   int   `json:"bridged_windows,omitempty"`
+	BridgedInstrs    int64 `json:"bridged_instrs,omitempty"`
+	EstimatedWindows int   `json:"estimated_windows,omitempty"`
 }
 
 // SliceResult is OpSlice's payload. Digest is the order-sensitive
@@ -206,6 +217,9 @@ type SliceResult struct {
 	Deps           int    `json:"deps"`
 	PrunedBypasses int    `json:"pruned_bypasses,omitempty"`
 	Digest         string `json:"digest,omitempty"`
+	// Prov is the provenance breakdown for slices over flight-recorder
+	// pinballs (nil for ordinary full traces).
+	Prov *slice.ProvSummary `json:"provenance,omitempty"`
 }
 
 // DualSliceResult is OpDualSlice's payload.
@@ -305,6 +319,9 @@ type ShardResult struct {
 	Deps    int64           `json:"deps,omitempty"`
 	Pruned  int64           `json:"pruned,omitempty"`
 	Digest  string          `json:"digest,omitempty"`
+	// Prov is the member-level provenance breakdown when the sliced
+	// recording was gapped (flight-recorder mode); nil otherwise.
+	Prov *slice.ProvSummary `json:"provenance,omitempty"`
 }
 
 // encode marshals a result payload; a marshal failure becomes an

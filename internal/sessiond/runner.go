@@ -220,8 +220,15 @@ func (r *runner) replay(req *Request, limits vm.Limits) (*sessionResult, error) 
 	if res.Replay != nil {
 		payload.Executed, payload.Checked = res.Replay.Executed, res.Replay.Checked
 	}
+	if gr := sess.GapReport(); gr != nil {
+		payload.BridgedWindows = gr.Windows
+		payload.BridgedInstrs = gr.GapInstrs
+		payload.EstimatedWindows = len(gr.Estimated)
+	}
 	out.result = encode(payload)
 	switch {
+	case payload.EstimatedWindows > 0:
+		out.annotation = CodeEstimated
 	case res.Degraded:
 		out.annotation = CodeDegraded
 	case salvaged:
@@ -272,8 +279,12 @@ func (r *runner) slice(req *Request, limits vm.Limits) (*sessionResult, error) {
 		Deps:           len(sl.Deps),
 		PrunedBypasses: int(sl.Stats.PrunedBypasses),
 		Digest:         slice.Summarize(sl).Digest,
+		Prov:           sl.Prov,
 	})
-	if salvaged {
+	switch {
+	case sl.Prov != nil && sl.Prov.Degraded():
+		out.annotation = CodeEstimated
+	case salvaged:
 		out.annotation = CodeSalvaged
 	}
 	return out, nil
@@ -342,6 +353,7 @@ func (r *runner) sliceShard(req *Request, limits vm.Limits) (*sessionResult, err
 			payload.Members, payload.TraceLen = sum.Members, sum.TraceLen
 			payload.Deps, payload.Pruned = sum.Deps, sum.PrunedBypasses
 			payload.Digest = sum.Digest
+			payload.Prov = eng.SummarizeProvenance(next)
 		}
 		return nil
 	})
@@ -350,7 +362,10 @@ func (r *runner) sliceShard(req *Request, limits vm.Limits) (*sessionResult, err
 		return out, err
 	}
 	out.result = encode(payload)
-	if salvaged {
+	switch {
+	case payload.Prov != nil && payload.Prov.Degraded():
+		out.annotation = CodeEstimated
+	case salvaged:
 		out.annotation = CodeSalvaged
 	}
 	return out, nil

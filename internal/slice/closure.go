@@ -90,7 +90,7 @@ func (s *Slicer) CheckClosure(sl *Slice) error {
 			}
 		}
 	}
-	return nil
+	return s.checkProvenance(sl)
 }
 
 // checkWellFormed verifies the structural invariants of a slice result:

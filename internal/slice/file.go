@@ -31,6 +31,10 @@ type FileDep struct {
 	ToTid   int
 	ToIdx   int64
 	Kind    DepKind
+	// Provenance/Confidence carry the flight-recorder annotation (zero
+	// for slices over ordinary full traces and for old slice files).
+	Provenance tracer.Provenance
+	Confidence float64
 }
 
 // File is the persisted form of a slice: the paper's "normal slice file"
@@ -46,6 +50,9 @@ type File struct {
 	Deps         []FileDep
 	Exclusions   []pinball.Exclusion
 	Stats        Stats
+	// Prov is the provenance breakdown of an annotated slice (nil
+	// otherwise, including for files written before flight-recorder mode).
+	Prov *ProvSummary
 }
 
 // ToFile converts a computed slice (plus its exclusion regions) into
@@ -57,6 +64,7 @@ func ToFile(prog *isa.Program, tr *tracer.Trace, sl *Slice, exclusions []pinball
 		CriterionIdx: tr.Entry(sl.Criterion).Idx,
 		Exclusions:   exclusions,
 		Stats:        sl.Stats,
+		Prov:         sl.Prov,
 	}
 	for _, m := range sl.Members {
 		e := tr.Entry(m)
@@ -69,7 +77,7 @@ func ToFile(prog *isa.Program, tr *tracer.Trace, sl *Slice, exclusions []pinball
 		f.Deps = append(f.Deps, FileDep{
 			FromTid: int(d.From.Tid), FromIdx: fe.Idx,
 			ToTid: int(d.To.Tid), ToIdx: te.Idx,
-			Kind: d.Kind,
+			Kind: d.Kind, Provenance: d.Provenance, Confidence: d.Confidence,
 		})
 	}
 	return f
@@ -98,10 +106,14 @@ func (f *File) Resolve(tr *tracer.Trace) (*Slice, error) {
 		from, ok1 := tr.RefOf(d.FromTid, d.FromIdx)
 		to, ok2 := tr.RefOf(d.ToTid, d.ToIdx)
 		if ok1 && ok2 {
-			sl.Deps = append(sl.Deps, DepEdge{From: from, To: to, Kind: d.Kind})
+			sl.Deps = append(sl.Deps, DepEdge{
+				From: from, To: to, Kind: d.Kind,
+				Provenance: d.Provenance, Confidence: d.Confidence,
+			})
 		}
 	}
 	sl.Stats = f.Stats
+	sl.Prov = f.Prov
 	return sl, nil
 }
 
@@ -164,6 +176,12 @@ func (f *File) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "# dynamic slice for %s, criterion tid=%d idx=%d\n",
 		f.Program, f.CriterionTid, f.CriterionIdx)
 	fmt.Fprintf(w, "# %d dynamic instructions in slice\n", len(f.Members))
+	if f.Prov != nil {
+		fmt.Fprintf(w, "# provenance: %s\n", f.Prov)
+		if !f.Prov.Exact() {
+			fmt.Fprintf(w, "# WARNING: slice crosses flight-recorder gaps; non-exact edges are tagged below\n")
+		}
+	}
 
 	type srcLine struct {
 		src   string
@@ -200,7 +218,11 @@ func (f *File) WriteText(w io.Writer) error {
 
 	fmt.Fprintf(w, "\n[dependences] (%d edges)\n", len(f.Deps))
 	for _, d := range f.Deps {
-		fmt.Fprintf(w, "%s: T%d@%d -> T%d@%d\n", d.Kind, d.FromTid, d.FromIdx, d.ToTid, d.ToIdx)
+		fmt.Fprintf(w, "%s: T%d@%d -> T%d@%d", d.Kind, d.FromTid, d.FromIdx, d.ToTid, d.ToIdx)
+		if f.Prov != nil && d.Provenance != tracer.ProvExact {
+			fmt.Fprintf(w, "  [%s, confidence %.2f]", d.Provenance, d.Confidence)
+		}
+		fmt.Fprintln(w)
 	}
 
 	fmt.Fprintf(w, "\n[exclusion regions] (%d)\n", len(f.Exclusions))

@@ -72,6 +72,8 @@ func (f *File) WriteHTML(w io.Writer, sources map[string]string) error {
 	type renderDep struct {
 		Kind, From, To string
 		Cross          bool
+		Prov           string // "" for exact edges
+		Confidence     string
 	}
 	data := struct {
 		Program      string
@@ -82,12 +84,14 @@ func (f *File) WriteHTML(w io.Writer, sources map[string]string) error {
 		Deps         []renderDep
 		Exclusions   []string
 		Stats        Stats
+		Prov         *ProvSummary
 	}{
 		Program:      f.Program,
 		CriterionTid: f.CriterionTid,
 		CriterionIdx: f.CriterionIdx,
 		Members:      len(f.Members),
 		Stats:        f.Stats,
+		Prov:         f.Prov,
 	}
 
 	var fileNames []string
@@ -124,12 +128,17 @@ func (f *File) WriteHTML(w io.Writer, sources map[string]string) error {
 	}
 
 	for _, d := range f.Deps {
-		data.Deps = append(data.Deps, renderDep{
+		rd := renderDep{
 			Kind:  d.Kind.String(),
 			From:  fmt.Sprintf("T%d@%d", d.FromTid, d.FromIdx),
 			To:    fmt.Sprintf("T%d@%d", d.ToTid, d.ToIdx),
 			Cross: d.FromTid != d.ToTid,
-		})
+		}
+		if f.Prov != nil && d.Provenance != 0 {
+			rd.Prov = d.Provenance.String()
+			rd.Confidence = fmt.Sprintf("%.2f", d.Confidence)
+		}
+		data.Deps = append(data.Deps, rd)
 	}
 	for _, e := range f.Exclusions {
 		data.Exclusions = append(data.Exclusions, e.String())
@@ -161,6 +170,8 @@ table { border-collapse: collapse; }
 .hit { background: #fff3a0; }
 .meta { color: #777; font-size: 85%; }
 .cross { background: #ffd9d9; }
+.prov { color: #a40; font-weight: bold; }
+.warn { background: #ffe9cc; border: 1px solid #e0a050; padding: 0.6em 1em; }
 h2 { border-bottom: 1px solid #ddd; padding-bottom: 0.2em; }
 .dep td { padding: 0.1em 0.8em; font-family: monospace; }
 </style></head><body>
@@ -170,6 +181,9 @@ h2 { border-bottom: 1px solid #ddd; padding-bottom: 0.2em; }
 Precision: {{.Stats.CFGRefinements}} CFG refinements,
 {{.Stats.VerifiedPairs}} save/restore pairs verified,
 {{.Stats.PrunedBypasses}} spurious dependences bypassed.</p>
+{{if .Prov}}<p class="{{if .Prov.Exact}}meta{{else}}warn{{end}}">Provenance: {{.Prov}}.{{if not .Prov.Exact}}
+This slice crosses flight-recorder gaps: bridged edges were re-derived and hash-verified; estimated edges failed verification and are best-effort only.{{end}}</p>
+{{end}}
 
 {{range .Files}}
 <h2>{{.Name}}</h2>
@@ -187,7 +201,7 @@ Precision: {{.Stats.CFGRefinements}} CFG refinements,
 
 <h2>Dependences ({{len .Deps}})</h2>
 <table class="dep">
-{{range .Deps}}<tr{{if .Cross}} class="cross"{{end}}><td>{{.Kind}}</td><td>{{.From}}</td><td>&larr;</td><td>{{.To}}</td></tr>
+{{range .Deps}}<tr{{if .Cross}} class="cross"{{end}}><td>{{.Kind}}</td><td>{{.From}}</td><td>&larr;</td><td>{{.To}}</td><td class="prov">{{if .Prov}}{{.Prov}} ({{.Confidence}}){{end}}</td></tr>
 {{end}}</table>
 
 <h2>Exclusion regions ({{len .Exclusions}})</h2>

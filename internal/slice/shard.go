@@ -295,3 +295,32 @@ func (s *ParallelSlicer) SummarizeState(st *QueryState) (Summary, error) {
 		Digest:         fmt.Sprintf("%016x", h),
 	}, nil
 }
+
+// SummarizeProvenance is the shard-protocol counterpart of
+// AnnotateProvenance: a member-level provenance breakdown of a finished
+// query state. Shard hops carry dependence edges only in digest form, so
+// edge counts are not recoverable — but every edge's provenance is the
+// worst of its two member endpoints, so member counts alone decide both
+// Exact() and Degraded() exactly as a full annotation would. Returns nil
+// over gap-free traces (matching SliceFor on a full recording).
+func (s *ParallelSlicer) SummarizeProvenance(st *QueryState) *ProvSummary {
+	if len(s.Trace.Gaps) == 0 {
+		return nil
+	}
+	sum := &ProvSummary{MinConfidence: 1.0}
+	for _, g := range st.Members {
+		p := s.Trace.ProvenanceOf(s.Trace.Global[g])
+		switch p {
+		case tracer.ProvExact:
+			sum.ExactMembers++
+		case tracer.ProvBridged:
+			sum.BridgedMembers++
+		case tracer.ProvEstimated:
+			sum.EstimatedMembers++
+		}
+		if c := p.Confidence(); c < sum.MinConfidence {
+			sum.MinConfidence = c
+		}
+	}
+	return sum
+}

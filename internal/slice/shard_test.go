@@ -3,6 +3,7 @@ package slice_test
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"testing"
 
 	"repro/internal/slice"
@@ -222,5 +223,110 @@ func TestShardStateVersionGuard(t *testing.T) {
 	st.V = 99
 	if _, err := eng.SliceShard(crit, st, 0); err == nil {
 		t.Fatal("version-skewed state accepted")
+	}
+}
+
+// TestShardProvenanceSummary: the member-level breakdown a shard worker
+// attaches to a finished query must be nil over a gap-free trace and,
+// once a gap overlay is installed, must match both an independent
+// recount straight from the overlay and the monolithic
+// AnnotateProvenance member counts. Members decide everything here:
+// every dependence edge's provenance is the worst of its two member
+// endpoints, so agreeing on members means agreeing on Exact()/Degraded().
+func TestShardProvenanceSummary(t *testing.T) {
+	// Pick a seed+criterion whose slice spans at least two distinct
+	// steps, so the overlay below can straddle it.
+	var (
+		eng   *slice.ParallelSlicer
+		tr    *tracer.Trace
+		crit  tracer.Ref
+		st    *slice.QueryState
+		steps []int64
+	)
+seeds:
+	for _, seed := range []int64{4, 5, 8, 12} {
+		e, trace := shardEngine(t, seed)
+		for _, c := range criteriaOf(t, trace) {
+			s, _ := chainShards(t, []*slice.ParallelSlicer{e}, c, 2)
+
+			// Full recording: no gaps, no summary (matching SliceFor).
+			if sum := e.SummarizeProvenance(s); sum != nil {
+				t.Fatalf("gap-free trace: want nil summary, got %+v", sum)
+			}
+
+			var ss []int64
+			for _, g := range s.Members {
+				if sp := trace.StepOf(trace.Global[g]); sp > 0 {
+					ss = append(ss, sp)
+				}
+			}
+			sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+			if len(ss) >= 2 && ss[0] != ss[len(ss)-1] {
+				eng, tr, crit, st, steps = e, trace, c, s, ss
+				break seeds
+			}
+		}
+	}
+	if st == nil {
+		t.Fatal("no seed/criterion produced a slice wide enough to straddle a gap")
+	}
+
+	// Build the overlay from actual member steps so it is guaranteed to
+	// touch the slice: one bridged span over an early member, one
+	// estimated span over a late one (a pinball whose bridge partially
+	// failed verification carries exactly this shape).
+	a, b := steps[0], steps[len(steps)-1]
+	tr.SetGaps([]tracer.GapSpan{
+		{From: a - 1, To: a},
+		{From: b - 1, To: b, Estimated: true},
+	})
+	defer tr.SetGaps(nil)
+
+	sum := eng.SummarizeProvenance(st)
+	if sum == nil {
+		t.Fatal("gapped trace: want a summary, got nil")
+	}
+
+	// Independent recount straight from the overlay.
+	var exact, bridged, est int
+	for _, g := range st.Members {
+		switch tr.ProvenanceOf(tr.Global[g]) {
+		case tracer.ProvExact:
+			exact++
+		case tracer.ProvBridged:
+			bridged++
+		case tracer.ProvEstimated:
+			est++
+		}
+	}
+	if bridged == 0 || est == 0 {
+		t.Fatalf("overlay missed the members it was built from (bridged=%d est=%d)", bridged, est)
+	}
+	if sum.ExactMembers != exact || sum.BridgedMembers != bridged || sum.EstimatedMembers != est {
+		t.Fatalf("summary %+v != recount exact=%d bridged=%d estimated=%d", sum, exact, bridged, est)
+	}
+	if got := sum.ExactMembers + sum.BridgedMembers + sum.EstimatedMembers; got != len(st.Members) {
+		t.Fatalf("summary covers %d of %d members", got, len(st.Members))
+	}
+	if !sum.Degraded() {
+		t.Fatal("estimated member present but summary not Degraded")
+	}
+	if sum.MinConfidence != tracer.ProvEstimated.Confidence() {
+		t.Fatalf("MinConfidence %v, want %v", sum.MinConfidence, tracer.ProvEstimated.Confidence())
+	}
+
+	// The monolithic annotation must tell the same member-level story.
+	mono, err := eng.Slice(crit)
+	if err != nil {
+		t.Fatalf("monolithic: %v", err)
+	}
+	slice.AnnotateProvenance(tr, mono)
+	if mono.Prov == nil {
+		t.Fatal("monolithic slice over gapped trace not annotated")
+	}
+	if mono.Prov.ExactMembers != sum.ExactMembers ||
+		mono.Prov.BridgedMembers != sum.BridgedMembers ||
+		mono.Prov.EstimatedMembers != sum.EstimatedMembers {
+		t.Fatalf("shard summary %+v disagrees with monolithic %+v", sum, mono.Prov)
 	}
 }

@@ -63,6 +63,12 @@ type DepEdge struct {
 	To   tracer.Ref
 	Kind DepKind
 	Loc  tracer.Loc
+	// Provenance and Confidence are filled by AnnotateProvenance when the
+	// trace came from a flight-recorder replay: the worst provenance of
+	// the edge's two endpoints and its confidence weight. Zero values
+	// (ProvExact / 0) mean the slice was never annotated.
+	Provenance tracer.Provenance
+	Confidence float64
 }
 
 // Stats reports slicing cost and precision metrics.
@@ -86,6 +92,9 @@ type Slice struct {
 	// for backward navigation in the UI.
 	Deps  []DepEdge
 	Stats Stats
+	// Prov is the provenance breakdown, present once AnnotateProvenance
+	// has run (nil for slices over ordinary full traces).
+	Prov *ProvSummary
 
 	memberSet     map[tracer.Ref]struct{}
 	memberSetOnce sync.Once

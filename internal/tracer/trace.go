@@ -42,6 +42,14 @@ type Trace struct {
 	// SpawnEvent maps a thread id to the ref of the SPAWN instruction
 	// that created it, when that spawn happened inside the traced region.
 	SpawnEvent map[int]Ref
+
+	// Steps maps tid -> local position -> 1-based global region step,
+	// parallel to Locals. Gaps is the flight-recorder gap overlay: spans
+	// of the region whose events were re-derived by bridging rather than
+	// replayed from recorded streams (see provenance.go). Both are empty
+	// for ordinary full-trace replays.
+	Steps map[int][]int64
+	Gaps  []GapSpan
 }
 
 // Entry returns the trace entry for a ref.
@@ -86,6 +94,7 @@ type Collector struct {
 	vm.NopTracer
 	trace *Trace
 	m     *vm.Machine
+	step  int64 // global region steps observed so far
 }
 
 // NewCollector creates a collector. The machine reference (optional) lets
@@ -98,6 +107,7 @@ func NewCollector(m *vm.Machine) *Collector {
 			Locals:     make(map[int][]Entry),
 			FirstIdx:   make(map[int]int64),
 			SpawnEvent: make(map[int]Ref),
+			Steps:      make(map[int][]int64),
 		},
 		m: m,
 	}
@@ -113,6 +123,8 @@ func (c *Collector) OnInstr(ev *Entry) {
 		c.trace.FirstIdx[ev.Tid] = ev.Idx
 	}
 	c.trace.Locals[ev.Tid] = append(l, *ev)
+	c.step++
+	c.trace.Steps[ev.Tid] = append(c.trace.Steps[ev.Tid], c.step)
 	if ev.Instr.Op == isa.SPAWN {
 		c.trace.SpawnEvent[int(ev.Aux)] = Ref{Tid: int32(ev.Tid), Pos: int32(len(c.trace.Locals[ev.Tid]) - 1)}
 	}

@@ -24,6 +24,28 @@ func NewNativeEnv(input []int64, seed int64) *NativeEnv {
 	}
 }
 
+// EnvState is a resumable snapshot of a NativeEnv: the input cursor, the
+// random-generator state and the logical clock. The flight recorder
+// captures it at region entry so gap bridging can re-run the region with
+// the environment answering exactly as it originally did.
+type EnvState struct {
+	InputPos  int
+	RandState uint64
+	Clock     int64
+}
+
+// State captures the environment's resumable state.
+func (e *NativeEnv) State() EnvState {
+	return EnvState{InputPos: e.inputPos, RandState: e.randState, Clock: e.clock}
+}
+
+// ResumeNativeEnv reconstructs an environment mid-stream from a captured
+// state: input is the full original program input (the cursor in st picks
+// up where the capture left off).
+func ResumeNativeEnv(input []int64, st EnvState) *NativeEnv {
+	return &NativeEnv{Input: input, inputPos: st.InputPos, randState: st.RandState, clock: st.Clock}
+}
+
 // Syscall implements SyscallSource.
 func (e *NativeEnv) Syscall(tid int, num, arg int64) int64 {
 	switch num {

@@ -393,6 +393,19 @@ func (m *Machine) CurThread() *Thread {
 	return m.Threads[m.curTid]
 }
 
+// InFlightQuantum returns the scheduler quantum currently being consumed:
+// the running thread and the instructions left before the scheduler is
+// consulted again, or (0, 0) when the next step will make a fresh
+// scheduling decision. The flight recorder captures it at region entry —
+// a region rarely starts on a quantum boundary, and gap bridging must
+// resume mid-quantum to reproduce the original schedule.
+func (m *Machine) InFlightQuantum() (tid int, left int64) {
+	if m.needSched || m.curLeft <= 0 {
+		return 0, 0
+	}
+	return m.curTid, m.curLeft
+}
+
 // StepOne executes exactly one instruction (of the currently scheduled
 // thread) and returns true, or returns false when the machine has stopped.
 // A blocked lock/join attempt does not execute an instruction; StepOne

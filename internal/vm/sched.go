@@ -40,6 +40,20 @@ func NewRandomScheduler(seed int64, meanQ int64) *RandomScheduler {
 	return &RandomScheduler{state: uint64(seed)*2685821657736338717 + 1442695040888963407, MeanQ: meanQ, Preempt: true}
 }
 
+// ResumeRandomScheduler reconstructs a scheduler at an exact generator
+// state captured with State(). Flight-recorder bridging uses it to
+// re-derive evicted schedule windows: a scheduler resumed at the state a
+// recording started from makes the same decisions the recording saw.
+func ResumeRandomScheduler(state uint64, meanQ int64) *RandomScheduler {
+	if meanQ <= 0 {
+		meanQ = 1000
+	}
+	return &RandomScheduler{state: state, MeanQ: meanQ, Preempt: true}
+}
+
+// State exposes the generator state for capture and later resumption.
+func (s *RandomScheduler) State() uint64 { return s.state }
+
 func (s *RandomScheduler) next() uint64 {
 	x := s.state
 	x ^= x << 13
