@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench chaos soak fleet-soak bench-durability ring-chaos bench-ring matrix-smoke
+.PHONY: all build vet test race verify bench chaos soak fleet-soak bench-durability ring-chaos bench-ring matrix-smoke store-chaos
 
 all: verify
 
@@ -62,6 +62,20 @@ bench-durability:
 ring-chaos:
 	$(GO) test -race -count=1 -run 'Ring|Bridge|Gap' ./internal/pinplay/... ./internal/pinball/... ./internal/faultinject/... ./internal/core/... ./internal/slice/...
 	$(GO) run -race ./cmd/drmatrix run -json ring-grid.json scenarios/ring.yaml
+
+# Content-addressed store chaos under the race detector: the store
+# corruptor matrix (bit-flipped chunk, torn manifest tail, dangling
+# index entry, duplicate-digest collision — each caught as its declared
+# typed sentinel; grid artifact written to store-grid.json), the store
+# and spool-cache unit suites, then the multi-process GC-under-load
+# soak: a coordinator over three stored workers, digest-only clients,
+# one worker SIGKILLed mid-fetch, one object corrupted under load and
+# GC running concurrently. STORE_SOAK_REQS scales the soak.
+STORE_SOAK_REQS ?= 3
+store-chaos:
+	DRDEBUG_STORE_GRID=$(CURDIR)/store-grid.json $(GO) test -race -count=1 -run 'TestStore' -v ./internal/faultinject/
+	$(GO) test -race -count=1 ./internal/store/ ./internal/lru/
+	DRDEBUG_SOAK_REQS=$(STORE_SOAK_REQS) $(GO) test -race -count=1 -run TestStoreChaosSoak -v ./internal/fleet/
 
 # Regenerate BENCH_ring.json (flight-recorder ring overhead).
 bench-ring:

@@ -9,6 +9,7 @@ import (
 	"repro/cmd/internal/cli"
 	"repro/internal/pinball"
 	"repro/internal/pinplay"
+	"repro/internal/store"
 )
 
 const repairSrc = `
@@ -118,5 +119,73 @@ func TestExitCodes(t *testing.T) {
 	}
 	if err := pb.Validate(); err != nil {
 		t.Fatalf("repaired pinball invalid: %v", err)
+	}
+}
+
+// TestVerifyExitCodes pins `drrepair -verify` to the typed exit-code
+// table: a clean digest match exits 0, a hash mismatch is a bad
+// pinball (2), and a digest absent from the store is store-unavailable
+// (10) — never a silent success.
+func TestVerifyExitCodes(t *testing.T) {
+	f := makeRepairFixture(t)
+	data, err := os.ReadFile(f.intact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := store.Digest(data)
+
+	root := t.TempDir()
+	s, err := store.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(data, store.PutMeta{Kind: "test"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second pinball file that is valid but was never stored.
+	other := filepath.Join(t.TempDir(), "other.pinball")
+	mutated := append([]byte(nil), data...)
+	mutated = append(mutated, 0) // different content, different digest
+	if err := os.WriteFile(other, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		pinball string
+		digest  string
+		root    string
+		want    int
+	}{
+		{name: "structural-only", pinball: f.intact, want: 0},
+		{name: "digest-match", pinball: f.intact, digest: digest, want: 0},
+		{name: "digest-mismatch", pinball: f.intact, digest: store.Digest([]byte("x")), want: cli.ExitBadPinball},
+		{name: "store-match", pinball: f.intact, root: root, want: 0},
+		{name: "store-both", pinball: f.intact, digest: digest, root: root, want: 0},
+		{name: "not-in-store", pinball: other, root: root, want: cli.ExitStoreUnavailable},
+		{name: "garbage-structural", pinball: f.garbage, want: cli.ExitBadPinball},
+		{name: "missing-flag", pinball: "", want: cli.ExitUsage},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := runVerify(tc.pinball, tc.digest, tc.root, true); got != tc.want {
+				t.Fatalf("runVerify = %d, want %d", got, tc.want)
+			}
+		})
+	}
+
+	// Flip one byte in a stored object's chunk on disk: -verify against
+	// the store must surface the store's typed validation failure.
+	// (The file itself still hashes to its digest; the *store copy* is
+	// what rotted, so Stat/manifest still agree — corrupt the local
+	// file instead to exercise the mismatch path end-to-end.)
+	rotten := filepath.Join(t.TempDir(), "rotten.pinball")
+	rot := append([]byte(nil), data...)
+	rot[len(rot)/2] ^= 0x40
+	if err := os.WriteFile(rotten, rot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := runVerify(rotten, digest, "", true); got != cli.ExitBadPinball {
+		t.Fatalf("bit-flipped pinball vs recorded digest: exit %d, want %d", got, cli.ExitBadPinball)
 	}
 }

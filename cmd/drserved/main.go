@@ -58,6 +58,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fleet"
 	"repro/internal/sessiond"
+	"repro/internal/store"
 	"repro/internal/supervisor"
 	"repro/internal/vm"
 )
@@ -101,6 +102,9 @@ func main() {
 		hedgeAfter     = flag.Duration("hedge-after", time.Second, "coordinator: straggler deadline before a shard hop is hedged")
 		shardWindows   = flag.Int("shard-windows", 4, "coordinator: checkpoint windows per distributed slice hop")
 
+		// Content-addressed store.
+		storeRoot = flag.String("store", "", "content-addressed pinball store root (enables digest-named sessions and store ops)")
+
 		// Worker chaos (soak testing): stall every Nth session mid-replay.
 		chaosStallEvery = flag.Int64("chaos-stall-every", 0, "inject a stall into every Nth session (0 = never; testing only)")
 		chaosStallFor   = flag.Duration("chaos-stall-for", 30*time.Second, "how long an injected stall blocks")
@@ -110,6 +114,7 @@ func main() {
 		file     = flag.String("file", "", "server-local mini-C (.c) or assembly (.s) source file")
 		workload = flag.String("workload", "", "built-in workload: "+cli.WorkloadNames())
 		pinballP = flag.String("pinball", "", "server-local pinball path (failing run for dualslice)")
+		digest   = flag.String("digest", "", "pinball content digest (resolved via the daemon's store instead of a path)")
 		passing  = flag.String("passing-pinball", "", "server-local passing-run pinball (dualslice)")
 		salvage  = flag.Bool("salvage", false, "permit salvaging a damaged pinball")
 		varName  = flag.String("var", "", "slice criterion / dualslice variable")
@@ -134,6 +139,7 @@ func main() {
 			File:           *file,
 			Workload:       *workload,
 			Pinball:        *pinballP,
+			Digest:         *digest,
 			PassingPinball: *passing,
 			Salvage:        *salvage,
 			Var:            *varName,
@@ -170,7 +176,28 @@ func main() {
 		log.Printf("drserved: CHAOS enabled: stalling every %d sessions for %v", *chaosStallEvery, *chaosStallFor)
 	}
 
+	var st *store.Store
+	var locator *fleet.CoordinatorLocator
+	if *storeRoot != "" {
+		var err error
+		if st, err = store.Open(*storeRoot); err != nil {
+			log.Fatalf("drserved: %v", err)
+		}
+		log.Printf("drserved: content store at %s", *storeRoot)
+		if *join != "" {
+			// Heal damaged digests from fleet peers; the locator learns our
+			// own advertised address after the listener binds.
+			locator = &fleet.CoordinatorLocator{Coordinator: *join}
+		}
+	}
+
+	var loc sessiond.Locator
+	if locator != nil {
+		loc = locator
+	}
 	srv := sessiond.New(sessiond.Config{
+		Store:   st,
+		Locator: loc,
 		Admission: sessiond.AdmissionConfig{
 			MaxSessions:  *maxSessions,
 			MaxQueue:     *maxQueue,
@@ -211,6 +238,9 @@ func main() {
 		dialBack := *advertise
 		if dialBack == "" {
 			dialBack = lis.Addr().String()
+		}
+		if locator != nil {
+			locator.SetSelf(dialBack)
 		}
 		agentCtx, agentCancel := context.WithCancel(context.Background())
 		defer agentCancel()

@@ -1,0 +1,388 @@
+// Command drstore manages the content-addressed pinball store: the
+// deduplicated, validated-on-read object store drserved daemons serve
+// digest-named sessions from (internal/store).
+//
+// Usage:
+//
+//	drstore put    [-root dir | -addr daemon] [-program p] [-kind k] <pinball>...
+//	drstore get    [-root dir | -addr daemon] [-o out] <digest>
+//	drstore stat   [-root dir | -addr daemon] <digest|prefix>
+//	drstore ls     [-root dir] [prefix]
+//	drstore gc     [-root dir] [-keep-last n] [-max-bytes n] [-dry-run]
+//	drstore verify [-root dir]
+//	drstore pin    [-root dir] <digest|prefix>
+//	drstore unpin  [-root dir] <digest|prefix>
+//
+// With -root the tool operates on a store directory directly; with
+// -addr it speaks the sessiond store ops to a daemon (or a fleet
+// coordinator, which places puts on the digest's rendezvous owner and
+// replicates them to its successor). gc, verify, pin and ls are
+// local-only: they are the operator's maintenance surface, run against
+// the store root on the machine that owns it.
+//
+// Exit codes follow the shared table (cmd/internal/cli): 0 success,
+// 1 usage, 2 corrupt content (a validation-on-read or verify failure),
+// 10 store unavailable (no such digest, or the daemon is unreachable).
+// `drstore verify` exits non-zero whenever the store is not provably
+// clean, so it can gate CI and cron the way fsck gates a mount.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/cmd/internal/cli"
+	"repro/internal/sessiond"
+	"repro/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(cli.ExitUsage)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var code int
+	switch cmd {
+	case "put":
+		code = cmdPut(args)
+	case "get":
+		code = cmdGet(args)
+	case "stat":
+		code = cmdStat(args)
+	case "ls":
+		code = cmdLs(args)
+	case "gc":
+		code = cmdGC(args)
+	case "verify":
+		code = cmdVerify(args)
+	case "pin":
+		code = cmdPin(args, true)
+	case "unpin":
+		code = cmdPin(args, false)
+	case "-h", "-help", "--help", "help":
+		usage()
+		code = 0
+	default:
+		fmt.Fprintf(os.Stderr, "drstore: unknown command %q\n", cmd)
+		usage()
+		code = cli.ExitUsage
+	}
+	os.Exit(code)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  drstore put    [-root dir | -addr daemon] [-program p] [-kind k] <pinball>...
+  drstore get    [-root dir | -addr daemon] [-o out] <digest>
+  drstore stat   [-root dir | -addr daemon] <digest|prefix>
+  drstore ls     [-root dir] [prefix]
+  drstore gc     [-root dir] [-keep-last n] [-max-bytes n] [-dry-run]
+  drstore verify [-root dir]
+  drstore pin    [-root dir] <digest|prefix>
+  drstore unpin  [-root dir] <digest|prefix>
+`)
+}
+
+// fail prints err and types it onto the shared exit-code table.
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "drstore: %v\n", err)
+	switch {
+	case errors.Is(err, store.ErrObjectCorrupt),
+		errors.Is(err, store.ErrObjectMissing),
+		errors.Is(err, store.ErrDigestMismatch),
+		errors.Is(err, store.ErrManifestCorrupt),
+		errors.Is(err, store.ErrManifestTorn):
+		return cli.ExitBadPinball
+	case errors.Is(err, store.ErrNotFound):
+		return cli.ExitStoreUnavailable
+	}
+	return cli.ExitCode(err)
+}
+
+// openLocal opens the store at root, defaulting to $DRSTORE_ROOT.
+func openLocal(root string) (*store.Store, error) {
+	if root == "" {
+		root = os.Getenv("DRSTORE_ROOT")
+	}
+	if root == "" {
+		return nil, fmt.Errorf("need -root <dir> (or DRSTORE_ROOT)")
+	}
+	return store.Open(root)
+}
+
+// remote performs one store op against a daemon and prints its result
+// JSON, returning the shared exit code.
+func remote(addr string, req *sessiond.Request) int {
+	req.Proto = sessiond.ProtoCurrent
+	c, err := cli.DialSession(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drstore: %v\n", err)
+		return cli.ExitStoreUnavailable
+	}
+	defer c.Close()
+	resp, err := c.Do(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drstore: %v\n", err)
+		return cli.ExitStoreUnavailable
+	}
+	if !resp.OK {
+		fmt.Fprintf(os.Stderr, "drstore: %s: %s\n", resp.Code, resp.Error)
+		return cli.SessionExitCode(resp)
+	}
+	printJSON(resp.Result)
+	return cli.SessionExitCode(resp)
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if raw, ok := v.(json.RawMessage); ok {
+		var any any
+		if err := json.Unmarshal(raw, &any); err == nil {
+			enc.Encode(any)
+			return
+		}
+	}
+	enc.Encode(v)
+}
+
+func cmdPut(args []string) int {
+	fs := flag.NewFlagSet("put", flag.ExitOnError)
+	root := fs.String("root", "", "local store root")
+	addr := fs.String("addr", "", "daemon or coordinator address")
+	program := fs.String("program", "", "program name recorded with the entry")
+	kind := fs.String("kind", "", "entry kind recorded with the entry")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "drstore: put needs at least one pinball file")
+		return cli.ExitUsage
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fail(err)
+		}
+		if *addr != "" {
+			if code := remote(*addr, &sessiond.Request{
+				Op: sessiond.OpStorePut, Blob: data,
+				StoreProgram: *program, StoreKind: *kind,
+			}); code != 0 {
+				return code
+			}
+			continue
+		}
+		s, err := openLocal(*root)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := s.Put(data, store.PutMeta{Program: *program, Kind: *kind})
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", path, err))
+		}
+		printJSON(res)
+	}
+	return 0
+}
+
+func cmdGet(args []string) int {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	root := fs.String("root", "", "local store root")
+	addr := fs.String("addr", "", "daemon or coordinator address")
+	out := fs.String("o", "", "output file (default <digest>.pinball)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "drstore: get needs exactly one digest")
+		return cli.ExitUsage
+	}
+	digest := fs.Arg(0)
+	outPath := *out
+	if outPath == "" {
+		outPath = digest + ".pinball"
+	}
+	var data []byte
+	if *addr != "" {
+		req := &sessiond.Request{Op: sessiond.OpStoreFetch, Digest: digest, Proto: sessiond.ProtoCurrent}
+		c, err := cli.DialSession(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drstore: %v\n", err)
+			return cli.ExitStoreUnavailable
+		}
+		defer c.Close()
+		resp, err := c.Do(req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drstore: %v\n", err)
+			return cli.ExitStoreUnavailable
+		}
+		if !resp.OK {
+			fmt.Fprintf(os.Stderr, "drstore: %s: %s\n", resp.Code, resp.Error)
+			return cli.SessionExitCode(resp)
+		}
+		var fr sessiond.StoreFetchResult
+		if err := json.Unmarshal(resp.Result, &fr); err != nil {
+			return fail(err)
+		}
+		// Trust nothing off the wire: re-hash before writing.
+		if got := store.Digest(fr.Blob); store.ValidDigest(digest) && got != digest {
+			return fail(fmt.Errorf("%w: daemon returned bytes hashing to %s, want %s",
+				store.ErrDigestMismatch, got, digest))
+		}
+		data = fr.Blob
+		if fr.Healed {
+			fmt.Fprintf(os.Stderr, "drstore: daemon healed its copy of %s before serving\n", fr.Digest)
+		}
+	} else {
+		s, err := openLocal(*root)
+		if err != nil {
+			return fail(err)
+		}
+		if !store.ValidDigest(digest) {
+			if digest, err = s.Resolve(digest); err != nil {
+				return fail(err)
+			}
+			if *out == "" {
+				outPath = digest + ".pinball"
+			}
+		}
+		if data, err = s.Get(digest); err != nil {
+			return fail(err)
+		}
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%s -> %s (%d bytes)\n", digest, outPath, len(data))
+	return 0
+}
+
+func cmdStat(args []string) int {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	root := fs.String("root", "", "local store root")
+	addr := fs.String("addr", "", "daemon or coordinator address")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "drstore: stat needs exactly one digest")
+		return cli.ExitUsage
+	}
+	if *addr != "" {
+		return remote(*addr, &sessiond.Request{Op: sessiond.OpStoreStat, Digest: fs.Arg(0)})
+	}
+	s, err := openLocal(*root)
+	if err != nil {
+		return fail(err)
+	}
+	digest := fs.Arg(0)
+	if !store.ValidDigest(digest) {
+		if digest, err = s.Resolve(digest); err != nil {
+			return fail(err)
+		}
+	}
+	info, err := s.Stat(digest)
+	if err != nil {
+		return fail(err)
+	}
+	printJSON(info)
+	return 0
+}
+
+func cmdLs(args []string) int {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	root := fs.String("root", "", "local store root")
+	fs.Parse(args)
+	s, err := openLocal(*root)
+	if err != nil {
+		return fail(err)
+	}
+	prefix := ""
+	if fs.NArg() > 0 {
+		prefix = fs.Arg(0)
+	}
+	infos, err := s.List(prefix)
+	if err != nil {
+		return fail(err)
+	}
+	for _, info := range infos {
+		flags := " "
+		if info.Pinned {
+			flags = "P"
+		}
+		if info.Leased {
+			flags += "L"
+		}
+		fmt.Printf("%s %8d %2d %s %s %s\n", info.Digest, info.Size, info.Chunks, flags, info.Kind, info.Program)
+	}
+	return 0
+}
+
+func cmdGC(args []string) int {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	root := fs.String("root", "", "local store root")
+	keepLast := fs.Int("keep-last", 0, "keep at least the N most recently used entries")
+	maxBytes := fs.Int64("max-bytes", 0, "evict LRU entries until total size fits (0 = no size bound)")
+	dryRun := fs.Bool("dry-run", false, "report what would be evicted, delete nothing")
+	fs.Parse(args)
+	s, err := openLocal(*root)
+	if err != nil {
+		return fail(err)
+	}
+	rep, err := s.GC(store.GCPolicy{KeepLast: *keepLast, MaxBytes: *maxBytes, DryRun: *dryRun})
+	if err != nil {
+		return fail(err)
+	}
+	printJSON(rep)
+	return 0
+}
+
+func cmdVerify(args []string) int {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	root := fs.String("root", "", "local store root")
+	fs.Parse(args)
+	s, err := openLocal(*root)
+	if err != nil {
+		return fail(err)
+	}
+	rep, err := s.Verify()
+	printJSON(rep)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("store clean: %d entries, %d chunks verified\n", rep.Entries, rep.ChunksChecked)
+	return 0
+}
+
+func cmdPin(args []string, pin bool) int {
+	name := "unpin"
+	if pin {
+		name = "pin"
+	}
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	root := fs.String("root", "", "local store root")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "drstore: %s needs exactly one digest\n", name)
+		return cli.ExitUsage
+	}
+	s, err := openLocal(*root)
+	if err != nil {
+		return fail(err)
+	}
+	digest := fs.Arg(0)
+	if !store.ValidDigest(digest) {
+		if digest, err = s.Resolve(digest); err != nil {
+			return fail(err)
+		}
+	}
+	if pin {
+		err = s.Pin(digest)
+	} else {
+		err = s.Unpin(digest)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%sned %s\n", name, digest)
+	return 0
+}

@@ -36,16 +36,21 @@ import (
 //	    flight-recorder slice crossed an evicted window whose re-derived
 //	    content failed hash verification, so some dependence edges are
 //	    best-effort estimates rather than proven replays
+//	10 — the content-addressed store could not serve the request: no
+//	    store is configured on the daemon, the digest exists nowhere in
+//	    the fleet, or every peer that might hold it is unreachable; the
+//	    content itself is not known to be bad (that would be 2)
 const (
-	ExitUsage         = 1
-	ExitBadPinball    = 2
-	ExitDiverged      = 3
-	ExitDegraded      = 4
-	ExitPanic         = 5
-	ExitHung          = 6
-	ExitUnavailable   = 7
-	ExitFleetDegraded = 8
-	ExitEstimated     = 9
+	ExitUsage            = 1
+	ExitBadPinball       = 2
+	ExitDiverged         = 3
+	ExitDegraded         = 4
+	ExitPanic            = 5
+	ExitHung             = 6
+	ExitUnavailable      = 7
+	ExitFleetDegraded    = 8
+	ExitEstimated        = 9
+	ExitStoreUnavailable = 10
 )
 
 // ErrDegraded marks runs that finished, but only by degrading: the tool

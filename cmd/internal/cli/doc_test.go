@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"bufio"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestReadmeExitCodeTablePinned parses README's consolidated exit-code
+// table and pins it to the cli constants: every documented code must
+// exist, be sequential from 0, describe the right failure class, and
+// the table must cover the whole constant range — so adding an exit
+// code without documenting it (or vice versa) fails the build.
+func TestReadmeExitCodeTablePinned(t *testing.T) {
+	f, err := os.Open("../../../README.md")
+	if err != nil {
+		t.Fatalf("open README: %v", err)
+	}
+	defer f.Close()
+
+	// Rows look like: | 4 | degraded | completed from a salvaged ... |
+	row := regexp.MustCompile(`^\|\s*(\d+)\s*\|([^|]*)\|([^|]*)\|$`)
+	docs := map[int]string{} // code -> class + meaning, lower-cased
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := row.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		code, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		if _, dup := docs[code]; dup {
+			t.Errorf("README documents exit code %d twice", code)
+		}
+		docs[code] = strings.ToLower(m[2] + " " + m[3])
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One row per code, 0 through the table's last constant.
+	if len(docs) != ExitStoreUnavailable+1 {
+		t.Fatalf("README table has %d rows, want %d (codes 0-%d)",
+			len(docs), ExitStoreUnavailable+1, ExitStoreUnavailable)
+	}
+	for code := 0; code <= ExitStoreUnavailable; code++ {
+		if _, ok := docs[code]; !ok {
+			t.Errorf("README table is missing exit code %d", code)
+		}
+	}
+
+	// Each constant's row must describe its failure class: a keyword
+	// check, so renumbering a constant without moving its docs fails.
+	for _, tc := range []struct {
+		code    int
+		keyword string
+	}{
+		{ExitUsage, "usage"},
+		{ExitBadPinball, "pinball"},
+		{ExitDiverged, "diverged"},
+		{ExitDegraded, "degraded"},
+		{ExitPanic, "panic"},
+		{ExitHung, "hung"},
+		{ExitUnavailable, "refused"},
+		{ExitFleetDegraded, "fleet"},
+		{ExitEstimated, "estimated"},
+		{ExitStoreUnavailable, "store"},
+	} {
+		if !strings.Contains(docs[tc.code], tc.keyword) {
+			t.Errorf("README row for exit %d does not mention %q: %q", tc.code, tc.keyword, docs[tc.code])
+		}
+	}
+}

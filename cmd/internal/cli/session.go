@@ -33,7 +33,10 @@ func SessionExitCode(resp *sessiond.Response) int {
 			return ExitEstimated
 		case sessiond.CodeDegraded, sessiond.CodeSalvaged:
 			return ExitDegraded
-		case sessiond.CodeRedispatched:
+		case sessiond.CodeRedispatched, sessiond.CodeHealed:
+			// Right answer, limping infrastructure: the fleet re-dispatched
+			// around a dead worker, or the store healed a damaged copy
+			// before the session ran.
 			return ExitFleetDegraded
 		}
 		return 0
@@ -49,6 +52,8 @@ func SessionExitCode(resp *sessiond.Response) int {
 		return ExitHung
 	case sessiond.CodeOverload, sessiond.CodeDraining, sessiond.CodeCircuitOpen, sessiond.CodeNoWorkers:
 		return ExitUnavailable
+	case sessiond.CodeStoreUnavailable:
+		return ExitStoreUnavailable
 	}
 	return ExitUsage
 }

@@ -19,6 +19,7 @@ func TestSessionExitCodeTable(t *testing.T) {
 		{"salvaged", sessiond.Response{OK: true, Code: sessiond.CodeSalvaged}, ExitDegraded},
 		{"degraded replay", sessiond.Response{OK: true, Code: sessiond.CodeDegraded}, ExitDegraded},
 		{"fleet redispatched", sessiond.Response{OK: true, Code: sessiond.CodeRedispatched}, ExitFleetDegraded},
+		{"store healed", sessiond.Response{OK: true, Code: sessiond.CodeHealed}, ExitFleetDegraded},
 		{"estimated content", sessiond.Response{OK: true, Code: sessiond.CodeEstimated}, ExitEstimated},
 
 		{"corrupt pinball", sessiond.Response{Code: sessiond.CodeCorrupt}, ExitBadPinball},
@@ -31,6 +32,7 @@ func TestSessionExitCodeTable(t *testing.T) {
 		{"draining", sessiond.Response{Code: sessiond.CodeDraining}, ExitUnavailable},
 		{"circuit open", sessiond.Response{Code: sessiond.CodeCircuitOpen}, ExitUnavailable},
 		{"no fleet workers", sessiond.Response{Code: sessiond.CodeNoWorkers}, ExitUnavailable},
+		{"store unavailable", sessiond.Response{Code: sessiond.CodeStoreUnavailable}, ExitStoreUnavailable},
 
 		{"bad request", sessiond.Response{Code: sessiond.CodeBadRequest}, ExitUsage},
 		{"quota", sessiond.Response{Code: sessiond.CodeQuota}, ExitUsage},
@@ -48,7 +50,8 @@ func TestSessionExitCodeTable(t *testing.T) {
 // table rather than colliding with an existing class.
 func TestExitCodesDistinct(t *testing.T) {
 	codes := []int{ExitUsage, ExitBadPinball, ExitDiverged, ExitDegraded,
-		ExitPanic, ExitHung, ExitUnavailable, ExitFleetDegraded, ExitEstimated}
+		ExitPanic, ExitHung, ExitUnavailable, ExitFleetDegraded, ExitEstimated,
+		ExitStoreUnavailable}
 	seen := make(map[int]bool)
 	for i, c := range codes {
 		if c != i+1 {

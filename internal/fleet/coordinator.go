@@ -311,6 +311,21 @@ func (co *Coordinator) dispatch(req *sessiond.Request, send func(sessiond.Respon
 		}
 		send(co.fleetOp(req))
 		return
+	case sessiond.OpStorePut, sessiond.OpStoreFetch, sessiond.OpStoreStat, sessiond.OpStoreLocate:
+		if req.Proto < sessiond.ProtoV2 {
+			send(sessiond.Response{ID: req.ID, OK: false, Code: sessiond.CodeBadRequest,
+				Error: fmt.Sprintf("op %q requires proto>=%d", req.Op, sessiond.ProtoV2)})
+			return
+		}
+		co.received.Add(1)
+		resp := co.storeOp(req)
+		if resp.OK {
+			co.completed.Add(1)
+		} else {
+			co.failed.Add(1)
+		}
+		send(resp)
+		return
 	}
 
 	// A session op. Shed before routing: drain refuses outright, and the
@@ -422,7 +437,7 @@ func (co *Coordinator) resolveFetch(req *sessiond.Request) {
 // else (and small fleets) forwards whole to the rendezvous owner.
 func (co *Coordinator) route(req *sessiond.Request) sessiond.Response {
 	key := sessiond.RouteKey(req)
-	if req.Op == sessiond.OpSlice && req.Pinball != "" &&
+	if req.Op == sessiond.OpSlice && (req.Pinball != "" || req.Digest != "") &&
 		len(co.reg.Alive()) >= co.cfg.MinShardWorkers {
 		return co.distributedSlice(req, key)
 	}

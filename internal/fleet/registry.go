@@ -168,6 +168,38 @@ func (r *Registry) Route(key string, exclude func(name string) bool) (WorkerInfo
 	return best.info, true
 }
 
+// Ranked lists the live workers by descending rendezvous score for key
+// — the fleet's replica placement order. Ranked(key, nil)[0] is Route's
+// answer (the owner); the successors are where store puts replicate and
+// where fetches fail over when the owner is dead. exclude skips workers
+// (nil = none).
+func (r *Registry) Ranked(key string, exclude func(name string) bool) []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type scored struct {
+		info  WorkerInfo
+		score uint64
+	}
+	ranked := make([]scored, 0, len(r.workers))
+	for _, w := range r.workers {
+		if exclude != nil && exclude(w.info.Name) {
+			continue
+		}
+		ranked = append(ranked, scored{w.info, rendezvousScore(w.info.Name, key)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].info.Name < ranked[j].info.Name
+	})
+	out := make([]WorkerInfo, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.info
+	}
+	return out
+}
+
 func rendezvousScore(worker, key string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(worker))

@@ -9,7 +9,10 @@
 // builder with everyone else waiting on its result.
 package lru
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Stats is a cache's counter snapshot.
 type Stats struct {
@@ -204,6 +207,72 @@ func (c *Cache[K, V]) GetOrLoad(k K, load func() (V, error)) (V, error) {
 	close(f.done)
 	c.notifyEvicted(victims, fn)
 	return f.val, f.err
+}
+
+// GetOrLoadCtx is GetOrLoad with caller cancellation: a waiter sharing
+// another goroutine's in-flight load gives up when ctx ends (the load
+// itself continues and still caches for everyone else — one hedged
+// caller abandoning must not waste the build). The builder receives ctx
+// and decides for itself whether to honor cancellation mid-load; a load
+// that returns an error caches nothing, exactly like GetOrLoad. This is
+// the store-fetch entry point: a session whose hedged peer fetch
+// already won cancels its wait on the slower flight without killing it.
+func (c *Cache[K, V]) GetOrLoadCtx(ctx context.Context, k K, load func(ctx context.Context) (V, error)) (V, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.hits++
+		c.unlink(e)
+		c.pushFront(e)
+		v := e.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.loading[k]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
+	}
+	c.misses++
+	f := &flight[V]{done: make(chan struct{})}
+	c.loading[k] = f
+	c.mu.Unlock()
+
+	f.val, f.err = load(ctx)
+	c.mu.Lock()
+	delete(c.loading, k)
+	var victims []*entry[K, V]
+	fn := c.onEvict
+	if f.err == nil {
+		if _, ok := c.entries[k]; !ok {
+			e := &entry[K, V]{key: k, val: f.val}
+			c.entries[k] = e
+			c.pushFront(e)
+			victims = c.evictOverflowLocked()
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	c.notifyEvicted(victims, fn)
+	return f.val, f.err
+}
+
+// Remove drops k from the cache if resident, reporting whether it was.
+// In-flight loads of k are unaffected (they complete and re-insert) —
+// Remove invalidates a value discovered stale, it does not cancel work.
+func (c *Cache[K, V]) Remove(k K) bool {
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if ok {
+		c.unlink(e)
+		delete(c.entries, k)
+	}
+	c.mu.Unlock()
+	return ok
 }
 
 // Len returns the resident entry count.

@@ -1,11 +1,14 @@
 package lru
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestGetPutEvictsLRU(t *testing.T) {
@@ -272,5 +275,116 @@ func TestEvictedWhileLoadingReloads(t *testing.T) {
 	}
 	if loads.Load() != 2 {
 		t.Fatalf("loads = %d, want 2 (evicted key must reload)", loads.Load())
+	}
+}
+
+// TestEvictionRacesStoreFetch models the sessiond spool cache under a
+// slicing storm: a tiny cache, many concurrent GetOrLoadCtx fetches of
+// distinct digests (each a slow materialization), eviction churn from
+// Puts, and Remove invalidations racing it all. The contract under
+// -race: every caller gets exactly its own key's value, and the cache
+// never exceeds capacity once the dust settles.
+func TestEvictionRacesStoreFetch(t *testing.T) {
+	const keys = 24
+	c := New[int, string](2)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	errs := make([]error, keys*3)
+	for round := 0; round < 3; round++ {
+		for k := 0; k < keys; k++ {
+			wg.Add(1)
+			go func(round, k int) {
+				defer wg.Done()
+				v, err := c.GetOrLoadCtx(ctx, k, func(context.Context) (string, error) {
+					runtime.Gosched() // widen the in-flight window
+					return fmt.Sprintf("digest-%d", k), nil
+				})
+				if err != nil {
+					errs[round*keys+k] = err
+					return
+				}
+				if want := fmt.Sprintf("digest-%d", k); v != want {
+					errs[round*keys+k] = fmt.Errorf("got %q, want %q", v, want)
+				}
+			}(round, k)
+		}
+		// Concurrent invalidation: a GC deciding spooled files are stale.
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			for k := 0; k < keys; k += 3 {
+				c.Remove(k)
+			}
+			c.Put(1000+round, "churn")
+		}(round)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	if c.Len() > c.Cap() {
+		t.Fatalf("len %d exceeds capacity %d", c.Len(), c.Cap())
+	}
+}
+
+// TestHedgedWaiterCancelPrimaryWins pins the hedged-fetch contract on
+// GetOrLoadCtx: a waiter sharing another goroutine's in-flight load
+// abandons its wait the moment its context ends (its own hedged fetch
+// already produced the answer), without killing the shared load — the
+// builder completes, the value caches, and nothing loads twice.
+func TestHedgedWaiterCancelPrimaryWins(t *testing.T) {
+	c := New[string, int](4)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	builderIn := make(chan struct{})
+
+	// Builder: starts the slow "peer fetch" flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.GetOrLoadCtx(context.Background(), "digest", func(context.Context) (int, error) {
+			loads.Add(1)
+			close(builderIn)
+			<-gate
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("builder: %d, %v", v, err)
+		}
+	}()
+	<-builderIn
+
+	// Hedged waiter: joins the flight, then its primary wins elsewhere
+	// and it cancels. It must return promptly with ctx.Err() while the
+	// load is still blocked on gate.
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrLoadCtx(ctx, "digest", func(context.Context) (int, error) {
+			t.Error("waiter started a second load for an in-flight key")
+			return 0, nil
+		})
+		waiterDone <- err
+	}()
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter still blocked on the shared flight")
+	}
+
+	// The abandoned flight still completes and caches for everyone else.
+	close(gate)
+	<-done
+	if v, ok := c.Get("digest"); !ok || v != 42 {
+		t.Fatalf("value not cached after waiter abandoned: %d, %v", v, ok)
+	}
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loads = %d, want 1 (cancellation must not respawn the load)", n)
 	}
 }

@@ -95,6 +95,12 @@ func pinballContentID(path string) string {
 // anything else on its program source.
 func RouteKey(req *Request) string {
 	switch {
+	case req.Digest != "":
+		// Digest-named requests (sessions by digest, store fetch/stat)
+		// route on the digest itself: the rendezvous owner of
+		// "digest:<d>" is where store_put replicates first, so sessions
+		// land where the bytes already are.
+		return "digest:" + req.Digest
 	case req.Pinball != "":
 		return pinballContentID(req.Pinball)
 	case req.Out != "":

@@ -57,6 +57,18 @@ const (
 	OpSteal      = "steal"
 	OpFetch      = "fetch"
 	OpSliceShard = "slice_shard"
+
+	// Store ops: fetch-by-digest against the content-addressed pinball
+	// store (internal/store). OpStorePut uploads pinball bytes (the
+	// coordinator replicates the put to the rendezvous owner and its
+	// successor), OpStoreFetch downloads validated bytes by digest,
+	// OpStoreStat returns the entry's metadata, OpStoreLocate asks the
+	// coordinator which workers are ranked to hold a digest (workers use
+	// it to find re-fetch peers when their own copy is damaged).
+	OpStorePut    = "store_put"
+	OpStoreFetch  = "store_fetch"
+	OpStoreStat   = "store_stat"
+	OpStoreLocate = "store_locate"
 )
 
 // Wire protocol versions. A request's Proto field is 0 or ProtoV1 for
@@ -86,6 +98,13 @@ const (
 	CodePanic       = "panic"        // a session phase panicked (isolated)
 	CodeInternal    = "internal"     // any other failure
 	CodeNoWorkers   = "no_workers"   // fleet coordinator has no live worker to route to
+	// CodeStoreUnavailable types store failures that are about
+	// availability, not content: no store is configured on this daemon,
+	// the digest exists nowhere in the fleet, or every peer that might
+	// hold it is unreachable. Content damage stays CodeCorrupt — a
+	// corrupt-and-unhealable object is the pinball's fault, and opens
+	// its circuit like any other corruption.
+	CodeStoreUnavailable = "store_unavailable"
 )
 
 // Annotation codes (Response.Code when OK is true and the result is
@@ -102,6 +121,12 @@ const (
 	// failed hash verification, so parts of the answer are best-effort
 	// estimates (ExitEstimated).
 	CodeEstimated = "estimated"
+	// CodeHealed marks an answer that is correct but required the store's
+	// self-healing path first: the local copy of the requested digest was
+	// damaged or absent and was repaired by a peer re-fetch before the
+	// session ran. Like CodeRedispatched it maps to ExitFleetDegraded —
+	// the answer is right, the infrastructure limped.
+	CodeHealed = "healed"
 )
 
 // Request is one client request, one JSON object per line.
@@ -125,6 +150,22 @@ type Request struct {
 	// run.
 	Pinball        string `json:"pinball,omitempty"`
 	PassingPinball string `json:"passing_pinball,omitempty"`
+	// Digest names the pinball by content digest instead of path: the
+	// daemon resolves it against its content-addressed store, healing a
+	// damaged or absent local copy from fleet peers before the session
+	// runs. Exactly one of Pinball or Digest for ops that load a pinball.
+	// For store ops, Digest is the object being fetched/statted/located.
+	Digest string `json:"digest,omitempty"`
+	// Blob carries pinball file bytes on OpStorePut (base64 on the wire)
+	// and store metadata recorded with the entry.
+	Blob         []byte `json:"blob,omitempty"`
+	StoreProgram string `json:"store_program,omitempty"`
+	StoreKind    string `json:"store_kind,omitempty"`
+	// StoreNoHeal marks a store_fetch made by a peer healing its own
+	// copy: the serving daemon answers from local validated bytes only,
+	// never healing recursively — two daemons with damaged copies must
+	// fail typed, not chase each other.
+	StoreNoHeal bool `json:"store_no_heal,omitempty"`
 	// Salvage permits loading a damaged pinball via its salvaged prefix;
 	// the response is then annotated CodeSalvaged.
 	Salvage bool `json:"salvage,omitempty"`
@@ -311,17 +352,61 @@ type TaskResult struct {
 // ShardResult is OpSliceShard's payload: the successor query state,
 // plus the final summary fields once Done.
 type ShardResult struct {
-	Done    bool            `json:"done"`
-	Bound   int             `json:"bound"`
-	State   json.RawMessage `json:"state"`
-	Members int             `json:"members,omitempty"`
-	TraceLen int            `json:"trace_len,omitempty"`
-	Deps    int64           `json:"deps,omitempty"`
-	Pruned  int64           `json:"pruned,omitempty"`
-	Digest  string          `json:"digest,omitempty"`
+	Done     bool            `json:"done"`
+	Bound    int             `json:"bound"`
+	State    json.RawMessage `json:"state"`
+	Members  int             `json:"members,omitempty"`
+	TraceLen int             `json:"trace_len,omitempty"`
+	Deps     int64           `json:"deps,omitempty"`
+	Pruned   int64           `json:"pruned,omitempty"`
+	Digest   string          `json:"digest,omitempty"`
 	// Prov is the member-level provenance breakdown when the sliced
 	// recording was gapped (flight-recorder mode); nil otherwise.
 	Prov *slice.ProvSummary `json:"provenance,omitempty"`
+}
+
+// StorePutResult is OpStorePut's payload. Replicas lists the workers
+// that acknowledged the object when the put went through a coordinator
+// (the rendezvous owner first, then best-effort successors).
+type StorePutResult struct {
+	Digest    string   `json:"digest"`
+	Size      int64    `json:"size"`
+	Chunks    int      `json:"chunks"`
+	NewChunks int      `json:"new_chunks"`
+	Existed   bool     `json:"existed,omitempty"`
+	Replicas  []string `json:"replicas,omitempty"`
+}
+
+// StoreFetchResult is OpStoreFetch's payload: the validated file bytes.
+// Healed reports that the serving daemon had to repair its copy first.
+type StoreFetchResult struct {
+	Digest string `json:"digest"`
+	Size   int64  `json:"size"`
+	Blob   []byte `json:"blob"`
+	Healed bool   `json:"healed,omitempty"`
+}
+
+// StoreStatResult is OpStoreStat's payload: the store entry's metadata.
+type StoreStatResult struct {
+	Digest    string `json:"digest"`
+	Size      int64  `json:"size"`
+	Chunks    int    `json:"chunks"`
+	Program   string `json:"program,omitempty"`
+	Kind      string `json:"kind,omitempty"`
+	AddedUnix int64  `json:"added_unix"`
+	TouchUnix int64  `json:"touch_unix"`
+	Pinned    bool   `json:"pinned"`
+	Leased    bool   `json:"leased"`
+}
+
+// StoreLocateResult is OpStoreLocate's payload. From a coordinator,
+// Addrs lists the live workers rendezvous-ranked to hold the digest
+// (owner first) — the re-fetch candidates. From a worker, Holds reports
+// whether its local store has a live entry for the digest.
+type StoreLocateResult struct {
+	Digest string   `json:"digest"`
+	Addrs  []string `json:"addrs,omitempty"`
+	Holds  bool     `json:"holds,omitempty"`
 }
 
 // encode marshals a result payload; a marshal failure becomes an

@@ -422,6 +422,12 @@ func (r *runner) dualSlice(req *Request, limits vm.Limits) (*sessionResult, erro
 func breakerKey(req *Request) string {
 	switch req.Op {
 	case OpReplay, OpSlice, OpDualSlice, OpSliceShard:
+		// Digest-named requests already carry their content identity; the
+		// resolved spool path must share the circuit with every other
+		// request for the same digest, whatever path it materialized to.
+		if req.Digest != "" {
+			return "digest:" + req.Digest
+		}
 		if req.Pinball == "" {
 			return ""
 		}

@@ -11,6 +11,7 @@ import (
 
 	cfgpkg "repro/internal/cfg"
 	"repro/internal/slice"
+	"repro/internal/store"
 	"repro/internal/supervisor"
 	"repro/internal/vm"
 )
@@ -35,6 +36,18 @@ type Config struct {
 	// caches at construction (0 = leave the current caps).
 	EngineCacheCap int
 	GraphCacheCap  int
+	// Store, when set, serves the store ops and lets sessions name
+	// pinballs by content digest; nil daemons reject both with
+	// CodeStoreUnavailable.
+	Store *store.Store
+	// Locator names fleet peers for digest re-fetch during healing
+	// (nil = no peers; healing stops at salvage).
+	Locator Locator
+	// StoreRetry tunes the peer re-fetch ladder (zero = defaults).
+	StoreRetry StoreRetry
+	// SpoolCacheCap bounds the digest→spool-path resolution cache
+	// (0 = 64).
+	SpoolCacheCap int
 	// Logf logs server events (nil = silent).
 	Logf func(format string, args ...any)
 	// Chaos, when set, supplies a fault-injection observer for replaying
@@ -55,11 +68,12 @@ func (c Config) withDefaults() Config {
 // Server is the sessiond instance: one per process, serving line-JSON
 // requests over any number of TCP connections.
 type Server struct {
-	cfg   Config
-	quota QuotaConfig
-	adm   *admission
-	brk   *breaker
-	start time.Time
+	cfg      Config
+	quota    QuotaConfig
+	adm      *admission
+	brk      *breaker
+	resolver *storeResolver // nil when no store is configured
+	start    time.Time
 
 	// hardCtx cancels every in-flight session when the drain deadline
 	// expires; it rides into vm.Limits.Ctx.
@@ -94,7 +108,7 @@ func New(c Config) *Server {
 		cfgpkg.SetGraphCacheCap(c.GraphCacheCap)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:        c,
 		quota:      c.Quota.withDefaults(),
 		adm:        newAdmission(c.Admission),
@@ -104,6 +118,10 @@ func New(c Config) *Server {
 		hardCancel: cancel,
 		conns:      make(map[net.Conn]struct{}),
 	}
+	if c.Store != nil {
+		s.resolver = newStoreResolver(c.Store, c.Locator, c.StoreRetry, c.SpoolCacheCap, c.Logf)
+	}
+	return s
 }
 
 // Serve accepts connections on lis until Shutdown closes it. It returns
@@ -189,6 +207,21 @@ func (s *Server) dispatch(req *Request, remote string, send func(Response)) {
 		client = remote
 	}
 
+	// Store ops answer directly from the local store — bounded I/O, no
+	// session slot, no breaker (a fetch of a corrupt object heals or
+	// fails typed; it is not a session failure against the content).
+	switch req.Op {
+	case OpStorePut, OpStoreFetch, OpStoreStat, OpStoreLocate:
+		resp := s.storeOp(req)
+		if resp.OK {
+			s.completed.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		send(resp)
+		return
+	}
+
 	// Circuit breaker first: a known-bad pinball fails fast without
 	// consuming a session slot.
 	key := breakerKey(req)
@@ -216,6 +249,41 @@ func (s *Server) dispatch(req *Request, remote string, send func(Response)) {
 	}
 	defer s.adm.release(client)
 	s.accepted.Add(1)
+
+	// Resolve a digest-named pinball through the store before the
+	// session runs: materialize (healing from peers as needed) and lease
+	// the entry so GC cannot collect it while the session is live. Any
+	// degradation the resolution incurred annotates the final answer.
+	var resolveAnn string
+	if req.Digest != "" && req.Op != OpRecord {
+		if s.resolver == nil {
+			s.failed.Add(1)
+			send(Response{ID: req.ID, OK: false, Code: CodeStoreUnavailable,
+				Error: "request names a digest but this daemon has no store (start with -store)"})
+			return
+		}
+		if req.Pinball != "" {
+			s.failed.Add(1)
+			send(Response{ID: req.ID, OK: false, Code: CodeBadRequest,
+				Error: "sessiond: bad request: pinball and digest are mutually exclusive"})
+			return
+		}
+		path, ann, release, rerr := s.resolver.resolve(s.hardCtx, req.Digest)
+		if rerr != nil {
+			s.failed.Add(1)
+			code := storeErrorCode(rerr)
+			if pinballAttributable(code) {
+				s.brk.failure(key, code, rerr.Error())
+			}
+			send(Response{ID: req.ID, OK: false, Code: code, Error: rerr.Error()})
+			return
+		}
+		defer release()
+		clone := *req
+		clone.Pinball = path
+		req = &clone
+		resolveAnn = ann
+	}
 
 	sup := s.cfg.Supervisor
 	if sup.Watchdog == 0 {
@@ -249,7 +317,13 @@ func (s *Server) dispatch(req *Request, remote string, send func(Response)) {
 	}
 	s.completed.Add(1)
 	s.brk.success(key)
-	send(Response{ID: req.ID, OK: true, Code: res.annotation, Result: res.result, Report: res.report})
+	// The session's own degradation annotation wins; otherwise surface
+	// what the store resolution had to do (healed / salvaged).
+	ann := res.annotation
+	if ann == "" {
+		ann = resolveAnn
+	}
+	send(Response{ID: req.ID, OK: true, Code: ann, Result: res.result, Report: res.report})
 }
 
 // failure types an error into a response.

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed failure classes. Every error the store returns wraps exactly one
+// of these sentinels, so callers (the session daemon, drstore, drrepair)
+// can map failure modes to wire codes and exit codes with errors.Is —
+// corruption is never reported as a generic I/O error and never
+// swallowed.
+var (
+	// ErrNotFound marks digests the manifest has no live entry for.
+	ErrNotFound = errors.New("digest not in store")
+	// ErrObjectCorrupt marks a chunk object whose bytes no longer hash to
+	// the digest they are filed under — a bit flip, a torn write, or a
+	// duplicate-digest collision. The object is quarantined when detected.
+	ErrObjectCorrupt = errors.New("store object corrupt")
+	// ErrObjectMissing marks a manifest entry referencing a chunk object
+	// that does not exist on disk (a dangling index entry).
+	ErrObjectMissing = errors.New("store object missing")
+	// ErrDigestMismatch marks assembled pinball bytes that do not hash to
+	// the digest they were requested under — chunk-level validation
+	// passed, but the whole is not the recorded file (e.g. a manifest
+	// entry listing the wrong chunks).
+	ErrDigestMismatch = errors.New("content digest mismatch")
+	// ErrManifestCorrupt marks a manifest record that is syntactically
+	// broken somewhere other than the final line — damage no crash of an
+	// append-only writer can explain.
+	ErrManifestCorrupt = errors.New("store manifest corrupt")
+	// ErrManifestTorn marks a manifest whose final record is incomplete —
+	// what a crash mid-append leaves. Open recovers the intact prefix and
+	// reports the tear; Verify surfaces it typed.
+	ErrManifestTorn = errors.New("store manifest torn")
+	// ErrBusy marks an operation that lost the store lock to another
+	// process within its patience window.
+	ErrBusy = errors.New("store busy")
+)
+
+// CorruptObjectError details one validation-on-read failure: which chunk
+// of which entry failed, what it should have hashed to, what it hashed
+// to, and where the damaged bytes were quarantined. It wraps
+// ErrObjectCorrupt (hash mismatch) or ErrObjectMissing (absent file).
+type CorruptObjectError struct {
+	Digest      string // pinball entry being read
+	Chunk       string // chunk object digest
+	Want, Got   string // expected vs computed chunk hash ("" for missing)
+	Quarantined string // path the damaged object was moved to ("" if missing)
+	sentinel    error
+}
+
+func (e *CorruptObjectError) Error() string {
+	if e.sentinel == ErrObjectMissing {
+		return fmt.Sprintf("%v: entry %s chunk %s has no object file", e.sentinel, e.Digest, e.Chunk)
+	}
+	return fmt.Sprintf("%v: entry %s chunk %s hashes to %s (quarantined %s)",
+		e.sentinel, e.Digest, e.Chunk, e.Got, e.Quarantined)
+}
+
+func (e *CorruptObjectError) Unwrap() error { return e.sentinel }

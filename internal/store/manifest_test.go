@@ -1,0 +1,167 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeManifest(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), manifestName)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestManifestReplay(t *testing.T) {
+	path := writeManifest(t,
+		manifestHeader,
+		`{"op":"add","entry":{"digest":"aaaa000000000000","size":10,"chunks":[{"digest":"c1c1c1c1c1c1c1c1","size":10}],"added_unix":100,"touch_unix":100}}`,
+		`{"op":"add","entry":{"digest":"bbbb000000000000","size":20,"chunks":[],"added_unix":101,"touch_unix":101}}`,
+		`{"op":"pin","digest":"aaaa000000000000"}`,
+		`{"op":"touch","digest":"bbbb000000000000","unix":500}`,
+		`{"op":"del","digest":"bbbb000000000000"}`,
+		`{"op":"touch","digest":"bbbb000000000000","unix":900}`, // after del: no-op
+	)
+	m, err := loadManifest(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if m.torn {
+		t.Fatal("clean manifest reported torn")
+	}
+	if len(m.entries) != 1 {
+		t.Fatalf("%d entries, want 1", len(m.entries))
+	}
+	e := m.entries["aaaa000000000000"]
+	if e == nil || !e.Pinned || e.Size != 10 || len(e.Chunks) != 1 {
+		t.Fatalf("entry: %+v", e)
+	}
+}
+
+func TestManifestMissingIsEmpty(t *testing.T) {
+	m, err := loadManifest(filepath.Join(t.TempDir(), "absent.db"))
+	if err != nil || len(m.entries) != 0 || m.torn {
+		t.Fatalf("missing manifest: %+v, %v", m, err)
+	}
+}
+
+// TestManifestTornTailRecovered: a crash mid-append leaves a partial
+// final line; the intact prefix must load and the tear be reported.
+func TestManifestTornTailRecovered(t *testing.T) {
+	full := strings.Join([]string{
+		manifestHeader,
+		`{"op":"add","entry":{"digest":"aaaa000000000000","size":10,"chunks":[],"added_unix":1,"touch_unix":1}}`,
+		`{"op":"add","entry":{"digest":"bbbb000000000000","size":20,"chunks":[],"added_unix":2,"touch_unix":2}}`,
+	}, "\n") + "\n"
+	path := filepath.Join(t.TempDir(), manifestName)
+	// Chop at several points inside the final record, including exactly at
+	// the missing-newline boundary (cut=1: the record itself is whole, so
+	// recovery keeps it — only the tear is flagged).
+	for _, cut := range []int{1, 10, 40} {
+		torn := full[:len(full)-cut]
+		if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := loadManifest(path)
+		if err != nil {
+			t.Fatalf("cut %d: load: %v", cut, err)
+		}
+		if !m.torn {
+			t.Fatalf("cut %d: tear not reported", cut)
+		}
+		if m.entries["aaaa000000000000"] == nil {
+			t.Fatalf("cut %d: intact prefix not recovered: %d entries", cut, len(m.entries))
+		}
+		if cut > 1 && len(m.entries) != 1 {
+			t.Fatalf("cut %d: torn record survived: %d entries", cut, len(m.entries))
+		}
+	}
+}
+
+// TestManifestMidFileCorruptionTyped: damage that is not a torn tail is
+// rejected with ErrManifestCorrupt, never silently skipped.
+func TestManifestMidFileCorruptionTyped(t *testing.T) {
+	path := writeManifest(t,
+		manifestHeader,
+		`{"op":"add","entry":{"digest":"aaaa000000000000","size":10,"chunks":[],"added_unix":1,"touch_unix":1}}`,
+		`{"op":"add","en%%%GARBAGE%%%`,
+		`{"op":"add","entry":{"digest":"bbbb000000000000","size":20,"chunks":[],"added_unix":2,"touch_unix":2}}`,
+	)
+	if _, err := loadManifest(path); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("mid-file garbage: %v, want ErrManifestCorrupt", err)
+	}
+}
+
+func TestManifestBadHeaderTyped(t *testing.T) {
+	path := writeManifest(t,
+		`{"not-a-store":true}`,
+		`{"op":"add","entry":{"digest":"aaaa000000000000","size":10,"chunks":[],"added_unix":1,"touch_unix":1}}`,
+	)
+	if _, err := loadManifest(path); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("bad header: %v, want ErrManifestCorrupt", err)
+	}
+}
+
+func TestManifestUnknownOpMidFileTyped(t *testing.T) {
+	path := writeManifest(t,
+		manifestHeader,
+		`{"op":"frobnicate","digest":"aaaa000000000000"}`,
+		`{"op":"add","entry":{"digest":"bbbb000000000000","size":20,"chunks":[],"added_unix":2,"touch_unix":2}}`,
+	)
+	if _, err := loadManifest(path); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("unknown op: %v, want ErrManifestCorrupt", err)
+	}
+}
+
+func TestManifestPrefixIteration(t *testing.T) {
+	m := &manifest{entries: map[string]*Entry{}}
+	for _, d := range []string{"ab00000000000000", "ab11111111111111", "cd00000000000000"} {
+		applyRecord(m, &record{Op: "add", Entry: &Entry{Digest: d}})
+	}
+	got := m.list("ab")
+	if len(got) != 2 || got[0].Digest != "ab00000000000000" || got[1].Digest != "ab11111111111111" {
+		t.Fatalf("prefix ab: %+v", got)
+	}
+	if len(m.list("")) != 3 {
+		t.Fatal("empty prefix should list all")
+	}
+	if len(m.list("ff")) != 0 {
+		t.Fatal("no-match prefix should be empty")
+	}
+}
+
+// TestManifestCompactRoundTrip: compaction folds pins/touches into the
+// add records and replays to the identical index.
+func TestManifestCompactRoundTrip(t *testing.T) {
+	path := writeManifest(t,
+		manifestHeader,
+		`{"op":"add","entry":{"digest":"aaaa000000000000","size":10,"chunks":[{"digest":"c1c1c1c1c1c1c1c1","size":10}],"added_unix":1,"touch_unix":1}}`,
+		`{"op":"pin","digest":"aaaa000000000000"}`,
+		`{"op":"touch","digest":"aaaa000000000000","unix":77}`,
+	)
+	m, err := loadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := m.compactBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(t.TempDir(), manifestName)
+	if err := os.WriteFile(path2, compact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := loadManifest(path2)
+	if err != nil {
+		t.Fatalf("compacted manifest does not load: %v", err)
+	}
+	e := m2.entries["aaaa000000000000"]
+	if e == nil || !e.Pinned || e.TouchUnix != 77 || len(e.Chunks) != 1 {
+		t.Fatalf("compaction lost state: %+v", e)
+	}
+}
